@@ -1,0 +1,72 @@
+// Command uqsim-experiments regenerates the paper's evaluation: every
+// figure and table has a named runner producing the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	uqsim-experiments -list
+//	uqsim-experiments fig8 table3
+//	uqsim-experiments -scale 0.2 all
+//	uqsim-experiments -csv -out results/ all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"uqsim/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	scale := flag.Float64("scale", 1.0, "shrink measurement windows and sweeps (0 < scale <= 1)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	out := flag.String("out", "", "also write one CSV file per experiment into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "uqsim-experiments: name experiments to run, or 'all' (see -list)")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.Names()
+	}
+	opts := experiments.Opts{Seed: *seed, Scale: *scale}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uqsim-experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(t.String())
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "uqsim-experiments:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, id+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "uqsim-experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

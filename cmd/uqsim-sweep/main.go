@@ -1,0 +1,77 @@
+// Command uqsim-sweep measures the load–latency curve of a configured
+// simulation: it re-runs the scenario across a grid of offered loads and
+// prints one row per load (the data behind every figure in the paper's
+// validation).
+//
+// Usage:
+//
+//	uqsim-sweep -config configs/twotier -from 5000 -to 80000 -step 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uqsim/internal/config"
+	"uqsim/internal/experiments"
+	"uqsim/internal/workload"
+)
+
+func main() {
+	cfgDir := flag.String("config", "", "directory with machines/service/graph/path/client.json")
+	from := flag.Float64("from", 5000, "first offered load (QPS)")
+	to := flag.Float64("to", 50000, "last offered load (QPS)")
+	step := flag.Float64("step", 5000, "load increment (QPS)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	if *cfgDir == "" {
+		fmt.Fprintln(os.Stderr, "uqsim-sweep: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *step <= 0 || *to < *from {
+		fmt.Fprintln(os.Stderr, "uqsim-sweep: need step > 0 and to >= from")
+		os.Exit(2)
+	}
+	if err := run(*cfgDir, *from, *to, *step, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfgDir string, from, to, step float64, csv bool) error {
+	t := experiments.NewTable(
+		fmt.Sprintf("Load sweep of %s", cfgDir),
+		"offered_qps", "goodput_qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "in_flight")
+	for qps := from; qps <= to+1e-9; qps += step {
+		setup, err := config.LoadDir(cfgDir)
+		if err != nil {
+			return err
+		}
+		cc := setup.Sim.Client()
+		cc.Pattern = workload.ConstantRate(qps)
+		cc.ClosedUsers = 0
+		setup.Sim.SetClient(cc)
+		rep, err := setup.Sim.Run(setup.Warmup, setup.Duration)
+		if err != nil {
+			return err
+		}
+		t.Add(
+			fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.0f", rep.GoodputQPS),
+			fmt.Sprintf("%.3f", rep.Latency.Mean().Millis()),
+			fmt.Sprintf("%.3f", rep.Latency.P50().Millis()),
+			fmt.Sprintf("%.3f", rep.Latency.P95().Millis()),
+			fmt.Sprintf("%.3f", rep.Latency.P99().Millis()),
+			fmt.Sprintf("%d", rep.InFlight),
+		)
+	}
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+	return nil
+}

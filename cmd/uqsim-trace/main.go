@@ -1,0 +1,81 @@
+// Command uqsim-trace runs a configured simulation with request tracing
+// enabled and prints the waterfalls of the slowest sampled requests — the
+// microservices-debugging workflow the paper motivates (which tier on the
+// critical path caused the tail?).
+//
+// Usage:
+//
+//	uqsim-trace -config configs/threetier -slowest 5 -sample 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uqsim/internal/config"
+	"uqsim/internal/trace"
+	"uqsim/internal/workload"
+)
+
+func main() {
+	cfgDir := flag.String("config", "", "directory with machines/service/graph/path/client.json")
+	slowest := flag.Int("slowest", 3, "how many slowest requests to print")
+	sample := flag.Int("sample", 1, "trace one of every N requests")
+	qps := flag.Float64("qps", 0, "override the client's constant offered load (QPS)")
+	flag.Parse()
+
+	if *cfgDir == "" {
+		fmt.Fprintln(os.Stderr, "uqsim-trace: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*cfgDir, *slowest, *sample, *qps); err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfgDir string, slowest, sample int, qps float64) error {
+	setup, err := config.LoadDir(cfgDir)
+	if err != nil {
+		return err
+	}
+	if qps > 0 {
+		cc := setup.Sim.Client()
+		cc.Pattern = workload.ConstantRate(qps)
+		cc.ClosedUsers = 0
+		setup.Sim.SetClient(cc)
+	}
+	tr := trace.New(sample)
+	tr.MaxTraces = 65536
+	setup.Sim.OnJobDone = tr.OnJobDone
+	setup.Sim.OnRequestDone = tr.OnRequestDone
+
+	rep, err := setup.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completions=%d p50=%v p99=%v traced=%d\n\n",
+		rep.Completions, rep.Latency.P50(), rep.Latency.P99(), len(tr.Traces()))
+
+	fmt.Printf("--- %d slowest traced requests ---\n", slowest)
+	counts := map[string]int{}
+	for _, r := range tr.Traces() {
+		if crit, ok := r.CriticalSpan(); ok {
+			counts[crit.Service]++
+		}
+	}
+	for _, r := range tr.Slowest(slowest) {
+		fmt.Println(r.Waterfall())
+		if crit, ok := r.CriticalSpan(); ok {
+			fmt.Printf("  → critical tier: %s (%v of %v)\n\n",
+				crit.Service, crit.Residence(), r.Latency())
+		}
+	}
+	fmt.Println("critical-tier frequency across all traces:")
+	for svc, n := range counts {
+		fmt.Printf("  %-14s %d\n", svc, n)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command uqsim runs one simulation described by a directory of JSON
+// configuration files (the paper's Table I inputs: machines.json,
+// service.json, graph.json, path.json, client.json) and prints throughput
+// and latency reports.
+//
+// Usage:
+//
+//	uqsim -config configs/twotier [-qps 30000] [-duration 2s] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"uqsim/internal/config"
+	"uqsim/internal/des"
+	"uqsim/internal/experiments"
+	"uqsim/internal/workload"
+)
+
+func main() {
+	cfgDir := flag.String("config", "", "directory with machines/service/graph/path/client.json")
+	qps := flag.Float64("qps", 0, "override the client's constant offered load (QPS)")
+	duration := flag.Duration("duration", 0, "override the measured window (virtual time)")
+	warmup := flag.Duration("warmup", 0, "override the warmup window (virtual time)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *cfgDir == "" {
+		fmt.Fprintln(os.Stderr, "uqsim: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*cfgDir, *qps, *warmup, *duration, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfgDir string, qps float64, warmup, duration time.Duration, csv bool) error {
+	setup, err := config.LoadDir(cfgDir)
+	if err != nil {
+		return err
+	}
+	if qps > 0 {
+		cc := setup.Sim.Client()
+		cc.Pattern = workload.ConstantRate(qps)
+		cc.ClosedUsers = 0
+		setup.Sim.SetClient(cc)
+	}
+	w, d := setup.Warmup, setup.Duration
+	if warmup > 0 {
+		w = des.FromDuration(warmup)
+	}
+	if duration > 0 {
+		d = des.FromDuration(duration)
+	}
+	rep, err := setup.Sim.Run(w, d)
+	if err != nil {
+		return err
+	}
+	for _, t := range experiments.ReportTables(rep) {
+		if csv {
+			fmt.Print(t.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package uqsim_test
+
+import (
+	"fmt"
+
+	"uqsim"
+)
+
+// Example builds a minimal M/M/2 service and measures its latency — the
+// smallest complete µqSim program.
+func Example() {
+	s := uqsim.New(uqsim.Options{Seed: 1})
+	s.AddMachine("m0", 8, uqsim.DefaultFreqSpec)
+	if _, err := s.Deploy(
+		uqsim.SingleStageService("api", uqsim.Exponential(100*uqsim.Microsecond)),
+		uqsim.RoundRobin,
+		uqsim.Placement{Machine: "m0", Cores: 2},
+	); err != nil {
+		panic(err)
+	}
+	if err := s.SetTopology(uqsim.LinearTopology("main", "api")); err != nil {
+		panic(err)
+	}
+	s.SetClient(uqsim.ClientConfig{Pattern: uqsim.ConstantRate(5000)})
+	rep, err := s.Run(uqsim.Second/5, uqsim.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Completions > 4000, rep.Latency.P99() > 0)
+	// Output: true true
+}
+
+// ExampleTwoTier runs the paper's two-tier NGINX→memcached application at a
+// fixed load.
+func ExampleTwoTier() {
+	s, err := uqsim.TwoTier(uqsim.TwoTierConfig{
+		Seed: 1, QPS: 20000, NginxCores: 8, MemcachedThreads: 4, Network: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := s.Run(200*uqsim.Millisecond, uqsim.Second)
+	if err != nil {
+		panic(err)
+	}
+	// Well below the ~70k saturation point: goodput tracks offered load
+	// and the p99 stays sub-millisecond.
+	fmt.Println(rep.GoodputQPS > 19000, rep.Latency.P99() < uqsim.Millisecond)
+	// Output: true true
+}
+
+// ExampleNewTracer shows per-request waterfall tracing.
+func ExampleNewTracer() {
+	s, err := uqsim.TwoTier(uqsim.TwoTierConfig{Seed: 1, QPS: 1000, Network: true})
+	if err != nil {
+		panic(err)
+	}
+	tr := uqsim.NewTracer(1)
+	uqsim.AttachTracer(s, tr)
+	if _, err := s.Run(0, 100*uqsim.Millisecond); err != nil {
+		panic(err)
+	}
+	slowest := tr.Slowest(1)[0]
+	crit, _ := slowest.CriticalSpan()
+	// The NGINX tier dominates two-tier request latency.
+	fmt.Println(crit.Service)
+	// Output: nginx
+}
+
+// ExampleNewPowerManager wires the paper's Algorithm 1 DVFS controller
+// onto the two-tier application.
+func ExampleNewPowerManager() {
+	s, err := uqsim.TwoTier(uqsim.TwoTierConfig{Seed: 1, QPS: 5000, Network: true})
+	if err != nil {
+		panic(err)
+	}
+	tiers, err := uqsim.TiersOf(s, "nginx", "memcached")
+	if err != nil {
+		panic(err)
+	}
+	mgr, err := uqsim.NewPowerManager(s, uqsim.PowerConfig{
+		Target:   5 * uqsim.Millisecond,
+		Interval: 100 * uqsim.Millisecond,
+	}, tiers)
+	if err != nil {
+		panic(err)
+	}
+	s.OnRequestDone = mgr.Observe
+	mgr.Start()
+	if _, err := s.Run(0, 5*uqsim.Second); err != nil {
+		panic(err)
+	}
+	// Light load: the controller saves energy while meeting QoS.
+	fmt.Println(mgr.MeanFrequency() < 2600, mgr.NormalizedEnergy() < 1.0)
+	// Output: true true
+}

@@ -1,0 +1,65 @@
+// Power manager: run the paper's Algorithm 1 — a QoS-aware DVFS controller
+// that learns per-tier latency targets from an end-to-end tail-latency QoS
+// — against the two-tier application under a diurnal load (Fig. 15/16,
+// Table III). Each decision interval simulates 240 virtual seconds (eight
+// diurnal periods), so the slowest controller also converges to the QoS
+// boundary; expect a few minutes of wall-clock time.
+package main
+
+import (
+	"fmt"
+
+	"uqsim"
+)
+
+func main() {
+	const target = 5 * uqsim.Millisecond
+	fmt.Printf("2-tier app, diurnal load, %v p99 QoS target\n\n", target)
+	fmt.Printf("%-20s %-16s %-15s %-8s\n",
+		"decision_interval", "violation_rate", "mean_freq_mhz", "cycles")
+
+	for _, interval := range []uqsim.Time{
+		100 * uqsim.Millisecond,
+		500 * uqsim.Millisecond,
+		uqsim.Second,
+	} {
+		s, err := uqsim.TwoTier(uqsim.TwoTierConfig{
+			Seed: 1,
+			Pattern: uqsim.Diurnal{
+				Base:      25000,
+				Amplitude: 20000,
+				Period:    30 * uqsim.Second,
+				Floor:     2000,
+			},
+			Network: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		tiers, err := uqsim.TiersOf(s, "nginx", "memcached")
+		if err != nil {
+			panic(err)
+		}
+		mgr, err := uqsim.NewPowerManager(s, uqsim.PowerConfig{
+			Target:   target,
+			Interval: interval,
+			Seed:     1,
+		}, tiers)
+		if err != nil {
+			panic(err)
+		}
+		s.OnRequestDone = mgr.Observe
+		mgr.Start()
+		if _, err := s.Run(0, 240*uqsim.Second); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-20v %-16s %-15.0f %-8d\n",
+			interval.Duration(),
+			fmt.Sprintf("%.1f%%", 100*mgr.ViolationRate()),
+			mgr.MeanFrequency(),
+			mgr.Cycles())
+	}
+
+	fmt.Println("\npaper Table III (simulated): 0.6% / 2.2% / 5.0% for 0.1s / 0.5s / 1s")
+	fmt.Println("the mean frequency shows the energy saving against the 2600 MHz nominal")
+}

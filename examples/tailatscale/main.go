@@ -1,0 +1,45 @@
+// Tail at scale: reproduce the paper's Fig. 14 study (after Dean &
+// Barroso, "The Tail at Scale"): a request fans out to every server in a
+// cluster and completes when the last response arrives. A small fraction
+// of 10×-slow servers comes to dominate the p99 as the cluster grows.
+package main
+
+import (
+	"fmt"
+
+	"uqsim"
+)
+
+func main() {
+	fmt.Println("tail at scale: full fan-out, exp(1ms) leaves, slow leaves run 10× slower")
+	fmt.Printf("%-9s", "servers")
+	slowFracs := []float64{0, 0.01, 0.05, 0.10}
+	for _, f := range slowFracs {
+		fmt.Printf("  p99@%.0f%%slow", f*100)
+	}
+	fmt.Println(" (ms)")
+
+	for _, n := range []int{5, 10, 50, 100, 500, 1000} {
+		fmt.Printf("%-9d", n)
+		for _, f := range slowFracs {
+			s, err := uqsim.TailAtScale(uqsim.TailAtScaleConfig{
+				Seed:         1,
+				QPS:          50,
+				Servers:      n,
+				SlowFraction: f,
+			})
+			if err != nil {
+				panic(err)
+			}
+			// Light load, long window: the tail comes from the slow
+			// machines, not queueing.
+			rep, err := s.Run(0, 20*uqsim.Second)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %12.2f", rep.Latency.P99().Millis())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper: for clusters ≥100 servers, 1% slow machines dominate the tail")
+}

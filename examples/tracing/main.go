@@ -1,0 +1,53 @@
+// Tracing: the microservices-debugging story the paper motivates. Run the
+// Social Network application near its saturation point, trace a sample of
+// requests, and print the waterfalls of the slowest ones — the critical
+// span shows which tier caused the tail.
+package main
+
+import (
+	"fmt"
+
+	"uqsim"
+)
+
+func main() {
+	s, err := uqsim.SocialNetwork(uqsim.SocialNetworkConfig{
+		Seed:    1,
+		QPS:     3500,
+		Network: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tr := uqsim.NewTracer(4) // record every 4th request
+	uqsim.AttachTracer(s, tr)
+
+	rep, err := s.Run(300*uqsim.Millisecond, 2*uqsim.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("social network @3.5k QPS: p50=%v p99=%v (%d requests, %d traced)\n\n",
+		rep.Latency.P50(), rep.Latency.P99(), rep.Completions, len(tr.Traces()))
+
+	fmt.Println("three slowest traced requests:")
+	for _, r := range tr.Slowest(3) {
+		fmt.Println(r.Waterfall())
+		if crit, ok := r.CriticalSpan(); ok {
+			fmt.Printf("  → critical tier: %s (%v of %v end-to-end)\n\n",
+				crit.Service, crit.Residence(), r.Latency())
+		}
+	}
+
+	// Aggregate the critical tier across all traces: which microservice
+	// most often dominates the tail?
+	counts := map[string]int{}
+	for _, r := range tr.Traces() {
+		if crit, ok := r.CriticalSpan(); ok {
+			counts[crit.Service]++
+		}
+	}
+	fmt.Println("critical-tier frequency across traces:")
+	for svc, n := range counts {
+		fmt.Printf("  %-12s %d\n", svc, n)
+	}
+}

@@ -1,0 +1,3 @@
+module uqsim
+
+go 1.22

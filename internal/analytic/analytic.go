@@ -1,0 +1,181 @@
+// Package analytic provides closed-form queueing results used as the
+// validation reference for the simulator. The paper validates µqSim against
+// real-server measurements; without that testbed, this repository validates
+// against exact theory in the regimes where theory exists (M/M/1, M/M/k,
+// M/D/1), and against the Dean & Barroso tail-at-scale probability model
+// for fan-out scenarios.
+package analytic
+
+import (
+	"math"
+)
+
+// MM1MeanSojourn is the mean time in system of an M/M/1 queue with arrival
+// rate lambda and service rate mu (both per second): 1/(µ−λ).
+// Returns +Inf at or beyond saturation.
+func MM1MeanSojourn(lambda, mu float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// MM1SojournQuantile is the q-quantile of M/M/1 time in system. Sojourn
+// time is exponential with mean 1/(µ−λ), so the quantile is −ln(1−q) times
+// the mean.
+func MM1SojournQuantile(lambda, mu, q float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-q) / (mu - lambda)
+}
+
+// MM1MeanQueueLength is the mean number in system: ρ/(1−ρ).
+func MM1MeanQueueLength(lambda, mu float64) float64 {
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// ErlangC is the probability an arrival waits in an M/M/k queue with k
+// servers and offered load a = λ/µ (in Erlangs).
+func ErlangC(k int, a float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if a >= float64(k) {
+		return 1
+	}
+	// Compute iteratively to avoid factorial overflow:
+	// B(0)=1; B(j)=a·B(j−1)/(j+a·B(j−1)) is Erlang-B; then
+	// C = k·B /(k − a(1−B)).
+	b := 1.0
+	for j := 1; j <= k; j++ {
+		b = a * b / (float64(j) + a*b)
+	}
+	return float64(k) * b / (float64(k) - a*(1-b))
+}
+
+// MMkMeanWait is the mean queueing delay (excluding service) of M/M/k:
+// C(k,a) / (kµ − λ).
+func MMkMeanWait(lambda, mu float64, k int) float64 {
+	if lambda >= float64(k)*mu {
+		return math.Inf(1)
+	}
+	a := lambda / mu
+	return ErlangC(k, a) / (float64(k)*mu - lambda)
+}
+
+// MMkMeanSojourn is the mean time in system of M/M/k.
+func MMkMeanSojourn(lambda, mu float64, k int) float64 {
+	w := MMkMeanWait(lambda, mu, k)
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + 1/mu
+}
+
+// MD1MeanWait is the mean queueing delay of M/D/1 (deterministic service
+// time d): ρ·d / (2(1−ρ)) — the Pollaczek–Khinchine formula with zero
+// service variance.
+func MD1MeanWait(lambda, d float64) float64 {
+	rho := lambda * d
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho * d / (2 * (1 - rho))
+}
+
+// MD1MeanSojourn is the mean time in system of M/D/1.
+func MD1MeanSojourn(lambda, d float64) float64 {
+	w := MD1MeanWait(lambda, d)
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + d
+}
+
+// MG1MeanWait is the Pollaczek–Khinchine mean queueing delay of M/G/1 with
+// service mean es and second moment es2: λ·E[S²] / (2(1−ρ)).
+func MG1MeanWait(lambda, es, es2 float64) float64 {
+	rho := lambda * es
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return lambda * es2 / (2 * (1 - rho))
+}
+
+// MaxOfExponentialsMean is E[max of n iid Exp(mean)] = mean·H(n), the
+// harmonic number — the fork-join fan-in latency at zero load.
+func MaxOfExponentialsMean(n int, mean float64) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return mean * h
+}
+
+// MaxOfExponentialsQuantile is the q-quantile of the max of n iid
+// exponentials with the given mean: −mean·ln(1 − q^{1/n}).
+func MaxOfExponentialsQuantile(n int, mean, q float64) float64 {
+	if n <= 0 || q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return -mean * math.Log(1-math.Pow(q, 1/float64(n)))
+}
+
+// TailAtScaleSlowProb is the Dean & Barroso back-of-envelope: with a
+// fraction p of servers slow, the probability that a request fanning out to
+// n servers touches at least one slow server is 1 − (1−p)^n.
+func TailAtScaleSlowProb(p float64, n int) float64 {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-p, float64(n))
+}
+
+// FanoutQuantileOfMax computes the q-quantile of the max of n iid latency
+// draws with CDF F, by numerically inverting F(x)^n = q over [lo, hi] with
+// bisection. Useful for mixed fast/slow leaf populations.
+func FanoutQuantileOfMax(n int, q, lo, hi float64, cdf func(x float64) float64) float64 {
+	if n <= 0 || q <= 0 {
+		return lo
+	}
+	target := math.Pow(q, 1/float64(n))
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MixtureExpCDF is the CDF of a two-population exponential mixture: with
+// probability pSlow the mean is slowMean, otherwise fastMean — the
+// tail-at-scale leaf latency model (a 10×-slow machine serves a request
+// with 10× the mean).
+func MixtureExpCDF(pSlow, fastMean, slowMean float64) func(x float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return (1-pSlow)*(1-math.Exp(-x/fastMean)) + pSlow*(1-math.Exp(-x/slowMean))
+	}
+}

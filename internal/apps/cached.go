@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"uqsim/internal/cache"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/job"
+	"uqsim/internal/rng"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+// CachedTwoTierConfig parameterizes the emergent-cache variant of the
+// three-tier application: instead of a fixed cache-hit probability (the
+// paper's model input), the hit/miss decision comes from a real LRU cache
+// over a Zipf-popular key universe, wired into the dependency graph as a
+// runtime branch. The observed hit ratio — and therefore the whole
+// load–latency curve — emerges from cache size and key skew.
+type CachedTwoTierConfig struct {
+	Seed uint64
+	QPS  float64
+	// Keys is the key-universe size (default 100k).
+	Keys int
+	// CacheItems is the LRU capacity in keys (default 10k).
+	CacheItems int
+	// ZipfS is the popularity skew (default 0.99).
+	ZipfS float64
+
+	NginxCores  int
+	Connections int
+	Network     bool
+}
+
+// CachedTwoTier assembles the scenario and returns the simulation plus the
+// live cache (whose HitRatio can be read after the run).
+func CachedTwoTier(cfg CachedTwoTierConfig) (*sim.Sim, *cache.LRU, error) {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 100000
+	}
+	if cfg.CacheItems <= 0 {
+		cfg.CacheItems = 10000
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 0.99
+	}
+	if cfg.NginxCores <= 0 {
+		cfg.NginxCores = 8
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 320
+	}
+	s := sim.New(sim.Options{Seed: cfg.Seed})
+	s.AddMachine("frontend", 20, paperFreq())
+	s.AddMachine("cache", 20, paperFreq())
+	db := s.AddMachine("db", 20, paperFreq())
+	db.AddPool(DiskPool, 2)
+	if _, err := s.Deploy(Nginx(), sim.RoundRobin,
+		sim.Placement{Machine: "frontend", Cores: cfg.NginxCores}); err != nil {
+		return nil, nil, err
+	}
+	if _, err := s.Deploy(Memcached(), sim.RoundRobin,
+		sim.Placement{Machine: "cache", Cores: 4}); err != nil {
+		return nil, nil, err
+	}
+	if _, err := s.Deploy(MongoDB(0.3, 16), sim.RoundRobin,
+		sim.Placement{Machine: "db", Cores: 4}); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Network {
+		if err := s.EnableNetwork(DefaultNetwork()); err != nil {
+			return nil, nil, err
+		}
+	}
+	// One tree; the memcached node branches at runtime:
+	//   hit  → nginx tx
+	//   miss → MongoDB → memcached write (allocate) → nginx tx
+	topo := &graph.Topology{
+		Trees: []graph.Tree{{
+			Name: "get", Weight: 1, Root: 0,
+			Nodes: []graph.Node{
+				{ID: 0, Service: "nginx", ServicePath: "rx", Instance: -1,
+					Children: []int{1}, AcquireConn: []string{"client:nginx"}},
+				{ID: 1, Service: "memcached", ServicePath: "memcached_read", Instance: -1,
+					Children: []int{2, 3}, BranchKey: "lru",
+					AcquireConn: []string{"nginx:memcached"},
+					ReleaseConn: []string{"nginx:memcached"}},
+				// Hit branch.
+				{ID: 2, Service: "nginx", ServicePath: "tx", Instance: -1,
+					ReleaseConn: []string{"client:nginx"}},
+				// Miss branch.
+				{ID: 3, Service: "mongodb", Instance: -1, Children: []int{4}},
+				{ID: 4, Service: "memcached", ServicePath: "memcached_write", Instance: -1,
+					Children: []int{5}},
+				{ID: 5, Service: "nginx", ServicePath: "tx", Instance: -1,
+					ReleaseConn: []string{"client:nginx"}},
+			},
+		}},
+		Pools: []graph.ConnPool{
+			{Name: "client:nginx", Capacity: cfg.Connections},
+			{Name: "nginx:memcached", Capacity: 64},
+		},
+	}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, nil, err
+	}
+	lru := cache.NewLRU(cfg.CacheItems)
+	zipf := cache.NewZipf(cfg.Keys, cfg.ZipfS)
+	keys := rng.NewSplitter(cfg.Seed).Stream("keys")
+	// Prewarm with the most popular keys (the steady-state working set),
+	// so measured hit ratios reflect capacity rather than cold-start.
+	for k := cfg.CacheItems - 1; k >= 0; k-- {
+		if k < cfg.Keys {
+			lru.Insert(uint64(k))
+		}
+	}
+	s.RegisterBrancher("lru", func(now des.Time, req *job.Request, children []int) []int {
+		key := zipf.Sample(keys)
+		if lru.Lookup(key) {
+			return children[:1] // hit → nginx tx
+		}
+		// Write-allocate: the miss chain will populate the cache; the
+		// insert is applied here so subsequent requests see it.
+		lru.Insert(key)
+		return children[1:2] // miss → MongoDB chain
+	})
+	s.SetClient(sim.ClientConfig{
+		Pattern:     workload.ConstantRate(cfg.QPS),
+		SizeKB:      dist.NewExponential(1),
+		Connections: cfg.Connections,
+	})
+	return s, lru, nil
+}

@@ -1,0 +1,518 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+// withName returns a shallow copy of bp under a new service name, letting
+// one model (e.g. Memcached) back several deployments (usermc, postmc, …).
+func withName(bp *service.Blueprint, name string) *service.Blueprint {
+	c := *bp
+	c.Name = name
+	return &c
+}
+
+// paperFreq returns the Table II DVFS range.
+func paperFreq() cluster.FreqSpec { return cluster.DefaultFreqSpec }
+
+// TwoTierConfig parameterizes the NGINX→memcached validation (Fig. 5).
+type TwoTierConfig struct {
+	Seed uint64
+	// QPS is the open-loop target (ignored when Pattern is set).
+	QPS float64
+	// Pattern optionally overrides the constant-rate load (e.g. the
+	// diurnal pattern of the power study, Fig. 15).
+	Pattern workload.Pattern
+	// NginxCores is the NGINX process count (each pinned to a core).
+	NginxCores int
+	// MemcachedThreads is the memcached thread count (each on a core).
+	MemcachedThreads int
+	// Connections is the number of client http/1.1 connections
+	// (the paper's wrk2 uses 320).
+	Connections int
+	// Network enables the per-machine interrupt-processing service.
+	Network bool
+	// NoBlocking drops the http/1.1 connection pools (ablation: without
+	// connection-level blocking, concurrency is unbounded and the
+	// saturated tail explodes much faster).
+	NoBlocking bool
+}
+
+// TwoTier assembles the two-tier NGINX→memcached application of Fig. 4(a):
+// NGINX receives the request over http/1.1 (blocking the connection),
+// queries memcached, and returns the value to the client.
+func TwoTier(cfg TwoTierConfig) (*sim.Sim, error) {
+	if cfg.NginxCores <= 0 {
+		cfg.NginxCores = 8
+	}
+	if cfg.MemcachedThreads <= 0 {
+		cfg.MemcachedThreads = 4
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 320
+	}
+	s := sim.New(sim.Options{Seed: cfg.Seed})
+	s.AddMachine("frontend", 20, paperFreq())
+	s.AddMachine("cache", 20, paperFreq())
+	if _, err := s.Deploy(Nginx(), sim.RoundRobin,
+		sim.Placement{Machine: "frontend", Cores: cfg.NginxCores}); err != nil {
+		return nil, err
+	}
+	if _, err := s.Deploy(Memcached(), sim.RoundRobin,
+		sim.Placement{Machine: "cache", Cores: cfg.MemcachedThreads}); err != nil {
+		return nil, err
+	}
+	if cfg.Network {
+		if err := s.EnableNetwork(DefaultNetwork()); err != nil {
+			return nil, err
+		}
+	}
+	topo := &graph.Topology{
+		Trees: []graph.Tree{{
+			Name: "get", Weight: 1, Root: 0,
+			Nodes: []graph.Node{
+				{ID: 0, Service: "nginx", ServicePath: "rx", Instance: -1,
+					Children: []int{1}, AcquireConn: []string{"client:nginx"}},
+				{ID: 1, Service: "memcached", ServicePath: "memcached_read", Instance: -1,
+					Children:    []int{2},
+					AcquireConn: []string{"nginx:memcached"},
+					ReleaseConn: []string{"nginx:memcached"}},
+				{ID: 2, Service: "nginx", ServicePath: "tx", Instance: -1,
+					ReleaseConn: []string{"client:nginx"}},
+			},
+		}},
+		Pools: []graph.ConnPool{
+			{Name: "client:nginx", Capacity: cfg.Connections},
+			{Name: "nginx:memcached", Capacity: 64},
+		},
+	}
+	if cfg.NoBlocking {
+		for i := range topo.Trees[0].Nodes {
+			topo.Trees[0].Nodes[i].AcquireConn = nil
+			topo.Trees[0].Nodes[i].ReleaseConn = nil
+		}
+		topo.Pools = nil
+	}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = workload.ConstantRate(cfg.QPS)
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern:     pattern,
+		SizeKB:      dist.NewExponential(1), // exp value sizes (paper §IV-A)
+		Connections: cfg.Connections,
+	})
+	return s, nil
+}
+
+// ThreeTierConfig parameterizes the NGINX→memcached→MongoDB validation
+// (Fig. 6).
+type ThreeTierConfig struct {
+	Seed uint64
+	QPS  float64
+	// CacheHitProb is the memcached hit probability (miss → MongoDB
+	// with write-allocate back into memcached).
+	CacheHitProb float64
+	// MongoMemoryProb is the probability a MongoDB query is served from
+	// resident memory rather than disk (the paper's path state machine).
+	MongoMemoryProb  float64
+	NginxCores       int
+	MemcachedThreads int
+	Connections      int
+	Network          bool
+}
+
+// ThreeTier assembles the three-tier application of Fig. 4(b).
+func ThreeTier(cfg ThreeTierConfig) (*sim.Sim, error) {
+	if cfg.NginxCores <= 0 {
+		cfg.NginxCores = 8
+	}
+	if cfg.MemcachedThreads <= 0 {
+		cfg.MemcachedThreads = 2
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 320
+	}
+	if cfg.CacheHitProb <= 0 {
+		cfg.CacheHitProb = 0.7
+	}
+	if cfg.MongoMemoryProb <= 0 {
+		cfg.MongoMemoryProb = 0.3
+	}
+	s := sim.New(sim.Options{Seed: cfg.Seed})
+	s.AddMachine("frontend", 20, paperFreq())
+	s.AddMachine("cache", 20, paperFreq())
+	db := s.AddMachine("db", 20, paperFreq())
+	db.AddPool(DiskPool, 2) // 2× 7.2K RPM SATA (Table II)
+	if _, err := s.Deploy(Nginx(), sim.RoundRobin,
+		sim.Placement{Machine: "frontend", Cores: cfg.NginxCores}); err != nil {
+		return nil, err
+	}
+	if _, err := s.Deploy(Memcached(), sim.RoundRobin,
+		sim.Placement{Machine: "cache", Cores: cfg.MemcachedThreads}); err != nil {
+		return nil, err
+	}
+	if _, err := s.Deploy(MongoDB(cfg.MongoMemoryProb, 16), sim.RoundRobin,
+		sim.Placement{Machine: "db", Cores: 4}); err != nil {
+		return nil, err
+	}
+	if cfg.Network {
+		if err := s.EnableNetwork(DefaultNetwork()); err != nil {
+			return nil, err
+		}
+	}
+	pools := []graph.ConnPool{
+		{Name: "client:nginx", Capacity: cfg.Connections},
+		{Name: "nginx:memcached", Capacity: 64},
+		{Name: "memcached:mongodb", Capacity: 64},
+	}
+	hit := graph.Tree{
+		Name: "cache_hit", Weight: cfg.CacheHitProb, Root: 0,
+		Nodes: []graph.Node{
+			{ID: 0, Service: "nginx", ServicePath: "rx", Instance: -1,
+				Children: []int{1}, AcquireConn: []string{"client:nginx"}},
+			{ID: 1, Service: "memcached", ServicePath: "memcached_read", Instance: -1,
+				Children:    []int{2},
+				AcquireConn: []string{"nginx:memcached"},
+				ReleaseConn: []string{"nginx:memcached"}},
+			{ID: 2, Service: "nginx", ServicePath: "tx", Instance: -1,
+				ReleaseConn: []string{"client:nginx"}},
+		},
+	}
+	// Miss: read cache (miss) → MongoDB → write-allocate into cache →
+	// respond.
+	miss := graph.Tree{
+		Name: "cache_miss", Weight: 1 - cfg.CacheHitProb, Root: 0,
+		Nodes: []graph.Node{
+			{ID: 0, Service: "nginx", ServicePath: "rx", Instance: -1,
+				Children: []int{1}, AcquireConn: []string{"client:nginx"}},
+			{ID: 1, Service: "memcached", ServicePath: "memcached_read", Instance: -1,
+				Children:    []int{2},
+				AcquireConn: []string{"nginx:memcached"},
+				ReleaseConn: []string{"nginx:memcached"}},
+			{ID: 2, Service: "mongodb", Instance: -1,
+				Children:    []int{3},
+				AcquireConn: []string{"memcached:mongodb"},
+				ReleaseConn: []string{"memcached:mongodb"}},
+			{ID: 3, Service: "memcached", ServicePath: "memcached_write", Instance: -1,
+				Children:    []int{4},
+				AcquireConn: []string{"nginx:memcached"},
+				ReleaseConn: []string{"nginx:memcached"}},
+			{ID: 4, Service: "nginx", ServicePath: "tx", Instance: -1,
+				ReleaseConn: []string{"client:nginx"}},
+		},
+	}
+	if err := s.SetTopology(&graph.Topology{Trees: []graph.Tree{hit, miss}, Pools: pools}); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern:     workload.ConstantRate(cfg.QPS),
+		SizeKB:      dist.NewExponential(1),
+		Connections: cfg.Connections,
+	})
+	return s, nil
+}
+
+// ScaleOutConfig parameterizes the load-balancing (Fig. 8) and fanout
+// (Fig. 10) scenarios: an NGINX proxy in front of N single-core NGINX
+// webservers, with four interrupt cores per machine.
+type ScaleOutConfig struct {
+	Seed    uint64
+	QPS     float64
+	Servers int
+	// WebserversPerMachine packs leaves onto machines (default 4).
+	WebserversPerMachine int
+	Connections          int
+	// NoNetwork disables interrupt processing (ablation: without it the
+	// 16-way scale-out keeps scaling linearly instead of saturating the
+	// proxy machine's interrupt cores).
+	NoNetwork bool
+}
+
+func (c *ScaleOutConfig) defaults() {
+	if c.Servers <= 0 {
+		c.Servers = 4
+	}
+	if c.WebserversPerMachine <= 0 {
+		c.WebserversPerMachine = 4
+	}
+	if c.Connections <= 0 {
+		c.Connections = 2048
+	}
+}
+
+// scaleOutBase builds the shared cluster + deployments of both scenarios.
+func scaleOutBase(cfg *ScaleOutConfig, fanout int) (*sim.Sim, error) {
+	cfg.defaults()
+	s := sim.New(sim.Options{Seed: cfg.Seed})
+	s.AddMachine("lb", 20, paperFreq())
+	nMachines := (cfg.Servers + cfg.WebserversPerMachine - 1) / cfg.WebserversPerMachine
+	var placements []sim.Placement
+	for i := 0; i < nMachines; i++ {
+		s.AddMachine(fmt.Sprintf("web%d", i), 20, paperFreq())
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		placements = append(placements, sim.Placement{
+			Machine: fmt.Sprintf("web%d", i/cfg.WebserversPerMachine),
+			Cores:   1,
+		})
+	}
+	if _, err := s.Deploy(NginxProxy(fanout), sim.RoundRobin,
+		sim.Placement{Machine: "lb", Cores: 2}); err != nil {
+		return nil, err
+	}
+	if _, err := s.Deploy(Nginx(), sim.RoundRobin, placements...); err != nil {
+		return nil, err
+	}
+	if !cfg.NoNetwork {
+		if err := s.EnableNetwork(DefaultNetwork()); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// LoadBalanced assembles Fig. 7/8: the proxy forwards each request to one
+// webserver, round-robin.
+func LoadBalanced(cfg ScaleOutConfig) (*sim.Sim, error) {
+	s, err := scaleOutBase(&cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	topo := &graph.Topology{
+		Trees: []graph.Tree{{
+			Name: "lb", Weight: 1, Root: 0,
+			Nodes: []graph.Node{
+				{ID: 0, Service: "nginx_proxy", ServicePath: "rx", Instance: -1,
+					Children: []int{1}, AcquireConn: []string{"client:proxy"}},
+				{ID: 1, Service: "nginx", ServicePath: "serve", Instance: -1,
+					Children: []int{2}},
+				{ID: 2, Service: "nginx_proxy", ServicePath: "join", Instance: -1,
+					ReleaseConn: []string{"client:proxy"}},
+			},
+		}},
+		Pools: []graph.ConnPool{{Name: "client:proxy", Capacity: cfg.Connections}},
+	}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern:     workload.ConstantRate(cfg.QPS),
+		SizeKB:      dist.NewDeterministic(612.0 / 1024), // 612-byte page
+		Connections: cfg.Connections,
+	})
+	return s, nil
+}
+
+// Fanout assembles Fig. 9/10: the proxy forwards each request to all N
+// webservers and synchronizes their responses before replying.
+func Fanout(cfg ScaleOutConfig) (*sim.Sim, error) {
+	s, err := scaleOutBase(&cfg, cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Servers
+	nodes := make([]graph.Node, 0, n+2)
+	nodes = append(nodes, graph.Node{
+		ID: 0, Service: "nginx_proxy", ServicePath: "rx", Instance: -1,
+		Children: childRange(1, n), AcquireConn: []string{"client:proxy"},
+	})
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, graph.Node{
+			ID: 1 + i, Service: "nginx", ServicePath: "serve", Instance: i,
+			Children: []int{n + 1},
+		})
+	}
+	nodes = append(nodes, graph.Node{
+		ID: n + 1, Service: "nginx_proxy", ServicePath: "join", Instance: -1,
+		ReleaseConn: []string{"client:proxy"},
+	})
+	topo := &graph.Topology{
+		Trees: []graph.Tree{{Name: "fanout", Weight: 1, Root: 0, Nodes: nodes}},
+		Pools: []graph.ConnPool{{Name: "client:proxy", Capacity: cfg.Connections}},
+	}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern:     workload.ConstantRate(cfg.QPS),
+		SizeKB:      dist.NewDeterministic(612.0 / 1024),
+		Connections: cfg.Connections,
+	})
+	return s, nil
+}
+
+func childRange(from, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}
+
+// ThriftHelloConfig parameterizes the RPC validation (Fig. 12a).
+type ThriftHelloConfig struct {
+	Seed        uint64
+	QPS         float64
+	Cores       int
+	Connections int
+	Network     bool
+}
+
+// ThriftHello assembles the hello-world Thrift client/server pair: all
+// processing is RPC framework overhead, saturating just above 50 kQPS.
+func ThriftHello(cfg ThriftHelloConfig) (*sim.Sim, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 128
+	}
+	s := sim.New(sim.Options{Seed: cfg.Seed})
+	s.AddMachine("srv", 20, paperFreq())
+	if _, err := s.Deploy(ThriftServer("thrift", 15), sim.RoundRobin,
+		sim.Placement{Machine: "srv", Cores: cfg.Cores}); err != nil {
+		return nil, err
+	}
+	if cfg.Network {
+		if err := s.EnableNetwork(DefaultNetwork()); err != nil {
+			return nil, err
+		}
+	}
+	topo := &graph.Topology{
+		Trees: []graph.Tree{{
+			Name: "hello", Weight: 1, Root: 0,
+			Nodes: []graph.Node{{
+				ID: 0, Service: "thrift", ServicePath: "call", Instance: -1,
+				AcquireConn: []string{"client:thrift"},
+				ReleaseConn: []string{"client:thrift"},
+			}},
+		}},
+		Pools: []graph.ConnPool{{Name: "client:thrift", Capacity: cfg.Connections}},
+	}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern:     workload.ConstantRate(cfg.QPS),
+		SizeKB:      dist.NewDeterministic(0.05), // "Hello World" payload
+		Connections: cfg.Connections,
+	})
+	return s, nil
+}
+
+// SingleService wraps one blueprint as a standalone open-loop scenario
+// (used by the BigHouse comparison of Fig. 13, where each application is
+// driven in isolation).
+func SingleService(bp *service.Blueprint, path string, cores int, qps float64, seed uint64, sizeKB dist.Sampler) (*sim.Sim, error) {
+	s := sim.New(sim.Options{Seed: seed})
+	s.AddMachine("m0", 20, cluster.FreqSpec{})
+	if _, err := s.Deploy(bp, sim.RoundRobin, sim.Placement{Machine: "m0", Cores: cores}); err != nil {
+		return nil, err
+	}
+	topo := graph.Linear("single", bp.Name)
+	topo.Trees[0].Nodes[0].ServicePath = path
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern:     workload.ConstantRate(qps),
+		SizeKB:      sizeKB,
+		Connections: 64,
+	})
+	return s, nil
+}
+
+// TailAtScaleConfig parameterizes the Fig. 14 study.
+type TailAtScaleConfig struct {
+	Seed uint64
+	QPS  float64
+	// Servers is the cluster size / fanout width (5 … 1000).
+	Servers int
+	// SlowFraction of servers run 10× slower.
+	SlowFraction float64
+	// SlowFactor scales the slow servers' mean (default 10).
+	SlowFactor float64
+	// MeanServiceUs is the leaf mean processing time (default 1000 =
+	// 1ms, per the paper).
+	MeanServiceUs float64
+}
+
+// TailAtScale assembles the tail-at-scale fanout study: a request fans out
+// to every server in the cluster and completes when the last one responds;
+// a fraction of servers is 10× slower.
+func TailAtScale(cfg TailAtScaleConfig) (*sim.Sim, error) {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 100
+	}
+	if cfg.SlowFactor <= 0 {
+		cfg.SlowFactor = 10
+	}
+	if cfg.MeanServiceUs <= 0 {
+		cfg.MeanServiceUs = 1000
+	}
+	n := cfg.Servers
+	nSlow := int(math.Round(cfg.SlowFraction * float64(n)))
+	s := sim.New(sim.Options{Seed: cfg.Seed})
+	const perMachine = 32
+	nMachines := (n + perMachine - 1) / perMachine
+	for i := 0; i < nMachines; i++ {
+		s.AddMachine(fmt.Sprintf("rack%d", i), perMachine, cluster.FreqSpec{})
+	}
+	s.AddMachine("rootm", 8, cluster.FreqSpec{})
+	place := func(i int) sim.Placement {
+		return sim.Placement{Machine: fmt.Sprintf("rack%d", i/perMachine), Cores: 1}
+	}
+	var fastPl, slowPl []sim.Placement
+	for i := 0; i < n; i++ {
+		if i < nSlow {
+			slowPl = append(slowPl, place(i))
+		} else {
+			fastPl = append(fastPl, place(i))
+		}
+	}
+	if _, err := s.Deploy(service.SingleStage("root", dist.NewDeterministic(0.5*us)),
+		sim.RoundRobin, sim.Placement{Machine: "rootm", Cores: 4}); err != nil {
+		return nil, err
+	}
+	if len(fastPl) > 0 {
+		if _, err := s.Deploy(SimpleServer("leaf", cfg.MeanServiceUs), sim.RoundRobin, fastPl...); err != nil {
+			return nil, err
+		}
+	}
+	if len(slowPl) > 0 {
+		if _, err := s.Deploy(SimpleServer("slowleaf", cfg.MeanServiceUs*cfg.SlowFactor),
+			sim.RoundRobin, slowPl...); err != nil {
+			return nil, err
+		}
+	}
+	nodes := make([]graph.Node, 0, n+2)
+	nodes = append(nodes, graph.Node{ID: 0, Service: "root", Instance: -1, Children: childRange(1, n)})
+	for i := 0; i < n; i++ {
+		svc, inst := "leaf", i-nSlow
+		if i < nSlow {
+			svc, inst = "slowleaf", i
+		}
+		nodes = append(nodes, graph.Node{
+			ID: 1 + i, Service: svc, Instance: inst, Children: []int{n + 1},
+		})
+	}
+	nodes = append(nodes, graph.Node{ID: n + 1, Service: "root", Instance: -1})
+	topo := &graph.Topology{Trees: []graph.Tree{{Name: "fan", Weight: 1, Root: 0, Nodes: nodes}}}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{Pattern: workload.ConstantRate(cfg.QPS), Connections: 256})
+	return s, nil
+}

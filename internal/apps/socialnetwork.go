@@ -1,0 +1,279 @@
+package apps
+
+import (
+	"fmt"
+
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+// SocialNetworkConfig parameterizes the end-to-end Social Network
+// application of Fig. 11/12b: a Thrift frontend queries the User and Post
+// services in parallel, synchronizes their responses, optionally extracts
+// embedded media via the Media service, composes the reply, and returns it.
+// Each backend service caches in memcached and persists in MongoDB.
+type SocialNetworkConfig struct {
+	Seed uint64
+	QPS  float64
+	// CacheHitProb is each memcached tier's hit probability (miss →
+	// the corresponding MongoDB). Default 0.85.
+	CacheHitProb float64
+	// MediaProb is the probability a post embeds media. Default 0.5.
+	MediaProb float64
+	// MongoMemoryProb is MongoDB's resident-working-set probability.
+	MongoMemoryProb float64
+	Connections     int
+	Network         bool
+
+	// WithWrites extends the read-only workload the paper evaluates
+	// ("we focus on the [browse] function for simplicity") with the
+	// write functionality its description mentions: composing posts,
+	// following users, and timeline reads. Ratios are relative weights;
+	// zero values take the defaults below when WithWrites is set.
+	WithWrites        bool
+	ReadPostWeight    float64 // default 0.60
+	ReadTimelineWght  float64 // default 0.20
+	ComposePostWeight float64 // default 0.15
+	FollowWeight      float64 // default 0.05
+}
+
+// snBranch appends one backend branch (service → its memcached → maybe its
+// MongoDB) to nodes, returning the updated slice and the branch's last
+// node ID. Every branch node chains toward joinID.
+type snBuilder struct {
+	nodes []graph.Node
+}
+
+func (b *snBuilder) add(n graph.Node) int {
+	n.ID = len(b.nodes)
+	b.nodes = append(b.nodes, n)
+	return n.ID
+}
+
+func (b *snBuilder) chain(from, to int) {
+	b.nodes[from].Children = append(b.nodes[from].Children, to)
+}
+
+// branch builds svc → svcmc [→ svcmongo] and returns (first, last) IDs.
+func (b *snBuilder) branch(svc string, hit bool) (first, last int) {
+	s := b.add(graph.Node{Service: svc, ServicePath: "call", Instance: -1})
+	mc := b.add(graph.Node{Service: svc + "mc", ServicePath: "memcached_read", Instance: -1})
+	b.chain(s, mc)
+	last = mc
+	if !hit {
+		mg := b.add(graph.Node{Service: svc + "mongo", Instance: -1})
+		b.chain(mc, mg)
+		last = mg
+	}
+	return s, last
+}
+
+// snTree builds one full path tree for a (userHit, postHit, media)
+// combination. media is "none", "hit", or "miss".
+func snTree(name string, weight float64, userHit, postHit bool, media string) graph.Tree {
+	b := &snBuilder{}
+	root := b.add(graph.Node{
+		Service: "frontend", ServicePath: "call", Instance: -1,
+		AcquireConn: []string{"client:frontend"},
+	})
+	uFirst, uLast := b.branch("user", userHit)
+	pFirst, pLast := b.branch("post", postHit)
+	b.chain(root, uFirst)
+	b.chain(root, pFirst)
+	// The frontend synchronizes both branches (fan-in 2).
+	join := b.add(graph.Node{Service: "frontend", ServicePath: "call", Instance: -1})
+	b.chain(uLast, join)
+	b.chain(pLast, join)
+	tail := join
+	if media != "none" {
+		mFirst, mLast := b.branch("media", media == "hit")
+		b.chain(join, mFirst)
+		// Frontend composes the final response after media resolves.
+		compose := b.add(graph.Node{Service: "frontend", ServicePath: "call", Instance: -1})
+		b.chain(mLast, compose)
+		tail = compose
+	}
+	b.nodes[tail].ReleaseConn = []string{"client:frontend"}
+	return graph.Tree{Name: name, Weight: weight, Root: root, Nodes: b.nodes}
+}
+
+// snTimelineTree builds a timeline read: frontend → timeline service →
+// its cache [→ its store] → frontend reply.
+func snTimelineTree(weight float64, hit bool) graph.Tree {
+	b := &snBuilder{}
+	root := b.add(graph.Node{
+		Service: "frontend", ServicePath: "call", Instance: -1,
+		AcquireConn: []string{"client:frontend"},
+	})
+	first, last := b.branch("timeline", hit)
+	b.chain(root, first)
+	reply := b.add(graph.Node{Service: "frontend", ServicePath: "call", Instance: -1,
+		ReleaseConn: []string{"client:frontend"}})
+	b.chain(last, reply)
+	name := "timeline-hit"
+	if !hit {
+		name = "timeline-miss"
+	}
+	return graph.Tree{Name: name, Weight: weight, Root: root, Nodes: b.nodes}
+}
+
+// snComposeTree builds a post composition: frontend → post service →
+// {cache write, store write, timeline cache update} in parallel →
+// synchronized frontend reply.
+func snComposeTree(weight float64) graph.Tree {
+	b := &snBuilder{}
+	root := b.add(graph.Node{
+		Service: "frontend", ServicePath: "call", Instance: -1,
+		AcquireConn: []string{"client:frontend"},
+	})
+	post := b.add(graph.Node{Service: "post", ServicePath: "call", Instance: -1})
+	b.chain(root, post)
+	mcW := b.add(graph.Node{Service: "postmc", ServicePath: "memcached_write", Instance: -1})
+	mongoW := b.add(graph.Node{Service: "postmongo", Instance: -1})
+	tlW := b.add(graph.Node{Service: "timelinemc", ServicePath: "memcached_write", Instance: -1})
+	b.chain(post, mcW)
+	b.chain(post, mongoW)
+	b.chain(post, tlW)
+	reply := b.add(graph.Node{Service: "frontend", ServicePath: "call", Instance: -1,
+		ReleaseConn: []string{"client:frontend"}})
+	b.chain(mcW, reply)
+	b.chain(mongoW, reply)
+	b.chain(tlW, reply)
+	return graph.Tree{Name: "compose", Weight: weight, Root: root, Nodes: b.nodes}
+}
+
+// snFollowTree builds a follow edge update: frontend → user service →
+// user store write → frontend reply.
+func snFollowTree(weight float64) graph.Tree {
+	b := &snBuilder{}
+	root := b.add(graph.Node{
+		Service: "frontend", ServicePath: "call", Instance: -1,
+		AcquireConn: []string{"client:frontend"},
+	})
+	user := b.add(graph.Node{Service: "user", ServicePath: "call", Instance: -1})
+	mongoW := b.add(graph.Node{Service: "usermongo", Instance: -1})
+	b.chain(root, user)
+	b.chain(user, mongoW)
+	reply := b.add(graph.Node{Service: "frontend", ServicePath: "call", Instance: -1,
+		ReleaseConn: []string{"client:frontend"}})
+	b.chain(mongoW, reply)
+	return graph.Tree{Name: "follow", Weight: weight, Root: root, Nodes: b.nodes}
+}
+
+// SocialNetwork assembles the Social Network application.
+func SocialNetwork(cfg SocialNetworkConfig) (*sim.Sim, error) {
+	if cfg.CacheHitProb <= 0 {
+		cfg.CacheHitProb = 0.85
+	}
+	if cfg.MediaProb <= 0 {
+		cfg.MediaProb = 0.5
+	}
+	if cfg.MongoMemoryProb <= 0 {
+		cfg.MongoMemoryProb = 0.3
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 512
+	}
+	tiers := []string{"user", "post", "media"}
+	if cfg.WithWrites {
+		tiers = append(tiers, "timeline")
+	}
+	s := sim.New(sim.Options{Seed: cfg.Seed})
+	s.AddMachine("front", 20, paperFreq())
+	for _, tier := range tiers {
+		m := s.AddMachine(tier+"m", 20, paperFreq())
+		m.AddPool(DiskPool, 2)
+	}
+	if _, err := s.Deploy(ThriftServer("frontend", 25), sim.RoundRobin,
+		sim.Placement{Machine: "front", Cores: 4}); err != nil {
+		return nil, err
+	}
+	for _, tier := range tiers {
+		mach := tier + "m"
+		if _, err := s.Deploy(ThriftServer(tier, 15), sim.RoundRobin,
+			sim.Placement{Machine: mach, Cores: 2}); err != nil {
+			return nil, err
+		}
+		if _, err := s.Deploy(withName(Memcached(), tier+"mc"), sim.RoundRobin,
+			sim.Placement{Machine: mach, Cores: 2}); err != nil {
+			return nil, err
+		}
+		if _, err := s.Deploy(withName(MongoDB(cfg.MongoMemoryProb, 8), tier+"mongo"), sim.RoundRobin,
+			sim.Placement{Machine: mach, Cores: 4}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Network {
+		if err := s.EnableNetwork(DefaultNetwork()); err != nil {
+			return nil, err
+		}
+	}
+
+	h := cfg.CacheHitProb
+	miss := 1 - h
+	readWeight := 1.0
+	if cfg.WithWrites {
+		if cfg.ReadPostWeight <= 0 {
+			cfg.ReadPostWeight = 0.60
+		}
+		if cfg.ReadTimelineWght <= 0 {
+			cfg.ReadTimelineWght = 0.20
+		}
+		if cfg.ComposePostWeight <= 0 {
+			cfg.ComposePostWeight = 0.15
+		}
+		if cfg.FollowWeight <= 0 {
+			cfg.FollowWeight = 0.05
+		}
+		readWeight = cfg.ReadPostWeight
+	}
+	var trees []graph.Tree
+	if cfg.WithWrites {
+		trees = append(trees,
+			snTimelineTree(cfg.ReadTimelineWght*h, true),
+			snTimelineTree(cfg.ReadTimelineWght*miss, false),
+			snComposeTree(cfg.ComposePostWeight),
+			snFollowTree(cfg.FollowWeight),
+		)
+	}
+	for _, u := range []struct {
+		hit bool
+		p   float64
+	}{{true, h}, {false, miss}} {
+		for _, p := range []struct {
+			hit bool
+			p   float64
+		}{{true, h}, {false, miss}} {
+			for _, m := range []struct {
+				kind string
+				p    float64
+			}{
+				{"none", 1 - cfg.MediaProb},
+				{"hit", cfg.MediaProb * h},
+				{"miss", cfg.MediaProb * miss},
+			} {
+				w := readWeight * u.p * p.p * m.p
+				if w <= 0 {
+					continue
+				}
+				name := fmt.Sprintf("u%v-p%v-m%s", u.hit, p.hit, m.kind)
+				trees = append(trees, snTree(name, w, u.hit, p.hit, m.kind))
+			}
+		}
+	}
+	topo := &graph.Topology{
+		Trees: trees,
+		Pools: []graph.ConnPool{{Name: "client:frontend", Capacity: cfg.Connections}},
+	}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern:     workload.ConstantRate(cfg.QPS),
+		SizeKB:      dist.NewExponential(2),
+		Connections: cfg.Connections,
+	})
+	return s, nil
+}

@@ -1,0 +1,141 @@
+// Package bighouse re-implements the modelling approach of BigHouse
+// (Meisner et al., ISPASS 2012), the baseline µqSim compares against in
+// Fig. 13: each application is a single-stage G/G/k queue characterized
+// only by an interarrival distribution and a service distribution. There
+// are no intra-service stages, so costs that a real event-driven server
+// amortizes across batched requests (epoll) are charged to every request —
+// the modelling error the comparison demonstrates.
+package bighouse
+
+import (
+	"fmt"
+
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/queueing"
+
+	"uqsim/internal/job"
+	"uqsim/internal/rng"
+	"uqsim/internal/stats"
+)
+
+// Config describes one BigHouse-style simulation.
+type Config struct {
+	Seed uint64
+	// Servers is k, the number of parallel servers (threads/processes).
+	Servers int
+	// Service samples the total per-request service time in ns.
+	Service dist.Sampler
+	// Interarrival samples request gaps in ns. Use dist.NewExponential
+	// (1e9/QPS) for a Poisson open loop.
+	Interarrival dist.Sampler
+}
+
+// Result reports a run's measurements.
+type Result struct {
+	Arrivals    uint64
+	Completions uint64
+	GoodputQPS  float64
+	Latency     *stats.LatencyHist
+	// Backlog is the queue length at the horizon (large beyond
+	// saturation).
+	Backlog int
+}
+
+// Run simulates the G/G/k queue for warmup+duration of virtual time,
+// measuring after warmup.
+func Run(cfg Config, warmup, duration des.Time) (*Result, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("bighouse: need at least one server")
+	}
+	if cfg.Service == nil || cfg.Interarrival == nil {
+		return nil, fmt.Errorf("bighouse: need service and interarrival distributions")
+	}
+	eng := des.New()
+	split := rng.NewSplitter(cfg.Seed)
+	arrRNG := split.Stream("arrivals")
+	svcRNG := split.Stream("service")
+	fac := job.NewFactory()
+	q := queueing.NewFIFO()
+	busy := 0
+	horizon := warmup + duration
+
+	res := &Result{Latency: stats.NewLatencyHist()}
+
+	var tryDispatch func(now des.Time)
+	complete := func(j *job.Job) func(des.Time) {
+		return func(now des.Time) {
+			busy--
+			if j.Arrived >= warmup {
+				res.Completions++
+				res.Latency.Record(now - j.Arrived)
+			}
+			tryDispatch(now)
+		}
+	}
+	tryDispatch = func(now des.Time) {
+		for busy < cfg.Servers && q.Len() > 0 {
+			j := q.Pop()
+			busy++
+			d := des.FromNanos(cfg.Service.Sample(svcRNG))
+			eng.At(now+d, complete(j))
+		}
+	}
+
+	var scheduleArrival func(from des.Time)
+	scheduleArrival = func(from des.Time) {
+		gap := des.FromNanos(cfg.Interarrival.Sample(arrRNG))
+		if gap < 1 {
+			gap = 1
+		}
+		eng.At(from+gap, func(now des.Time) {
+			j := fac.NewJob(fac.NewRequest(now))
+			j.Arrived = now
+			if now >= warmup {
+				res.Arrivals++
+			}
+			q.Push(j)
+			tryDispatch(now)
+			scheduleArrival(now)
+		})
+	}
+	scheduleArrival(0)
+	eng.RunUntil(horizon)
+
+	res.Backlog = q.Len()
+	if w := duration.Seconds(); w > 0 {
+		res.GoodputQPS = float64(res.Completions) / w
+	}
+	return res, nil
+}
+
+// SingleStageService builds the BigHouse-style collapsed service-time model
+// of a staged µqSim application: the sum of every stage's base and per-job
+// cost, charged in full to every request (no batch amortization).
+func SingleStageService(parts ...dist.Sampler) dist.Sampler {
+	flat := make([]dist.Sampler, 0, len(parts))
+	for _, p := range parts {
+		if p != nil {
+			flat = append(flat, p)
+		}
+	}
+	return sum{parts: flat}
+}
+
+type sum struct{ parts []dist.Sampler }
+
+func (s sum) Sample(r *rng.Source) float64 {
+	total := 0.0
+	for _, p := range s.parts {
+		total += p.Sample(r)
+	}
+	return total
+}
+
+func (s sum) Mean() float64 {
+	total := 0.0
+	for _, p := range s.parts {
+		total += p.Mean()
+	}
+	return total
+}

@@ -1,0 +1,105 @@
+package bighouse
+
+import (
+	"math"
+	"testing"
+
+	"uqsim/internal/analytic"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/rng"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Servers: 0}, 0, des.Second); err == nil {
+		t.Fatal("no servers should fail")
+	}
+	if _, err := Run(Config{Servers: 1}, 0, des.Second); err == nil {
+		t.Fatal("missing distributions should fail")
+	}
+}
+
+func TestMM1AgainstTheory(t *testing.T) {
+	lambda, mu := 7000.0, 10000.0
+	res, err := Run(Config{
+		Seed:         1,
+		Servers:      1,
+		Service:      dist.NewExponential(1e9 / mu),
+		Interarrival: dist.NewExponential(1e9 / lambda),
+	}, 2*des.Second, 20*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic.MM1MeanSojourn(lambda, mu)
+	got := res.Latency.Mean().Seconds()
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("M/M/1 mean %v, want ≈%v", got, want)
+	}
+}
+
+func TestMMkAgainstTheory(t *testing.T) {
+	lambda, mu, k := 30000.0, 10000.0, 4
+	res, err := Run(Config{
+		Seed:         2,
+		Servers:      k,
+		Service:      dist.NewExponential(1e9 / mu),
+		Interarrival: dist.NewExponential(1e9 / lambda),
+	}, 2*des.Second, 20*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic.MMkMeanSojourn(lambda, mu, k)
+	got := res.Latency.Mean().Seconds()
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("M/M/%d mean %v, want ≈%v", k, got, want)
+	}
+}
+
+func TestSaturationPinsAtCapacity(t *testing.T) {
+	// Offered 2× capacity: goodput ≈ kµ and backlog grows.
+	res, err := Run(Config{
+		Seed:         3,
+		Servers:      2,
+		Service:      dist.NewDeterministic(float64(100 * des.Microsecond)),
+		Interarrival: dist.NewExponential(1e9 / 40000),
+	}, 0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.GoodputQPS-20000) > 500 {
+		t.Fatalf("goodput %v, want ≈20000", res.GoodputQPS)
+	}
+	if res.Backlog < 10000 {
+		t.Fatalf("backlog %d, want large", res.Backlog)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	res, err := Run(Config{
+		Seed:         4,
+		Servers:      1,
+		Service:      dist.NewDeterministic(float64(10 * des.Microsecond)),
+		Interarrival: dist.NewDeterministic(float64(des.Millisecond)),
+	}, 500*des.Millisecond, 500*des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals < 450 || res.Arrivals > 550 {
+		t.Fatalf("measured arrivals %d, want ≈500", res.Arrivals)
+	}
+}
+
+func TestSingleStageService(t *testing.T) {
+	s := SingleStageService(
+		dist.NewDeterministic(100),
+		nil,
+		dist.NewDeterministic(50),
+	)
+	r := rng.New(5)
+	if got := s.Sample(r); got != 150 {
+		t.Fatalf("sum sample %v", got)
+	}
+	if got := s.Mean(); got != 150 {
+		t.Fatalf("sum mean %v", got)
+	}
+}

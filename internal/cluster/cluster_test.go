@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreqSpecClamp(t *testing.T) {
+	f := DefaultFreqSpec // 1200–2600 step 100
+	cases := map[float64]float64{
+		1000: 1200,
+		3000: 2600,
+		1849: 1800,
+		1851: 1900,
+		1200: 1200,
+		2600: 2600,
+	}
+	for in, want := range cases {
+		if got := f.Clamp(in); got != want {
+			t.Errorf("Clamp(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFreqSpecNoDVFS(t *testing.T) {
+	var f FreqSpec
+	if got := f.Clamp(1234); got != 1234 {
+		t.Fatalf("no-DVFS clamp changed value: %v", got)
+	}
+	if f.Levels() != nil {
+		t.Fatal("no-DVFS levels should be nil")
+	}
+}
+
+func TestFreqSpecLevels(t *testing.T) {
+	levels := DefaultFreqSpec.Levels()
+	if len(levels) != 15 {
+		t.Fatalf("levels = %d, want 15 (1200..2600 step 100)", len(levels))
+	}
+	if levels[0] != 1200 || levels[len(levels)-1] != 2600 {
+		t.Fatalf("levels range %v..%v", levels[0], levels[len(levels)-1])
+	}
+}
+
+func TestPoolAcquireRelease(t *testing.T) {
+	m := NewMachine("m0", 4, DefaultFreqSpec)
+	p := m.AddPool("disk", 2)
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("should acquire up to capacity")
+	}
+	if p.TryAcquire() {
+		t.Fatal("should fail beyond capacity")
+	}
+	if p.InUse() != 2 {
+		t.Fatalf("in use = %d", p.InUse())
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("release should free capacity")
+	}
+	if got, ok := m.Pool("disk"); !ok || got != p {
+		t.Fatal("pool lookup")
+	}
+	if _, ok := m.Pool("nope"); ok {
+		t.Fatal("missing pool lookup should fail")
+	}
+}
+
+func TestPoolReleaseIdlePanics(t *testing.T) {
+	p := &Pool{Name: "x", Capacity: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestMachineAllocation(t *testing.T) {
+	m := NewMachine("m0", 10, DefaultFreqSpec)
+	a, err := m.Allocate("nginx", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores != 8 || m.FreeCores() != 2 {
+		t.Fatalf("cores=%d free=%d", a.Cores, m.FreeCores())
+	}
+	if _, err := m.Allocate("memcached", 4); err == nil {
+		t.Fatal("over-allocation should fail")
+	}
+	if _, err := m.Allocate("memcached", 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Allocations()) != 2 {
+		t.Fatal("allocations list")
+	}
+	if _, err := m.Allocate("x", 0); err == nil {
+		t.Fatal("zero-core allocation should fail")
+	}
+}
+
+func TestAllocationFrequency(t *testing.T) {
+	m := NewMachine("m0", 4, DefaultFreqSpec)
+	a, _ := m.Allocate("svc", 2)
+	if a.Freq() != 2600 {
+		t.Fatalf("initial freq = %v, want max", a.Freq())
+	}
+	if a.SpeedFactor() != 1 {
+		t.Fatalf("nominal speed factor = %v", a.SpeedFactor())
+	}
+	got := a.SetFreq(1300)
+	if got != 1300 {
+		t.Fatalf("SetFreq → %v", got)
+	}
+	if math.Abs(a.SpeedFactor()-2.0) > 1e-12 {
+		t.Fatalf("speed factor at half freq = %v, want 2", a.SpeedFactor())
+	}
+	a.StepDown(1)
+	if a.Freq() != 1200 {
+		t.Fatalf("StepDown → %v", a.Freq())
+	}
+	a.StepDown(5)
+	if a.Freq() != 1200 {
+		t.Fatalf("StepDown below min → %v", a.Freq())
+	}
+	a.StepUp(100)
+	if a.Freq() != 2600 {
+		t.Fatalf("StepUp above max → %v", a.Freq())
+	}
+}
+
+func TestAllocationNoDVFSSpeedFactor(t *testing.T) {
+	m := NewMachine("m0", 2, FreqSpec{})
+	a, _ := m.Allocate("svc", 1)
+	if a.SpeedFactor() != 1 {
+		t.Fatalf("speed factor without DVFS = %v", a.SpeedFactor())
+	}
+}
+
+func TestClusterRegistry(t *testing.T) {
+	c := NewCluster()
+	m0 := NewMachine("m0", 4, DefaultFreqSpec)
+	m1 := NewMachine("m1", 4, DefaultFreqSpec)
+	if err := c.Add(m0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(NewMachine("m0", 2, DefaultFreqSpec)); err == nil {
+		t.Fatal("duplicate machine should fail")
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if got, ok := c.Machine("m1"); !ok || got != m1 {
+		t.Fatal("lookup m1")
+	}
+	ms := c.Machines()
+	if len(ms) != 2 || ms[0] != m0 || ms[1] != m1 {
+		t.Fatal("machines order")
+	}
+}
+
+// Property: Clamp is idempotent and always lands on the DVFS grid.
+func TestClampProperty(t *testing.T) {
+	prop := func(mhz float64) bool {
+		if math.IsNaN(mhz) || math.IsInf(mhz, 0) {
+			return true
+		}
+		f := DefaultFreqSpec
+		c := f.Clamp(mhz)
+		if c < f.MinMHz || c > f.MaxMHz {
+			return false
+		}
+		if f.Clamp(c) != c {
+			return false
+		}
+		steps := (c - f.MinMHz) / f.StepMHz
+		return math.Abs(steps-math.Round(steps)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/queueing"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+// Setup is a fully assembled simulation plus its run window.
+type Setup struct {
+	Sim      *sim.Sim
+	Warmup   des.Time
+	Duration des.Time
+}
+
+// Run executes the configured window.
+func (s *Setup) Run() (*sim.Report, error) { return s.Sim.Run(s.Warmup, s.Duration) }
+
+// LoadDir reads machines.json, service.json, graph.json, path.json, and
+// client.json from dir and assembles the simulation.
+func LoadDir(dir string) (*Setup, error) {
+	read := func(name string) ([]byte, error) {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("config: reading %s: %w", name, err)
+		}
+		return b, nil
+	}
+	machines, err := read("machines.json")
+	if err != nil {
+		return nil, err
+	}
+	services, err := read("service.json")
+	if err != nil {
+		return nil, err
+	}
+	graphB, err := read("graph.json")
+	if err != nil {
+		return nil, err
+	}
+	paths, err := read("path.json")
+	if err != nil {
+		return nil, err
+	}
+	client, err := read("client.json")
+	if err != nil {
+		return nil, err
+	}
+	return Assemble(machines, services, graphB, paths, client)
+}
+
+// Assemble builds a simulation from the five JSON documents.
+func Assemble(machinesJSON, servicesJSON, graphJSON, pathsJSON, clientJSON []byte) (*Setup, error) {
+	var mf MachinesFile
+	if err := json.Unmarshal(machinesJSON, &mf); err != nil {
+		return nil, fmt.Errorf("config: machines.json: %w", err)
+	}
+	var sf ServicesFile
+	if err := json.Unmarshal(servicesJSON, &sf); err != nil {
+		return nil, fmt.Errorf("config: service.json: %w", err)
+	}
+	var gf GraphFile
+	if err := json.Unmarshal(graphJSON, &gf); err != nil {
+		return nil, fmt.Errorf("config: graph.json: %w", err)
+	}
+	var pf PathsFile
+	if err := json.Unmarshal(pathsJSON, &pf); err != nil {
+		return nil, fmt.Errorf("config: path.json: %w", err)
+	}
+	var cf ClientFile
+	if err := json.Unmarshal(clientJSON, &cf); err != nil {
+		return nil, fmt.Errorf("config: client.json: %w", err)
+	}
+	return assemble(&mf, &sf, &gf, &pf, &cf)
+}
+
+func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, cf *ClientFile) (*Setup, error) {
+	if cf.DurationS <= 0 {
+		return nil, fmt.Errorf("config: client.json needs a positive duration_s")
+	}
+	s := sim.New(sim.Options{Seed: cf.Seed})
+
+	// Machines.
+	if len(mf.Machines) == 0 {
+		return nil, fmt.Errorf("config: machines.json declares no machines")
+	}
+	for _, ms := range mf.Machines {
+		freq := cluster.FreqSpec{}
+		if ms.Freq != nil {
+			freq = cluster.FreqSpec{MinMHz: ms.Freq.MinMHz, MaxMHz: ms.Freq.MaxMHz, StepMHz: ms.Freq.StepMHz}
+		}
+		if ms.Cores <= 0 {
+			return nil, fmt.Errorf("config: machine %q needs positive cores", ms.Name)
+		}
+		m := s.AddMachine(ms.Name, ms.Cores, freq)
+		for _, p := range ms.Pools {
+			if p.Capacity <= 0 {
+				return nil, fmt.Errorf("config: machine %q pool %q needs positive capacity", ms.Name, p.Name)
+			}
+			m.AddPool(p.Name, p.Capacity)
+		}
+	}
+
+	// Services → blueprints.
+	blueprints := make(map[string]*service.Blueprint, len(sf.Services))
+	for _, svc := range sf.Services {
+		bp, err := buildBlueprint(&svc)
+		if err != nil {
+			return nil, err
+		}
+		blueprints[bp.Name] = bp
+	}
+
+	// Deployments.
+	for _, d := range gf.Deployments {
+		bp, ok := blueprints[d.Service]
+		if !ok {
+			return nil, fmt.Errorf("config: graph.json deploys unknown service %q", d.Service)
+		}
+		var lb sim.Policy
+		switch strings.ToLower(d.LB) {
+		case "", "round_robin", "roundrobin":
+			lb = sim.RoundRobin
+		case "random":
+			lb = sim.Random
+		case "least_loaded", "leastloaded":
+			lb = sim.LeastLoaded
+		default:
+			return nil, fmt.Errorf("config: unknown lb policy %q", d.LB)
+		}
+		placements := make([]sim.Placement, 0, len(d.Instances))
+		for _, inst := range d.Instances {
+			placements = append(placements, sim.Placement{Machine: inst.Machine, Cores: inst.Cores})
+		}
+		if _, err := s.Deploy(bp, lb, placements...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Network (after machines + deployments so core accounting is clear).
+	if mf.Network != nil {
+		var perMsg dist.Sampler
+		if mf.Network.PerMsg != nil {
+			var err error
+			perMsg, err = mf.Network.PerMsg.Build()
+			if err != nil {
+				return nil, fmt.Errorf("config: network per_msg: %w", err)
+			}
+		}
+		if err := s.EnableNetwork(sim.NetworkConfig{
+			CoresPerMachine: mf.Network.CoresPerMachine,
+			PerMsg:          perMsg,
+			PerKB:           mf.Network.PerKBUs * 1000,
+			ClientTx:        mf.Network.ClientTx,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Topology.
+	topo := &graph.Topology{}
+	for _, p := range pf.Pools {
+		topo.Pools = append(topo.Pools, graph.ConnPool{Name: p.Name, Capacity: p.Capacity})
+	}
+	for _, ts := range pf.Trees {
+		tree := graph.Tree{Name: ts.Name, Weight: ts.Weight, Root: ts.Root}
+		for _, ns := range ts.Nodes {
+			inst := -1
+			if ns.Instance != nil {
+				inst = *ns.Instance
+			}
+			tree.Nodes = append(tree.Nodes, graph.Node{
+				ID:          ns.ID,
+				Service:     ns.Service,
+				ServicePath: ns.Path,
+				Instance:    inst,
+				Children:    ns.Children,
+				AcquireConn: ns.Acquire,
+				ReleaseConn: ns.Release,
+			})
+		}
+		topo.Trees = append(topo.Trees, tree)
+	}
+	if err := s.SetTopology(topo); err != nil {
+		return nil, err
+	}
+
+	// Client.
+	cc := sim.ClientConfig{
+		Connections: cf.Connections,
+		Timeout:     des.FromSeconds(cf.TimeoutMs / 1000),
+		MaxRetries:  cf.MaxRetries,
+	}
+	if cf.TimeoutMs < 0 {
+		return nil, fmt.Errorf("config: timeout_ms must be non-negative")
+	}
+	if cf.MaxRetries > 0 && cf.TimeoutMs <= 0 {
+		return nil, fmt.Errorf("config: max_retries requires timeout_ms")
+	}
+	switch strings.ToLower(cf.Process) {
+	case "", "poisson":
+		cc.Proc = workload.Poisson
+	case "uniform", "deterministic":
+		cc.Proc = workload.Uniform
+	default:
+		return nil, fmt.Errorf("config: unknown arrival process %q", cf.Process)
+	}
+	if cf.Diurnal != nil {
+		cc.Pattern = workload.Diurnal{
+			Base:      cf.Diurnal.Base,
+			Amplitude: cf.Diurnal.Amplitude,
+			Period:    des.FromSeconds(cf.Diurnal.PeriodS),
+			Floor:     cf.Diurnal.Floor,
+		}
+	} else if cf.QPS > 0 {
+		cc.Pattern = workload.ConstantRate(cf.QPS)
+	}
+	if cf.ClosedUsers > 0 {
+		cc.ClosedUsers = cf.ClosedUsers
+		if cf.Think != nil {
+			th, err := cf.Think.Build()
+			if err != nil {
+				return nil, fmt.Errorf("config: client think: %w", err)
+			}
+			cc.Think = th
+		}
+	} else if cc.Pattern == nil {
+		return nil, fmt.Errorf("config: client.json needs qps, diurnal, or closed_users")
+	}
+	if cf.SizeKB != nil {
+		sz, err := cf.SizeKB.Build()
+		if err != nil {
+			return nil, fmt.Errorf("config: client size_kb: %w", err)
+		}
+		// size_kb is dimensionless KB, but dist.Spec treats values as
+		// microseconds; undo that scale.
+		cc.SizeKB = dist.NewScaled(sz, 1.0/1000)
+	}
+	s.SetClient(cc)
+
+	return &Setup{
+		Sim:      s,
+		Warmup:   des.FromSeconds(cf.WarmupS),
+		Duration: des.FromSeconds(cf.DurationS),
+	}, nil
+}
+
+func buildBlueprint(svc *ServiceSpec) (*service.Blueprint, error) {
+	if svc.ServiceName == "" {
+		return nil, fmt.Errorf("config: service without service_name")
+	}
+	bp := &service.Blueprint{
+		Name:      svc.ServiceName,
+		Threads:   svc.Threads,
+		CtxSwitch: des.FromNanos(svc.CtxSwitchUs * 1000),
+		PathProbs: svc.PathProbs,
+	}
+	switch strings.ToLower(svc.Model) {
+	case "", "simple":
+		bp.Model = service.ModelSimple
+	case "multi-threaded", "multithreaded", "threaded":
+		bp.Model = service.ModelThreaded
+	default:
+		return nil, fmt.Errorf("config: service %s: unknown model %q", svc.ServiceName, svc.Model)
+	}
+	for _, st := range svc.Stages {
+		spec := service.StageSpec{
+			Name:       st.StageName,
+			Batching:   st.Batching,
+			PerConn:    st.QueueParameter,
+			BatchLimit: st.BatchLimit,
+			PerKB:      st.PerKBUs * 1000,
+			PoolName:   st.Pool,
+		}
+		switch strings.ToLower(st.QueueType) {
+		case "", "single":
+			spec.Queue = queueing.KindSingle
+		case "epoll":
+			spec.Queue = queueing.KindEpoll
+		case "socket":
+			spec.Queue = queueing.KindSocket
+		default:
+			return nil, fmt.Errorf("config: service %s stage %s: unknown queue_type %q",
+				svc.ServiceName, st.StageName, st.QueueType)
+		}
+		if st.Base != nil {
+			b, err := st.Base.Build()
+			if err != nil {
+				return nil, fmt.Errorf("config: service %s stage %s base: %w", svc.ServiceName, st.StageName, err)
+			}
+			spec.Base = b
+		}
+		if st.PerJob != nil {
+			p, err := st.PerJob.Build()
+			if err != nil {
+				return nil, fmt.Errorf("config: service %s stage %s per_job: %w", svc.ServiceName, st.StageName, err)
+			}
+			spec.PerJob = p
+		}
+		bp.Stages = append(bp.Stages, spec)
+	}
+	for _, p := range svc.Paths {
+		bp.Paths = append(bp.Paths, service.PathSpec{Name: p.PathName, Stages: p.Stages})
+	}
+	if err := bp.Validate(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return bp, nil
+}

@@ -1,0 +1,177 @@
+// Package config is µqSim's declarative front-end, mirroring the paper's
+// Table I inputs:
+//
+//	machines.json  — servers, cores, DVFS ranges, auxiliary pools, network
+//	service.json   — internal architecture of each microservice
+//	graph.json     — microservice deployment (instances → machines)
+//	path.json      — inter-microservice path trees and connection pools
+//	client.json    — input load pattern
+//
+// Processing-time histograms (the paper's sixth input) are embedded in the
+// service.json stage specs via dist.Spec's "histogram" type.
+package config
+
+import (
+	"uqsim/internal/dist"
+)
+
+// MachinesFile is the machines.json schema.
+type MachinesFile struct {
+	Machines []MachineSpec `json:"machines"`
+	// Network optionally enables per-machine interrupt processing.
+	Network *NetworkSpec `json:"network,omitempty"`
+}
+
+// MachineSpec declares one server.
+type MachineSpec struct {
+	Name  string     `json:"name"`
+	Cores int        `json:"cores"`
+	Freq  *FreqSpec  `json:"freq,omitempty"`
+	Pools []PoolSpec `json:"pools,omitempty"`
+}
+
+// FreqSpec is a DVFS range in MHz.
+type FreqSpec struct {
+	MinMHz  float64 `json:"min_mhz"`
+	MaxMHz  float64 `json:"max_mhz"`
+	StepMHz float64 `json:"step_mhz"`
+}
+
+// PoolSpec declares an auxiliary machine resource (e.g. disk spindles).
+type PoolSpec struct {
+	Name     string `json:"name"`
+	Capacity int    `json:"capacity"`
+}
+
+// NetworkSpec configures the shared interrupt-processing service.
+type NetworkSpec struct {
+	CoresPerMachine int        `json:"cores_per_machine"`
+	PerMsg          *dist.Spec `json:"per_msg,omitempty"`
+	PerKBUs         float64    `json:"per_kb_us,omitempty"`
+	ClientTx        bool       `json:"client_tx,omitempty"`
+}
+
+// ServicesFile is the service.json schema.
+type ServicesFile struct {
+	Services []ServiceSpec `json:"services"`
+}
+
+// ServiceSpec mirrors the paper's Listing 1 plus the execution model.
+type ServiceSpec struct {
+	ServiceName string      `json:"service_name"`
+	Model       string      `json:"model,omitempty"` // "simple" (default) or "multi-threaded"
+	Threads     int         `json:"threads,omitempty"`
+	CtxSwitchUs float64     `json:"ctx_switch_us,omitempty"`
+	Stages      []StageSpec `json:"stages"`
+	Paths       []PathSpec  `json:"paths"`
+	PathProbs   []float64   `json:"path_probs,omitempty"`
+}
+
+// StageSpec describes one execution stage.
+type StageSpec struct {
+	StageName string `json:"stage_name"`
+	// QueueType: "single" (default), "epoll", or "socket".
+	QueueType string `json:"queue_type,omitempty"`
+	Batching  bool   `json:"batching,omitempty"`
+	// QueueParameter is the per-connection batch bound N of
+	// epoll/socket queues (the paper's "queue_parameter").
+	QueueParameter int `json:"queue_parameter,omitempty"`
+	BatchLimit     int `json:"batch_limit,omitempty"`
+
+	Base    *dist.Spec `json:"base,omitempty"`
+	PerJob  *dist.Spec `json:"per_job,omitempty"`
+	PerKBUs float64    `json:"per_kb_us,omitempty"`
+	// Pool executes the stage against a named machine pool (blocking
+	// I/O) instead of a core.
+	Pool string `json:"pool,omitempty"`
+}
+
+// PathSpec is an execution path through stage indices.
+type PathSpec struct {
+	PathName string `json:"path_name"`
+	Stages   []int  `json:"stages"`
+}
+
+// GraphFile is the graph.json schema: where services run.
+type GraphFile struct {
+	Deployments []DeploymentSpec `json:"deployments"`
+}
+
+// DeploymentSpec maps a service's instances onto machines.
+type DeploymentSpec struct {
+	Service string `json:"service"`
+	// LB: "round_robin" (default), "random", or "least_loaded".
+	LB        string         `json:"lb,omitempty"`
+	Instances []InstanceSpec `json:"instances"`
+}
+
+// InstanceSpec is one instance placement.
+type InstanceSpec struct {
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores"`
+}
+
+// PathsFile is the path.json schema: inter-service trees + pools.
+type PathsFile struct {
+	Pools []ConnPoolSpec `json:"pools,omitempty"`
+	Trees []TreeSpec     `json:"trees"`
+}
+
+// ConnPoolSpec declares a connection pool.
+type ConnPoolSpec struct {
+	Name     string `json:"name"`
+	Capacity int    `json:"capacity"`
+}
+
+// TreeSpec is one weighted inter-microservice path tree.
+type TreeSpec struct {
+	Name   string     `json:"name"`
+	Weight float64    `json:"weight"`
+	Root   int        `json:"root"`
+	Nodes  []NodeSpec `json:"nodes"`
+}
+
+// NodeSpec is one path node.
+type NodeSpec struct {
+	ID       int      `json:"id"`
+	Service  string   `json:"service"`
+	Path     string   `json:"path,omitempty"`
+	Instance *int     `json:"instance,omitempty"` // nil → load-balance
+	Children []int    `json:"children,omitempty"`
+	Acquire  []string `json:"acquire,omitempty"`
+	Release  []string `json:"release,omitempty"`
+}
+
+// ClientFile is the client.json schema.
+type ClientFile struct {
+	Seed uint64 `json:"seed,omitempty"`
+	// QPS sets a constant open-loop rate; Diurnal overrides it.
+	QPS     float64      `json:"qps,omitempty"`
+	Diurnal *DiurnalSpec `json:"diurnal,omitempty"`
+	// Process: "poisson" (default) or "uniform".
+	Process     string `json:"process,omitempty"`
+	Connections int    `json:"connections,omitempty"`
+	// SizeKB samples the request payload size. The spec's duration
+	// fields are read as KB: {"type":"exponential","mean_us":1} means
+	// exponentially distributed sizes with mean 1 KB.
+	SizeKB *dist.Spec `json:"size_kb,omitempty"`
+	// ClosedUsers switches to a closed-loop client.
+	ClosedUsers int        `json:"closed_users,omitempty"`
+	Think       *dist.Spec `json:"think,omitempty"`
+
+	// TimeoutMs makes the client give up on requests older than this
+	// (0: infinite patience); MaxRetries re-issues timed-out requests.
+	TimeoutMs  float64 `json:"timeout_ms,omitempty"`
+	MaxRetries int     `json:"max_retries,omitempty"`
+
+	WarmupS   float64 `json:"warmup_s,omitempty"`
+	DurationS float64 `json:"duration_s"`
+}
+
+// DiurnalSpec is a sinusoidal load pattern.
+type DiurnalSpec struct {
+	Base      float64 `json:"base"`
+	Amplitude float64 `json:"amplitude"`
+	PeriodS   float64 `json:"period_s"`
+	Floor     float64 `json:"floor,omitempty"`
+}

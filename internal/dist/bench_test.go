@@ -1,0 +1,35 @@
+package dist
+
+import (
+	"testing"
+
+	"uqsim/internal/rng"
+)
+
+func benchSampler(b *testing.B, s Sampler) {
+	b.Helper()
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(r)
+	}
+}
+
+func BenchmarkExponentialSample(b *testing.B) { benchSampler(b, NewExponential(1000)) }
+func BenchmarkErlangSample(b *testing.B)      { benchSampler(b, NewErlang(4, 1000)) }
+func BenchmarkLogNormalSample(b *testing.B)   { benchSampler(b, LogNormalFromMoments(1000, 500)) }
+func BenchmarkHyperExpSample(b *testing.B)    { benchSampler(b, NewHyperExp(0.9, 500, 5000)) }
+
+func BenchmarkEmpiricalSample(b *testing.B) {
+	r := rng.New(2)
+	src := NewExponential(1000)
+	raw := make([]float64, 10000)
+	for i := range raw {
+		raw[i] = src.Sample(r)
+	}
+	e, err := FromSamples(raw, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSampler(b, e)
+}

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"uqsim/internal/rng"
+)
+
+// Empirical samples from a profiled histogram — the paper's mechanism for
+// feeding measured processing-time PDFs into the simulator (Table I,
+// "histograms: processing time PDF per microservice").
+//
+// The histogram is a set of bins [Edges[i], Edges[i+1]) with observation
+// counts; sampling picks a bin proportionally to its count and then draws
+// uniformly within the bin, i.e. the piecewise-linear inverse-CDF estimate.
+type Empirical struct {
+	edges []float64 // len n+1, strictly increasing
+	cum   []float64 // len n, cumulative normalized counts
+	mean  float64
+}
+
+// NewEmpirical builds a histogram sampler from bin edges (len n+1,
+// strictly increasing) and counts (len n, non-negative, positive sum).
+func NewEmpirical(edges []float64, counts []float64) (*Empirical, error) {
+	if len(edges) < 2 || len(counts) != len(edges)-1 {
+		return nil, fmt.Errorf("dist: empirical needs n+1 edges for n counts (got %d edges, %d counts)", len(edges), len(counts))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("dist: empirical edges must be strictly increasing (edge %d)", i)
+		}
+	}
+	total := 0.0
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("dist: empirical count %d is negative", i)
+		}
+		total += c
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("dist: empirical histogram is empty")
+	}
+	e := &Empirical{
+		edges: append([]float64(nil), edges...),
+		cum:   make([]float64, len(counts)),
+	}
+	acc := 0.0
+	mean := 0.0
+	for i, c := range counts {
+		p := c / total
+		acc += p
+		e.cum[i] = acc
+		mean += p * (edges[i] + edges[i+1]) / 2
+	}
+	e.cum[len(e.cum)-1] = 1
+	e.mean = mean
+	return e, nil
+}
+
+// FromSamples builds an Empirical from raw observations using equal-count
+// (quantile) bins, mirroring how profiled timestamps become a histogram.
+func FromSamples(samples []float64, bins int) (*Empirical, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("dist: need at least 2 samples")
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("dist: need at least 1 bin")
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if bins > len(sorted)-1 {
+		bins = len(sorted) - 1
+	}
+	edges := make([]float64, 0, bins+1)
+	counts := make([]float64, 0, bins)
+	prev := sorted[0]
+	edges = append(edges, prev)
+	for i := 1; i <= bins; i++ {
+		idx := i * (len(sorted) - 1) / bins
+		edge := sorted[idx]
+		if edge <= prev {
+			continue // collapse duplicate quantiles
+		}
+		edges = append(edges, edge)
+		counts = append(counts, float64(idx*(len(sorted)-1)/bins))
+		prev = edge
+	}
+	if len(edges) < 2 {
+		// All samples identical: widen artificially so the sampler works.
+		edges = []float64{sorted[0], sorted[0] + 1}
+		counts = []float64{1}
+	} else {
+		// Recompute counts as actual per-bin tallies.
+		counts = make([]float64, len(edges)-1)
+		for _, s := range sorted {
+			i := sort.SearchFloat64s(edges, s)
+			if i > 0 {
+				i--
+			}
+			if i >= len(counts) {
+				i = len(counts) - 1
+			}
+			counts[i]++
+		}
+	}
+	return NewEmpirical(edges, counts)
+}
+
+func (e *Empirical) Sample(r *rng.Source) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(e.cum, u)
+	if i >= len(e.cum) {
+		i = len(e.cum) - 1
+	}
+	lo, hi := e.edges[i], e.edges[i+1]
+	return lo + r.Float64()*(hi-lo)
+}
+
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Bins reports the number of histogram bins.
+func (e *Empirical) Bins() int { return len(e.cum) }
+
+// Support reports the histogram's [min, max) range.
+func (e *Empirical) Support() (lo, hi float64) { return e.edges[0], e.edges[len(e.edges)-1] }

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"uqsim/internal/rng"
+)
+
+// FreqTable maps CPU frequencies (MHz) to processing-time samplers,
+// mirroring the paper's per-DVFS-setting histograms: "to simulate the
+// impact of power management, we adjust the processing time of each
+// execution stage as frequency changes by providing histograms
+// corresponding to different frequencies."
+//
+// Lookups at a frequency without an explicit entry fall back to scaling the
+// nominal sampler by nominalMHz/f — the standard linear CPU-bound model.
+type FreqTable struct {
+	nominalMHz float64
+	nominal    Sampler
+	entries    map[int]Sampler // key: MHz
+	keys       []int           // sorted MHz keys
+}
+
+// NewFreqTable creates a table whose fallback behaviour scales the nominal
+// sampler (calibrated at nominalMHz) linearly with frequency.
+func NewFreqTable(nominalMHz float64, nominal Sampler) *FreqTable {
+	if nominalMHz <= 0 {
+		panic("dist: nominal frequency must be positive")
+	}
+	if nominal == nil {
+		panic("dist: nominal sampler must not be nil")
+	}
+	return &FreqTable{
+		nominalMHz: nominalMHz,
+		nominal:    nominal,
+		entries:    make(map[int]Sampler),
+	}
+}
+
+// Set registers an explicit sampler for the given frequency.
+func (t *FreqTable) Set(mhz int, s Sampler) {
+	if s == nil {
+		panic("dist: nil sampler in freq table")
+	}
+	if _, ok := t.entries[mhz]; !ok {
+		t.keys = append(t.keys, mhz)
+		sort.Ints(t.keys)
+	}
+	t.entries[mhz] = s
+}
+
+// At returns the sampler for frequency mhz: the exact entry if present,
+// otherwise the frequency-scaled nominal sampler.
+func (t *FreqTable) At(mhz float64) Sampler {
+	if s, ok := t.entries[int(mhz)]; ok {
+		return s
+	}
+	if mhz <= 0 {
+		panic(fmt.Sprintf("dist: freq table lookup at non-positive frequency %v", mhz))
+	}
+	if mhz == t.nominalMHz {
+		return t.nominal
+	}
+	return Scaled{Base: t.nominal, Factor: t.nominalMHz / mhz}
+}
+
+// SampleAt draws one processing time at the given frequency.
+func (t *FreqTable) SampleAt(mhz float64, r *rng.Source) float64 {
+	return t.At(mhz).Sample(r)
+}
+
+// Nominal reports the nominal sampler and its calibration frequency.
+func (t *FreqTable) Nominal() (Sampler, float64) { return t.nominal, t.nominalMHz }
+
+// Frequencies reports the explicitly registered frequencies, ascending.
+func (t *FreqTable) Frequencies() []int { return append([]int(nil), t.keys...) }

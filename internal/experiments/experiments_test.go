@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("Demo", "a", "long_column", "c")
+	tb.Note = "a note"
+	tb.Add("1", "2", "3")
+	tb.Add("wide-cell", "x", "y")
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") || !strings.Contains(s, "a note") {
+		t.Fatalf("missing title/note:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, note, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("line count %d:\n%s", len(lines), s)
+	}
+	// Header and rows align: same prefix widths.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("separator not aligned with header:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.Add("1,5", `say "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestOptsScaling(t *testing.T) {
+	o := Opts{Scale: 0}
+	if o.scale() != 1 {
+		t.Fatal("zero scale should clamp to 1")
+	}
+	o = Opts{Scale: 0.25}
+	w, d := o.window(1000, 4000)
+	// Clamped to floors.
+	if w < 1 || d < 1 {
+		t.Fatal("window must stay positive")
+	}
+	loads := o.thin([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if len(loads) < 2 || loads[0] != 1 || loads[len(loads)-1] != 8 {
+		t.Fatalf("thinned %v must keep endpoints", loads)
+	}
+	full := Opts{Scale: 1}
+	if got := full.thin([]float64{1, 2, 3}); len(got) != 3 {
+		t.Fatal("scale 1 should not thin")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := grid(10, 50, 10)
+	if len(g) != 5 || g[0] != 10 || g[4] != 50 {
+		t.Fatalf("grid %v", g)
+	}
+}
+
+func TestRegistryNamesAndUnknown(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Fatal("names length")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+	if _, err := Run("nope", Opts{}); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+// smoke runs an experiment at tiny scale and sanity-checks the table.
+func smoke(t *testing.T, id string) *Table {
+	t.Helper()
+	tb, err := Run(id, Opts{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("%s: ragged row %v", id, row)
+		}
+	}
+	return tb
+}
+
+func TestFig5Smoke(t *testing.T) {
+	tb := smoke(t, "fig5")
+	// Four configurations appear.
+	labels := map[string]bool{}
+	for _, r := range tb.Rows {
+		labels[r[0]] = true
+	}
+	if len(labels) != 4 {
+		t.Fatalf("configs %v", labels)
+	}
+}
+
+func TestFig6Smoke(t *testing.T)  { smoke(t, "fig6") }
+func TestFig10Smoke(t *testing.T) { smoke(t, "fig10") }
+
+func TestFig8Smoke(t *testing.T) {
+	tb := smoke(t, "fig8")
+	labels := map[string]bool{}
+	for _, r := range tb.Rows {
+		labels[r[0]] = true
+	}
+	for _, want := range []string{"scaleout-4", "scaleout-8", "scaleout-16"} {
+		if !labels[want] {
+			t.Fatalf("missing %s in %v", want, labels)
+		}
+	}
+}
+
+func TestFig12aSmoke(t *testing.T) { smoke(t, "fig12a") }
+func TestFig12bSmoke(t *testing.T) { smoke(t, "fig12b") }
+
+func TestFig13SmokeShowsBothSimulators(t *testing.T) {
+	tb := smoke(t, "fig13")
+	sims := map[string]bool{}
+	for _, r := range tb.Rows {
+		sims[r[1]] = true
+	}
+	if !sims["uqsim"] || !sims["bighouse"] {
+		t.Fatalf("simulators %v", sims)
+	}
+}
+
+func TestFig14SmokeAnalyticColumn(t *testing.T) {
+	tb := smoke(t, "fig14")
+	for _, r := range tb.Rows {
+		if r[1] == "0.00" {
+			// No slow servers: measured p99 should be within ~2× of
+			// the analytic zero-load value.
+			got, err1 := strconv.ParseFloat(r[2], 64)
+			ref, err2 := strconv.ParseFloat(r[3], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("unparseable row %v", r)
+			}
+			if got < ref*0.5 || got > ref*2.5 {
+				t.Fatalf("p99 %v vs analytic %v (row %v)", got, ref, r)
+			}
+		}
+	}
+}
+
+func TestFig15Smoke(t *testing.T)  { smoke(t, "fig15") }
+func TestFig16Smoke(t *testing.T)  { smoke(t, "fig16") }
+func TestTable3Smoke(t *testing.T) { smoke(t, "table3") }
+
+func TestAblationBatchingSmoke(t *testing.T) {
+	tb := smoke(t, "ablation-batching")
+	batched, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	unbatched, _ := strconv.ParseFloat(tb.Rows[1][1], 64)
+	if batched <= unbatched {
+		t.Fatalf("batching should raise capacity: %v vs %v", batched, unbatched)
+	}
+}
+
+func TestAblationNetprocSmoke(t *testing.T) {
+	tb := smoke(t, "ablation-netproc")
+	// At 16 servers the netproc-less variant should have higher capacity.
+	for _, r := range tb.Rows {
+		if r[0] == "16" {
+			with, _ := strconv.ParseFloat(r[1], 64)
+			without, _ := strconv.ParseFloat(r[2], 64)
+			if without <= with {
+				t.Fatalf("16-way: netproc should bind capacity (%v vs %v)", with, without)
+			}
+		}
+	}
+}
+
+func TestAblationBlockingSmoke(t *testing.T) {
+	tb := smoke(t, "ablation-blocking")
+	blockedInFlight, _ := strconv.Atoi(tb.Rows[0][3])
+	openInFlight, _ := strconv.Atoi(tb.Rows[1][3])
+	if openInFlight <= blockedInFlight {
+		t.Fatalf("without pools in-flight should explode: %d vs %d",
+			blockedInFlight, openInFlight)
+	}
+}
+
+func TestAblationLBSmoke(t *testing.T) { smoke(t, "ablation-lb") }
+
+func TestValidationSmoke(t *testing.T) {
+	tb := smoke(t, "validation")
+	fails := 0
+	for _, r := range tb.Rows {
+		if r[5] == "FAIL" {
+			fails++
+		}
+	}
+	// Short smoke windows are noisy; just ensure most checks pass.
+	if fails > len(tb.Rows)/3 {
+		t.Fatalf("%d of %d validation checks failed at smoke scale", fails, len(tb.Rows))
+	}
+}
+
+func TestExtTimeoutsSmoke(t *testing.T) {
+	tb := smoke(t, "ext-timeouts")
+	// The timeout clients must record timeouts at the overloaded points.
+	sawTimeouts := false
+	for _, r := range tb.Rows {
+		if r[0] != "patient" && r[4] != "0.0%" {
+			sawTimeouts = true
+		}
+		if r[0] == "patient" && r[4] != "0.0%" {
+			t.Fatalf("patient client cannot time out: %v", r)
+		}
+	}
+	if !sawTimeouts {
+		t.Fatal("timeout clients never timed out under overload")
+	}
+}
+
+func TestScalabilitySmoke(t *testing.T) {
+	tb := smoke(t, "scalability")
+	if len(tb.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[5] == "0" {
+			t.Fatalf("zero event rate in %v", r)
+		}
+	}
+}
+
+func TestExtCacheSmoke(t *testing.T) {
+	tb := smoke(t, "ext-cache")
+	prev := -1.0
+	for _, r := range tb.Rows {
+		hit, err := strconv.ParseFloat(r[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit < prev-0.02 {
+			t.Fatalf("hit ratio should grow with cache size: %v", tb.Rows)
+		}
+		prev = hit
+	}
+}

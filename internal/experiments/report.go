@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"uqsim/internal/sim"
+)
+
+// ReportTables renders a simulation report as summary, per-tier, and
+// per-instance tables — shared by the CLI tools.
+func ReportTables(rep *sim.Report) []*Table {
+	sum := NewTable("Run summary",
+		"offered_qps", "goodput_qps", "completions", "timeouts",
+		"mean_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "in_flight")
+	sum.Add(
+		fmt.Sprintf("%.0f", rep.OfferedQPS),
+		fmt.Sprintf("%.0f", rep.GoodputQPS),
+		fmt.Sprintf("%d", rep.Completions),
+		fmt.Sprintf("%d", rep.Timeouts),
+		fmt.Sprintf("%.3f", rep.Latency.Mean().Millis()),
+		fmt.Sprintf("%.3f", rep.Latency.P50().Millis()),
+		fmt.Sprintf("%.3f", rep.Latency.P95().Millis()),
+		fmt.Sprintf("%.3f", rep.Latency.P99().Millis()),
+		fmt.Sprintf("%.3f", rep.Latency.P999().Millis()),
+		fmt.Sprintf("%d", rep.InFlight),
+	)
+
+	tiers := NewTable("Per-tier residence latency", "tier", "requests", "mean_ms", "p99_ms")
+	names := make([]string, 0, len(rep.PerTier))
+	for name := range rep.PerTier {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := rep.PerTier[name]
+		tiers.Add(name,
+			fmt.Sprintf("%d", h.Count()),
+			fmt.Sprintf("%.3f", h.Mean().Millis()),
+			fmt.Sprintf("%.3f", h.P99().Millis()))
+	}
+
+	insts := NewTable("Instances",
+		"instance", "service", "machine", "cores", "util", "completed", "qlen")
+	for _, ir := range rep.Instances {
+		insts.Add(ir.Name, ir.Service, ir.Machine,
+			fmt.Sprintf("%d", ir.Cores),
+			fmt.Sprintf("%.2f", ir.Utilization),
+			fmt.Sprintf("%d", ir.Completed),
+			fmt.Sprintf("%d", ir.QueueLen))
+	}
+	return []*Table{sum, tiers, insts}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+func TestReportTables(t *testing.T) {
+	s := sim.New(sim.Options{Seed: 2})
+	s.AddMachine("m0", 4, cluster.FreqSpec{})
+	if _, err := s.Deploy(service.SingleStage("svc", dist.NewDeterministic(float64(100*des.Microsecond))),
+		sim.RoundRobin, sim.Placement{Machine: "m0", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTopology(graph.Linear("main", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(sim.ClientConfig{Pattern: workload.ConstantRate(1000)})
+	rep, err := s.Run(0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := ReportTables(rep)
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	sum, tiers, insts := tables[0], tables[1], tables[2]
+	if len(sum.Rows) != 1 {
+		t.Fatal("summary should have one row")
+	}
+	joined := sum.String()
+	for _, col := range []string{"goodput_qps", "timeouts", "p99_ms"} {
+		if !strings.Contains(joined, col) {
+			t.Fatalf("summary missing %s:\n%s", col, joined)
+		}
+	}
+	if len(tiers.Rows) != 1 || tiers.Rows[0][0] != "svc" {
+		t.Fatalf("tier rows %v", tiers.Rows)
+	}
+	if len(insts.Rows) != 1 || insts.Rows[0][0] != "svc-0" {
+		t.Fatalf("instance rows %v", insts.Rows)
+	}
+	// CSV renders without error and with matching row counts.
+	if got := strings.Count(sum.CSV(), "\n"); got != 2 {
+		t.Fatalf("summary csv lines %d", got)
+	}
+}

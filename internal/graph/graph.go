@@ -1,0 +1,296 @@
+// Package graph describes the inter-microservice model of µqSim: trees of
+// path nodes that requests traverse across microservices (the paper's
+// path.json), including:
+//
+//   - fan-out: a node with several children sends a copy of the job to
+//     each child's microservice;
+//   - synchronization (fan-in): a node with several parents starts only
+//     after every parent's job has completed;
+//   - blocking: nodes acquire and release connection tokens from named
+//     connection pools, expressing http/1.1 one-outstanding-request
+//     semantics, finite connection pools, and similar back-pressure.
+//
+// The package is purely descriptive; the sim package executes topologies.
+package graph
+
+import (
+	"fmt"
+)
+
+// Node is one step of an inter-microservice path tree.
+type Node struct {
+	// ID is the node's index within its tree.
+	ID int
+	// Service names the microservice deployment the node executes on.
+	Service string
+	// ServicePath names the execution path inside the service ("" =
+	// the service's first path).
+	ServicePath string
+	// Instance pins the node to a specific instance of the service
+	// (index into the deployment's instance list); -1 load-balances.
+	Instance int
+	// Children lists node IDs that receive a copy of the job after
+	// this node completes.
+	Children []int
+	// AcquireConn lists connection pools from which a token must be
+	// held before the node's job may enter its service. Tokens are held
+	// until released by a node listing the pool in ReleaseConn.
+	AcquireConn []string
+	// ReleaseConn lists connection pools whose token (held by this
+	// request) is released when this node's job completes.
+	ReleaseConn []string
+	// BranchKey, when non-empty, makes the node's children a runtime
+	// decision: the simulator consults the brancher registered under
+	// this key to select WHICH children receive the job (e.g. a cache
+	// model deciding hit vs miss). Branch children must have this node
+	// as their only parent and pairwise-disjoint subtrees, so pruned
+	// branches can be accounted exactly. When an upstream node acquired
+	// a connection token, every branch alternative must release it
+	// (e.g. each alternative ends in its own reply node carrying the
+	// ReleaseConn) — otherwise the unselected alternative's release
+	// never runs and the token leaks.
+	BranchKey string
+}
+
+// Tree is one inter-microservice path: a rooted tree of nodes, selected
+// with probability proportional to Weight when a request arrives.
+type Tree struct {
+	Name   string
+	Weight float64
+	Root   int
+	Nodes  []Node
+
+	parents     [][]int
+	leaves      []int
+	leavesUnder [][]int
+}
+
+// Validate checks structural invariants and computes parent/leaf indices.
+// It must be called (directly or via Topology.Validate) before Parents or
+// Leaves.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("graph: tree %q has no nodes", t.Name)
+	}
+	if t.Weight < 0 {
+		return fmt.Errorf("graph: tree %q has negative weight", t.Name)
+	}
+	if t.Root < 0 || t.Root >= len(t.Nodes) {
+		return fmt.Errorf("graph: tree %q root %d out of range", t.Name, t.Root)
+	}
+	t.parents = make([][]int, len(t.Nodes))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.ID != i {
+			return fmt.Errorf("graph: tree %q node %d has ID %d (must equal index)", t.Name, i, n.ID)
+		}
+		if n.Service == "" {
+			return fmt.Errorf("graph: tree %q node %d has no service", t.Name, i)
+		}
+		seen := make(map[int]bool)
+		for _, c := range n.Children {
+			if c < 0 || c >= len(t.Nodes) {
+				return fmt.Errorf("graph: tree %q node %d child %d out of range", t.Name, i, c)
+			}
+			if c == i {
+				return fmt.Errorf("graph: tree %q node %d is its own child", t.Name, i)
+			}
+			if seen[c] {
+				return fmt.Errorf("graph: tree %q node %d lists child %d twice", t.Name, i, c)
+			}
+			seen[c] = true
+			t.parents[c] = append(t.parents[c], i)
+		}
+	}
+	if len(t.parents[t.Root]) != 0 {
+		return fmt.Errorf("graph: tree %q root %d has parents", t.Name, t.Root)
+	}
+	// Reachability + acyclicity from the root (DAG check via coloring).
+	state := make([]int, len(t.Nodes)) // 0 unseen, 1 in-stack, 2 done
+	var visit func(int) error
+	visit = func(id int) error {
+		switch state[id] {
+		case 1:
+			return fmt.Errorf("graph: tree %q has a cycle through node %d", t.Name, id)
+		case 2:
+			return nil
+		}
+		state[id] = 1
+		for _, c := range t.Nodes[id].Children {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		state[id] = 2
+		return nil
+	}
+	if err := visit(t.Root); err != nil {
+		return err
+	}
+	t.leaves = nil
+	for i := range t.Nodes {
+		if state[i] == 0 {
+			return fmt.Errorf("graph: tree %q node %d unreachable from root", t.Name, i)
+		}
+		if len(t.Nodes[i].Children) == 0 {
+			t.leaves = append(t.leaves, i)
+		}
+	}
+	t.computeLeavesUnder()
+	// Branch nodes need exactly-pruneable subtrees: each child has only
+	// this node as parent, and child subtrees are pairwise disjoint.
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.BranchKey == "" {
+			continue
+		}
+		if len(n.Children) < 2 {
+			return fmt.Errorf("graph: tree %q branch node %d needs at least 2 children", t.Name, i)
+		}
+		seen := make(map[int]int)
+		for _, c := range n.Children {
+			if len(t.parents[c]) != 1 {
+				return fmt.Errorf("graph: tree %q branch node %d child %d must have a single parent",
+					t.Name, i, c)
+			}
+			for _, leaf := range t.leavesUnder[c] {
+				if prev, dup := seen[leaf]; dup {
+					return fmt.Errorf("graph: tree %q branch node %d children %d and %d share leaf %d",
+						t.Name, i, prev, c, leaf)
+				}
+				seen[leaf] = c
+			}
+		}
+	}
+	return nil
+}
+
+// computeLeavesUnder fills leavesUnder[i] with the leaf IDs reachable from
+// node i (memoized DFS; the tree is already known acyclic).
+func (t *Tree) computeLeavesUnder() {
+	t.leavesUnder = make([][]int, len(t.Nodes))
+	done := make([]bool, len(t.Nodes))
+	var visit func(int) []int
+	visit = func(id int) []int {
+		if done[id] {
+			return t.leavesUnder[id]
+		}
+		done[id] = true
+		if len(t.Nodes[id].Children) == 0 {
+			t.leavesUnder[id] = []int{id}
+			return t.leavesUnder[id]
+		}
+		set := map[int]bool{}
+		for _, c := range t.Nodes[id].Children {
+			for _, leaf := range visit(c) {
+				set[leaf] = true
+			}
+		}
+		out := make([]int, 0, len(set))
+		for leaf := range set {
+			out = append(out, leaf)
+		}
+		t.leavesUnder[id] = out
+		return out
+	}
+	visit(t.Root)
+}
+
+// LeavesUnder reports the leaf node IDs reachable from node id.
+func (t *Tree) LeavesUnder(id int) []int { return t.leavesUnder[id] }
+
+// Parents reports the parent node IDs of node id (fan-in set).
+func (t *Tree) Parents(id int) []int { return t.parents[id] }
+
+// Leaves reports the IDs of nodes with no children; the request completes
+// when all leaf jobs have completed.
+func (t *Tree) Leaves() []int { return t.leaves }
+
+// FanIn reports how many parent completions node id waits for.
+func (t *Tree) FanIn(id int) int {
+	n := len(t.parents[id])
+	if n == 0 {
+		return 1 // root: triggered by request arrival
+	}
+	return n
+}
+
+// ConnPool declares a connection pool between tiers: Capacity tokens, each
+// token representing one connection that admits one outstanding request at
+// a time (http/1.1 semantics).
+type ConnPool struct {
+	Name     string
+	Capacity int
+}
+
+// Topology is the complete inter-microservice description: the weighted
+// path trees plus the connection pools they reference.
+type Topology struct {
+	Trees []Tree
+	Pools []ConnPool
+}
+
+// Validate checks every tree and pool, and that all referenced pools exist.
+func (tp *Topology) Validate() error {
+	if len(tp.Trees) == 0 {
+		return fmt.Errorf("graph: topology has no trees")
+	}
+	pools := make(map[string]bool)
+	for _, p := range tp.Pools {
+		if p.Name == "" {
+			return fmt.Errorf("graph: pool with empty name")
+		}
+		if p.Capacity < 1 {
+			return fmt.Errorf("graph: pool %q needs positive capacity", p.Name)
+		}
+		if pools[p.Name] {
+			return fmt.Errorf("graph: duplicate pool %q", p.Name)
+		}
+		pools[p.Name] = true
+	}
+	totalWeight := 0.0
+	for i := range tp.Trees {
+		t := &tp.Trees[i]
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		totalWeight += t.Weight
+		for j := range t.Nodes {
+			for _, ref := range append(append([]string{}, t.Nodes[j].AcquireConn...), t.Nodes[j].ReleaseConn...) {
+				if !pools[ref] {
+					return fmt.Errorf("graph: tree %q node %d references unknown pool %q",
+						t.Name, j, ref)
+				}
+			}
+		}
+	}
+	if totalWeight <= 0 {
+		return fmt.Errorf("graph: tree weights must sum to a positive value")
+	}
+	return nil
+}
+
+// Weights reports the trees' selection weights in order.
+func (tp *Topology) Weights() []float64 {
+	w := make([]float64, len(tp.Trees))
+	for i := range tp.Trees {
+		w[i] = tp.Trees[i].Weight
+	}
+	return w
+}
+
+// Linear builds the common special case of a pipeline topology: a single
+// tree visiting the given services in sequence, with no pools. Weight 1.
+func Linear(name string, services ...string) *Topology {
+	if len(services) == 0 {
+		panic("graph: Linear needs at least one service")
+	}
+	nodes := make([]Node, len(services))
+	for i, s := range services {
+		nodes[i] = Node{ID: i, Service: s, Instance: -1}
+		if i+1 < len(services) {
+			nodes[i].Children = []int{i + 1}
+		}
+	}
+	return &Topology{Trees: []Tree{{Name: name, Weight: 1, Root: 0, Nodes: nodes}}}
+}

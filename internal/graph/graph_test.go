@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func chainTree(name string, services ...string) Tree {
+	nodes := make([]Node, len(services))
+	for i, s := range services {
+		nodes[i] = Node{ID: i, Service: s, Instance: -1}
+		if i+1 < len(services) {
+			nodes[i].Children = []int{i + 1}
+		}
+	}
+	return Tree{Name: name, Weight: 1, Root: 0, Nodes: nodes}
+}
+
+func TestTreeValidateChain(t *testing.T) {
+	tr := chainTree("c", "a", "b", "c")
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Leaves(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("leaves = %v", got)
+	}
+	if got := tr.Parents(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("parents(1) = %v", got)
+	}
+	if tr.FanIn(0) != 1 || tr.FanIn(1) != 1 {
+		t.Fatal("fanin of chain nodes should be 1")
+	}
+}
+
+func TestTreeValidateFanoutFanin(t *testing.T) {
+	// proxy → {s1, s2, s3} → join
+	tr := Tree{
+		Name: "fanout", Weight: 1, Root: 0,
+		Nodes: []Node{
+			{ID: 0, Service: "proxy", Children: []int{1, 2, 3}},
+			{ID: 1, Service: "s", Instance: 0, Children: []int{4}},
+			{ID: 2, Service: "s", Instance: 1, Children: []int{4}},
+			{ID: 3, Service: "s", Instance: 2, Children: []int{4}},
+			{ID: 4, Service: "proxy"},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.FanIn(4) != 3 {
+		t.Fatalf("fanin(join) = %d, want 3", tr.FanIn(4))
+	}
+	p := append([]int(nil), tr.Parents(4)...)
+	sort.Ints(p)
+	if len(p) != 3 || p[0] != 1 || p[2] != 3 {
+		t.Fatalf("parents(4) = %v", p)
+	}
+	if got := tr.Leaves(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("leaves = %v", got)
+	}
+}
+
+func TestTreeValidateErrors(t *testing.T) {
+	cases := []Tree{
+		{Name: "empty"},
+		{Name: "badroot", Root: 5, Nodes: []Node{{ID: 0, Service: "a"}}},
+		{Name: "badid", Nodes: []Node{{ID: 1, Service: "a"}}},
+		{Name: "nosvc", Nodes: []Node{{ID: 0}}},
+		{Name: "badchild", Nodes: []Node{{ID: 0, Service: "a", Children: []int{7}}}},
+		{Name: "selfchild", Nodes: []Node{{ID: 0, Service: "a", Children: []int{0}}}},
+		{Name: "dupchild", Nodes: []Node{
+			{ID: 0, Service: "a", Children: []int{1, 1}},
+			{ID: 1, Service: "b"},
+		}},
+		{Name: "negweight", Weight: -1, Nodes: []Node{{ID: 0, Service: "a"}}},
+		{Name: "rootparent", Root: 0, Nodes: []Node{
+			{ID: 0, Service: "a", Children: []int{1}},
+			{ID: 1, Service: "b", Children: []int{0}},
+		}},
+		{Name: "cycle", Root: 0, Nodes: []Node{
+			{ID: 0, Service: "a", Children: []int{1}},
+			{ID: 1, Service: "b", Children: []int{2}},
+			{ID: 2, Service: "c", Children: []int{1}},
+		}},
+		{Name: "unreachable", Root: 0, Nodes: []Node{
+			{ID: 0, Service: "a"},
+			{ID: 1, Service: "b"},
+		}},
+	}
+	for _, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("tree %q: expected validation error", tr.Name)
+		}
+	}
+}
+
+func TestDiamondSharedChildAllowed(t *testing.T) {
+	// a → {b, c} → d : d has two parents (fan-in join), valid.
+	tr := Tree{
+		Name: "diamond", Weight: 1, Root: 0,
+		Nodes: []Node{
+			{ID: 0, Service: "a", Children: []int{1, 2}},
+			{ID: 1, Service: "b", Children: []int{3}},
+			{ID: 2, Service: "c", Children: []int{3}},
+			{ID: 3, Service: "d"},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.FanIn(3) != 2 {
+		t.Fatalf("fanin = %d", tr.FanIn(3))
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	tp := &Topology{
+		Trees: []Tree{chainTree("main", "nginx", "memcached")},
+		Pools: []ConnPool{{Name: "client:nginx", Capacity: 320}},
+	}
+	tp.Trees[0].Nodes[0].AcquireConn = []string{"client:nginx"}
+	tp.Trees[0].Nodes[1].ReleaseConn = []string{"client:nginx"}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w := tp.Weights(); len(w) != 1 || w[0] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestTopologyValidateErrors(t *testing.T) {
+	base := chainTree("main", "a")
+	cases := []*Topology{
+		{},
+		{Trees: []Tree{base}, Pools: []ConnPool{{Name: "", Capacity: 1}}},
+		{Trees: []Tree{base}, Pools: []ConnPool{{Name: "p", Capacity: 0}}},
+		{Trees: []Tree{base}, Pools: []ConnPool{{Name: "p", Capacity: 1}, {Name: "p", Capacity: 2}}},
+	}
+	for i, tp := range cases {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Unknown pool reference.
+	tr := chainTree("main", "a")
+	tr.Nodes[0].AcquireConn = []string{"ghost"}
+	if err := (&Topology{Trees: []Tree{tr}}).Validate(); err == nil {
+		t.Error("unknown pool should fail")
+	}
+	// Zero total weight.
+	zw := chainTree("main", "a")
+	zw.Weight = 0
+	if err := (&Topology{Trees: []Tree{zw}}).Validate(); err == nil {
+		t.Error("zero total weight should fail")
+	}
+}
+
+func TestProbabilisticTrees(t *testing.T) {
+	hit := chainTree("hit", "nginx", "memcached")
+	hit.Weight = 0.7
+	miss := chainTree("miss", "nginx", "memcached", "mongodb")
+	miss.Weight = 0.3
+	tp := &Topology{Trees: []Tree{hit, miss}}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := tp.Weights()
+	if w[0] != 0.7 || w[1] != 0.3 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestLinearBuilder(t *testing.T) {
+	tp := Linear("pipeline", "a", "b", "c")
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := &tp.Trees[0]
+	if len(tr.Nodes) != 3 || tr.Nodes[0].Children[0] != 1 || tr.Nodes[1].Children[0] != 2 {
+		t.Fatal("linear structure wrong")
+	}
+	if tr.Nodes[0].Instance != -1 {
+		t.Fatal("linear nodes should load-balance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Linear should panic")
+		}
+	}()
+	Linear("x")
+}
+
+func TestLeavesUnder(t *testing.T) {
+	tr := Tree{
+		Name: "fan", Weight: 1, Root: 0,
+		Nodes: []Node{
+			{ID: 0, Service: "root", Children: []int{1, 2}},
+			{ID: 1, Service: "a", Children: []int{3}},
+			{ID: 2, Service: "b"},
+			{ID: 3, Service: "c"},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := append([]int(nil), tr.LeavesUnder(0)...)
+	sort.Ints(root)
+	if len(root) != 2 || root[0] != 2 || root[1] != 3 {
+		t.Fatalf("leaves under root = %v", root)
+	}
+	if got := tr.LeavesUnder(1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("leaves under 1 = %v", got)
+	}
+	if got := tr.LeavesUnder(2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("leaves under 2 = %v", got)
+	}
+}
+
+func TestBranchNodeValidation(t *testing.T) {
+	// Valid branch: two disjoint single-parent subtrees.
+	ok := Tree{
+		Name: "ok", Weight: 1, Root: 0,
+		Nodes: []Node{
+			{ID: 0, Service: "front", Children: []int{1, 2}, BranchKey: "k"},
+			{ID: 1, Service: "hit"},
+			{ID: 2, Service: "miss", Children: []int{3}},
+			{ID: 3, Service: "tx"},
+		},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid branch rejected: %v", err)
+	}
+	// One child only.
+	single := Tree{
+		Name: "single", Weight: 1, Root: 0,
+		Nodes: []Node{
+			{ID: 0, Service: "front", Children: []int{1}, BranchKey: "k"},
+			{ID: 1, Service: "a"},
+		},
+	}
+	if err := single.Validate(); err == nil {
+		t.Fatal("single-child branch should fail")
+	}
+	// Children converging on a shared join leaf.
+	shared := Tree{
+		Name: "shared", Weight: 1, Root: 0,
+		Nodes: []Node{
+			{ID: 0, Service: "front", Children: []int{1, 2}, BranchKey: "k"},
+			{ID: 1, Service: "a", Children: []int{3}},
+			{ID: 2, Service: "b", Children: []int{3}},
+			{ID: 3, Service: "join"},
+		},
+	}
+	if err := shared.Validate(); err == nil {
+		t.Fatal("shared-leaf branch should fail")
+	}
+	// Branch child with a second parent outside the branch.
+	twoParents := Tree{
+		Name: "twoparents", Weight: 1, Root: 0,
+		Nodes: []Node{
+			{ID: 0, Service: "root", Children: []int{1, 3}},
+			{ID: 1, Service: "front", Children: []int{2, 4}, BranchKey: "k"},
+			{ID: 2, Service: "a"},
+			{ID: 3, Service: "other", Children: []int{4}},
+			{ID: 4, Service: "b"},
+		},
+	}
+	if err := twoParents.Validate(); err == nil {
+		t.Fatal("multi-parent branch child should fail")
+	}
+}

@@ -1,0 +1,125 @@
+// Package job defines the units of work flowing through the simulator.
+//
+// A Request is one end-to-end user request (what the client measures); a Job
+// is the request's visit to one inter-microservice path node, i.e. the unit
+// a single microservice instance queues and processes. Fan-out clones a
+// job per child node; fan-in joins them back (tracked by the sim package).
+package job
+
+import (
+	"uqsim/internal/des"
+)
+
+// ID identifies requests and jobs uniquely within a run.
+type ID uint64
+
+// Request is an end-to-end user request.
+type Request struct {
+	ID      ID
+	Arrival des.Time // when the client issued it
+	Finish  des.Time // when the last leaf job completed (0 while in flight)
+	Class   int      // inter-service path choice (e.g. read vs write)
+	SizeKB  float64  // payload size, drives per-byte stage costs
+	Conn    int      // client connection the request arrived on
+
+	// LeavesRemaining counts path-tree leaves not yet completed; the
+	// request finishes when it reaches zero.
+	LeavesRemaining int
+
+	// TimedOut marks a request whose client gave up waiting; the
+	// server-side work still completes (and still holds resources),
+	// matching real systems under timeout storms.
+	TimedOut bool
+	// Attempt is 0 for the original request, k for its k-th retry.
+	Attempt int
+
+	// TierLatency accumulates per-tier residence time (queueing +
+	// service) keyed by service name, consumed by the power manager.
+	TierLatency map[string]des.Time
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.Finish != 0 }
+
+// Latency reports end-to-end latency; 0 while in flight.
+func (r *Request) Latency() des.Time {
+	if !r.Done() {
+		return 0
+	}
+	return r.Finish - r.Arrival
+}
+
+// AddTierLatency accrues residence time against the named tier.
+func (r *Request) AddTierLatency(tier string, d des.Time) {
+	if r.TierLatency == nil {
+		r.TierLatency = make(map[string]des.Time)
+	}
+	r.TierLatency[tier] += d
+}
+
+// Job is one request's visit to one path node / microservice instance.
+type Job struct {
+	ID  ID
+	Req *Request
+
+	// NodeID is the inter-service path-tree node this job executes.
+	NodeID int
+	// PathID selects the execution path inside the target microservice.
+	PathID int
+	// Conn classifies the job into an epoll/socket subqueue.
+	Conn int
+	// SizeKB drives per-byte costs (socket_read time ∝ bytes).
+	SizeKB float64
+	// Machine records which machine the job's instance runs on, set at
+	// routing time; "" means the job came from the external client.
+	Machine string
+	// Instance records the instance that executed the job, set at
+	// routing time (used by tracing).
+	Instance string
+
+	Enqueued des.Time // entry into the current stage queue
+	Arrived  des.Time // entry into the service (first stage)
+	Started  des.Time // first moment a worker picked it up
+	Finished des.Time // completion of the service-local path
+
+	// StageIdx is the job's progress through its execution path
+	// (index into the path's stage list), maintained by the service
+	// runtime.
+	StageIdx int
+}
+
+// Factory allocates request and job IDs.
+type Factory struct {
+	nextReq ID
+	nextJob ID
+}
+
+// NewFactory returns an ID factory starting at 1 (0 is reserved "no id").
+func NewFactory() *Factory { return &Factory{nextReq: 1, nextJob: 1} }
+
+// NewRequest creates a request arriving at the given time.
+func (f *Factory) NewRequest(arrival des.Time) *Request {
+	r := &Request{ID: f.nextReq, Arrival: arrival}
+	f.nextReq++
+	return r
+}
+
+// NewJob creates a job belonging to req.
+func (f *Factory) NewJob(req *Request) *Job {
+	j := &Job{ID: f.nextJob, Req: req}
+	f.nextJob++
+	if req != nil {
+		j.SizeKB = req.SizeKB
+		j.Conn = req.Conn
+	}
+	return j
+}
+
+// Clone creates a fan-out copy of j for another path node, sharing the
+// parent request but with a fresh job identity and reset progress.
+func (f *Factory) Clone(j *Job) *Job {
+	c := f.NewJob(j.Req)
+	c.Conn = j.Conn
+	c.SizeKB = j.SizeKB
+	return c
+}

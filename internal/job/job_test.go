@@ -1,0 +1,99 @@
+package job
+
+import (
+	"testing"
+
+	"uqsim/internal/des"
+)
+
+func TestFactoryIDsUnique(t *testing.T) {
+	f := NewFactory()
+	seen := make(map[ID]bool)
+	for i := 0; i < 100; i++ {
+		r := f.NewRequest(0)
+		j := f.NewJob(r)
+		if r.ID == 0 || j.ID == 0 {
+			t.Fatal("IDs must start at 1")
+		}
+		if seen[r.ID] {
+			t.Fatal("duplicate request ID")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestRequestLifecycle(t *testing.T) {
+	f := NewFactory()
+	r := f.NewRequest(10 * des.Millisecond)
+	if r.Done() {
+		t.Fatal("new request should not be done")
+	}
+	if r.Latency() != 0 {
+		t.Fatal("in-flight latency should be 0")
+	}
+	r.Finish = 15 * des.Millisecond
+	if !r.Done() {
+		t.Fatal("should be done")
+	}
+	if r.Latency() != 5*des.Millisecond {
+		t.Fatalf("latency = %v", r.Latency())
+	}
+}
+
+func TestRequestTierLatency(t *testing.T) {
+	f := NewFactory()
+	r := f.NewRequest(0)
+	r.AddTierLatency("nginx", 2*des.Millisecond)
+	r.AddTierLatency("nginx", 1*des.Millisecond)
+	r.AddTierLatency("memcached", 500*des.Microsecond)
+	if r.TierLatency["nginx"] != 3*des.Millisecond {
+		t.Fatalf("nginx tier = %v", r.TierLatency["nginx"])
+	}
+	if r.TierLatency["memcached"] != 500*des.Microsecond {
+		t.Fatalf("memcached tier = %v", r.TierLatency["memcached"])
+	}
+}
+
+func TestNewJobInheritsRequestAttrs(t *testing.T) {
+	f := NewFactory()
+	r := f.NewRequest(0)
+	r.SizeKB = 4.5
+	r.Conn = 17
+	j := f.NewJob(r)
+	if j.SizeKB != 4.5 || j.Conn != 17 {
+		t.Fatal("job should inherit request size and connection")
+	}
+	if j.Req != r {
+		t.Fatal("job should reference its request")
+	}
+}
+
+func TestCloneSharesRequestFreshIdentity(t *testing.T) {
+	f := NewFactory()
+	r := f.NewRequest(0)
+	j := f.NewJob(r)
+	j.Conn = 3
+	j.SizeKB = 2
+	j.StageIdx = 5
+	c := f.Clone(j)
+	if c.ID == j.ID {
+		t.Fatal("clone must have a new ID")
+	}
+	if c.Req != r {
+		t.Fatal("clone must share the request")
+	}
+	if c.Conn != 3 || c.SizeKB != 2 {
+		t.Fatal("clone should copy conn and size")
+	}
+	if c.StageIdx != 0 {
+		t.Fatal("clone progress must reset")
+	}
+}
+
+func TestNewJobNilRequest(t *testing.T) {
+	f := NewFactory()
+	j := f.NewJob(nil)
+	if j.Req != nil || j.ID == 0 {
+		t.Fatal("nil-request job should work for substrate tests")
+	}
+}

@@ -1,0 +1,137 @@
+// Package monitor samples live simulation state on a fixed virtual-time
+// cadence: per-instance queue lengths, in-flight counts, and core
+// utilization. It is the observability companion to the trace package —
+// traces explain individual slow requests, the monitor shows where queues
+// build up over time (the back-pressure and cascading-hotspot effects the
+// paper's power-management study worries about).
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"uqsim/internal/des"
+	"uqsim/internal/service"
+	"uqsim/internal/stats"
+)
+
+// Target is anything the monitor can sample. service.Instance satisfies it.
+type Target interface {
+	QueueLen() int
+	InFlight() int
+	Utilization(now des.Time) float64
+}
+
+var _ Target = (*service.Instance)(nil)
+
+// Series holds the sampled time series of one target.
+type Series struct {
+	Name     string
+	QueueLen *stats.TimeSeries
+	InFlight *stats.TimeSeries
+	// Util is the cumulative mean utilization at each sample time.
+	Util *stats.TimeSeries
+}
+
+// Monitor drives periodic sampling on a DES engine.
+type Monitor struct {
+	eng      *des.Engine
+	interval des.Time
+	targets  []Target
+	series   []*Series
+	started  bool
+	samples  int
+}
+
+// New creates a monitor sampling every interval of virtual time.
+func New(eng *des.Engine, interval des.Time) *Monitor {
+	if interval <= 0 {
+		panic("monitor: interval must be positive")
+	}
+	return &Monitor{eng: eng, interval: interval}
+}
+
+// Watch registers a target under a display name. Must be called before
+// Start.
+func (m *Monitor) Watch(name string, t Target) *Series {
+	if m.started {
+		panic("monitor: Watch after Start")
+	}
+	s := &Series{
+		Name:     name,
+		QueueLen: stats.NewTimeSeries(name + ".qlen"),
+		InFlight: stats.NewTimeSeries(name + ".inflight"),
+		Util:     stats.NewTimeSeries(name + ".util"),
+	}
+	m.targets = append(m.targets, t)
+	m.series = append(m.series, s)
+	return s
+}
+
+// Start schedules the first sample one interval from now.
+func (m *Monitor) Start() {
+	m.started = true
+	m.eng.After(m.interval, m.sample)
+}
+
+func (m *Monitor) sample(now des.Time) {
+	m.samples++
+	for i, t := range m.targets {
+		s := m.series[i]
+		s.QueueLen.Record(now, float64(t.QueueLen()))
+		s.InFlight.Record(now, float64(t.InFlight()))
+		s.Util.Record(now, t.Utilization(now))
+	}
+	m.eng.After(m.interval, m.sample)
+}
+
+// Samples reports how many sampling rounds have run.
+func (m *Monitor) Samples() int { return m.samples }
+
+// Series returns the registered series in Watch order.
+func (m *Monitor) AllSeries() []*Series { return m.series }
+
+// PeakQueueLen reports the maximum sampled queue length per target.
+func (m *Monitor) PeakQueueLen() map[string]float64 {
+	out := make(map[string]float64, len(m.series))
+	for _, s := range m.series {
+		peak := 0.0
+		for _, p := range s.QueueLen.Points() {
+			if p.V > peak {
+				peak = p.V
+			}
+		}
+		out[s.Name] = peak
+	}
+	return out
+}
+
+// CSV renders all series as one CSV document (t_s, then one column per
+// target per metric).
+func (m *Monitor) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_s")
+	for _, s := range m.series {
+		fmt.Fprintf(&b, ",%s_qlen,%s_inflight,%s_util", s.Name, s.Name, s.Name)
+	}
+	b.WriteByte('\n')
+	if len(m.series) == 0 {
+		return b.String()
+	}
+	n := m.series[0].QueueLen.Len()
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%.3f", m.series[0].QueueLen.Points()[i].T.Seconds())
+		for _, s := range m.series {
+			if i < s.QueueLen.Len() {
+				fmt.Fprintf(&b, ",%.0f,%.0f,%.3f",
+					s.QueueLen.Points()[i].V,
+					s.InFlight.Points()[i].V,
+					s.Util.Points()[i].V)
+			} else {
+				b.WriteString(",,,")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

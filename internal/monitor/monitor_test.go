@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+func buildMonitored(t *testing.T, qps float64) (*sim.Sim, *Monitor) {
+	t.Helper()
+	s := sim.New(sim.Options{Seed: 4})
+	s.AddMachine("m0", 8, cluster.FreqSpec{})
+	dep, err := s.Deploy(service.SingleStage("svc", dist.NewDeterministic(float64(100*des.Microsecond))),
+		sim.RoundRobin, sim.Placement{Machine: "m0", Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTopology(graph.Linear("main", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(sim.ClientConfig{Pattern: workload.ConstantRate(qps)})
+	m := New(s.Engine(), 10*des.Millisecond)
+	m.Watch("svc-0", dep.Instances[0])
+	m.Start()
+	return s, m
+}
+
+func TestMonitorSamplesOnCadence(t *testing.T) {
+	s, m := buildMonitored(t, 1000)
+	if _, err := s.Run(0, des.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Samples() < 99 || m.Samples() > 101 {
+		t.Fatalf("samples = %d, want ≈100", m.Samples())
+	}
+	series := m.AllSeries()[0]
+	if series.QueueLen.Len() != m.Samples() {
+		t.Fatal("queue series length mismatch")
+	}
+	// Under light load the queue stays empty and utilization ≈0.1.
+	if peak := m.PeakQueueLen()["svc-0"]; peak > 3 {
+		t.Fatalf("peak queue %v at light load", peak)
+	}
+	last := series.Util.Points()[series.Util.Len()-1]
+	if last.V < 0.05 || last.V > 0.15 {
+		t.Fatalf("utilization %v, want ≈0.1", last.V)
+	}
+}
+
+func TestMonitorSeesOverloadBacklog(t *testing.T) {
+	s, m := buildMonitored(t, 20000) // 2× capacity
+	if _, err := s.Run(0, des.Second); err != nil {
+		t.Fatal(err)
+	}
+	if peak := m.PeakQueueLen()["svc-0"]; peak < 1000 {
+		t.Fatalf("peak queue %v under overload, want large", peak)
+	}
+}
+
+func TestMonitorCSV(t *testing.T) {
+	s, m := buildMonitored(t, 1000)
+	if _, err := s.Run(0, 50*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	csv := m.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "t_s,svc-0_qlen,svc-0_inflight,svc-0_util" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != m.Samples()+1 {
+		t.Fatalf("csv rows %d for %d samples", len(lines)-1, m.Samples())
+	}
+}
+
+func TestMonitorEmptyCSV(t *testing.T) {
+	m := New(des.New(), des.Second)
+	if got := m.CSV(); got != "t_s\n" {
+		t.Fatalf("empty csv %q", got)
+	}
+}
+
+func TestMonitorGuards(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero interval should panic")
+			}
+		}()
+		New(des.New(), 0)
+	}()
+	m := New(des.New(), des.Second)
+	m.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("Watch after Start should panic")
+		}
+	}()
+	m.Watch("late", nil)
+}

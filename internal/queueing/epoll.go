@@ -1,0 +1,192 @@
+package queueing
+
+import (
+	"uqsim/internal/job"
+)
+
+// connQueue is one per-connection subqueue, kept in arrival order.
+type connQueue struct {
+	conn  int
+	items []*job.Job
+}
+
+// Epoll models the epoll stage queue: jobs are classified into subqueues by
+// connection, and one PopBatch drains the first PerConn jobs of every
+// active subqueue — the simulator analogue of epoll_wait returning all
+// ready events at once. The batch cost amortization this enables is the key
+// modelling difference from single-queue simulators (paper §IV-E).
+type Epoll struct {
+	// PerConn bounds jobs taken per connection per batch (the paper's
+	// "queue parameter" N); <= 0 means all queued jobs per connection.
+	PerConn int
+
+	subs  map[int]*connQueue
+	order []int // active connections in first-activation order
+	total int
+}
+
+// NewEpoll returns an epoll queue taking up to perConn jobs per connection
+// per batch (<= 0: unbounded).
+func NewEpoll(perConn int) *Epoll {
+	return &Epoll{PerConn: perConn, subs: make(map[int]*connQueue)}
+}
+
+func (q *Epoll) Push(j *job.Job) {
+	sub, ok := q.subs[j.Conn]
+	if !ok {
+		sub = &connQueue{conn: j.Conn}
+		q.subs[j.Conn] = sub
+		q.order = append(q.order, j.Conn)
+	}
+	sub.items = append(sub.items, j)
+	q.total++
+}
+
+// PopBatch returns the first PerConn jobs of each active subqueue, in
+// connection-activation order, overall bounded by max (<=0: unbounded).
+func (q *Epoll) PopBatch(max int) []*job.Job {
+	if q.total == 0 {
+		return nil
+	}
+	var batch []*job.Job
+	newOrder := make([]int, 0, len(q.order))
+	for i, conn := range q.order {
+		if max > 0 && len(batch) >= max {
+			newOrder = append(newOrder, q.order[i:]...)
+			break
+		}
+		sub := q.subs[conn]
+		take := len(sub.items)
+		if q.PerConn > 0 && take > q.PerConn {
+			take = q.PerConn
+		}
+		if max > 0 && len(batch)+take > max {
+			take = max - len(batch)
+		}
+		if take > 0 {
+			batch = append(batch, sub.items[:take]...)
+			sub.items = sub.items[take:]
+			q.total -= take
+		}
+		if len(sub.items) == 0 {
+			delete(q.subs, conn)
+		} else {
+			newOrder = append(newOrder, conn)
+		}
+	}
+	q.order = newOrder
+	return batch
+}
+
+func (q *Epoll) Len() int { return q.total }
+
+func (q *Epoll) Peek() *job.Job {
+	for _, conn := range q.order {
+		if sub, ok := q.subs[conn]; ok && len(sub.items) > 0 {
+			return sub.items[0]
+		}
+	}
+	return nil
+}
+
+// ActiveConnections reports how many connections currently have queued jobs.
+func (q *Epoll) ActiveConnections() int { return len(q.subs) }
+
+// Socket models the socket_read stage queue: per-connection subqueues, but a
+// batch drains up to PerConn jobs from a single ready connection,
+// round-robining across connections on successive pops.
+type Socket struct {
+	// PerConn bounds jobs per batch (<= 0: whole connection).
+	PerConn int
+
+	subs  map[int]*connQueue
+	order []int
+	next  int // round-robin cursor into order
+	total int
+}
+
+// NewSocket returns a socket queue draining up to perConn jobs from one
+// connection per batch (<= 0: entire connection backlog).
+func NewSocket(perConn int) *Socket {
+	return &Socket{PerConn: perConn, subs: make(map[int]*connQueue)}
+}
+
+func (q *Socket) Push(j *job.Job) {
+	sub, ok := q.subs[j.Conn]
+	if !ok {
+		sub = &connQueue{conn: j.Conn}
+		q.subs[j.Conn] = sub
+		q.order = append(q.order, j.Conn)
+	}
+	sub.items = append(sub.items, j)
+	q.total++
+}
+
+func (q *Socket) PopBatch(max int) []*job.Job {
+	if q.total == 0 {
+		return nil
+	}
+	if q.next >= len(q.order) {
+		q.next = 0
+	}
+	conn := q.order[q.next]
+	sub := q.subs[conn]
+	take := len(sub.items)
+	if q.PerConn > 0 && take > q.PerConn {
+		take = q.PerConn
+	}
+	if max > 0 && take > max {
+		take = max
+	}
+	batch := make([]*job.Job, take)
+	copy(batch, sub.items[:take])
+	sub.items = sub.items[take:]
+	q.total -= take
+	if len(sub.items) == 0 {
+		delete(q.subs, conn)
+		q.order = append(q.order[:q.next], q.order[q.next+1:]...)
+		// cursor now points at the following connection already
+	} else {
+		q.next++
+	}
+	return batch
+}
+
+func (q *Socket) Len() int { return q.total }
+
+func (q *Socket) Peek() *job.Job {
+	if q.total == 0 {
+		return nil
+	}
+	idx := q.next
+	if idx >= len(q.order) {
+		idx = 0
+	}
+	return q.subs[q.order[idx]].items[0]
+}
+
+// ActiveConnections reports how many connections currently have queued jobs.
+func (q *Socket) ActiveConnections() int { return len(q.subs) }
+
+// Kind names a queue discipline in configs.
+type Kind string
+
+// Queue disciplines, matching the paper's service.json "queue_type" values.
+const (
+	KindSingle Kind = "single"
+	KindEpoll  Kind = "epoll"
+	KindSocket Kind = "socket"
+)
+
+// New constructs a queue of the given kind. perConn is the per-connection
+// batch parameter for epoll/socket (ignored for single).
+func New(kind Kind, perConn int) Queue {
+	switch kind {
+	case KindEpoll:
+		return NewEpoll(perConn)
+	case KindSocket:
+		return NewSocket(perConn)
+	default:
+		return NewFIFO()
+	}
+}

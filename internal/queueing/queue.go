@@ -1,0 +1,89 @@
+// Package queueing implements the stage job queues of µqSim's
+// intra-microservice model. Each execution stage is a queue–consumer pair;
+// the queue's discipline decides how jobs are grouped into batches when a
+// worker becomes available:
+//
+//   - FIFO ("single"): plain first-in-first-out, one or many jobs at a time.
+//   - Epoll: jobs are classified into per-connection subqueues; a batch
+//     returns the first N jobs of each active subqueue, modelling an
+//     epoll_wait that reports all ready connections at once.
+//   - Socket ("socket_read"): per-connection subqueues; a batch returns up
+//     to N jobs from a single ready connection, round-robining across
+//     connections on successive pops.
+package queueing
+
+import (
+	"uqsim/internal/job"
+)
+
+// Queue is a stage's job queue.
+type Queue interface {
+	// Push enqueues a job.
+	Push(j *job.Job)
+	// PopBatch removes and returns the next batch according to the
+	// queue's discipline. max bounds the batch size; max <= 0 means the
+	// discipline's natural/unbounded batch. Returns nil when empty.
+	PopBatch(max int) []*job.Job
+	// Len reports the number of queued jobs.
+	Len() int
+	// Peek returns the job that would lead the next batch without
+	// removing it, or nil when empty.
+	Peek() *job.Job
+}
+
+// FIFO is the "single" queue type: one global FIFO.
+type FIFO struct {
+	items []*job.Job
+	head  int
+}
+
+// NewFIFO returns an empty FIFO queue.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+func (q *FIFO) Push(j *job.Job) {
+	q.items = append(q.items, j)
+}
+
+func (q *FIFO) PopBatch(max int) []*job.Job {
+	n := q.Len()
+	if n == 0 {
+		return nil
+	}
+	if max <= 0 || max > n {
+		max = n
+	}
+	batch := make([]*job.Job, max)
+	copy(batch, q.items[q.head:q.head+max])
+	q.head += max
+	q.compact()
+	return batch
+}
+
+// Pop removes and returns the single oldest job, or nil when empty.
+func (q *FIFO) Pop() *job.Job {
+	b := q.PopBatch(1)
+	if len(b) == 0 {
+		return nil
+	}
+	return b[0]
+}
+
+func (q *FIFO) Len() int { return len(q.items) - q.head }
+
+func (q *FIFO) Peek() *job.Job {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+func (q *FIFO) compact() {
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	if q.Len() == 0 {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}

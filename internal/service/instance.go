@@ -1,0 +1,396 @@
+package service
+
+import (
+	"fmt"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/job"
+	"uqsim/internal/queueing"
+	"uqsim/internal/rng"
+	"uqsim/internal/stats"
+)
+
+// Instance is one deployed copy of a microservice blueprint, pinned to a
+// core allocation on a machine, processing jobs on a DES engine.
+type Instance struct {
+	BP    *Blueprint
+	Name  string
+	Alloc *cluster.Allocation
+
+	eng *des.Engine
+	r   *rng.Source
+
+	queues []queueing.Queue
+
+	// Simple-model + threaded-model core accounting.
+	busyCores int
+
+	// pumpPending coalesces same-instant dispatch attempts.
+	pumpPending bool
+
+	// Threaded-model state.
+	idleThreads int
+	threadQ     *queueing.FIFO // jobs waiting for a thread
+	coreQ       *queueing.FIFO // jobs (holding threads) waiting for a core
+	poolQ       map[string]*queueing.FIFO
+
+	// OnJobDone fires when a job completes its service-local path. Set
+	// by the sim layer to route the job to downstream path nodes.
+	OnJobDone func(now des.Time, j *job.Job)
+
+	// Metrics.
+	arrived    uint64
+	completed  uint64
+	inFlight   int
+	residence  *stats.LatencyHist
+	stageWait  []*stats.LatencyHist
+	busyNsAcc  float64
+	lastChange des.Time
+}
+
+// NewInstance deploys bp as name on the given allocation and engine, with a
+// dedicated random stream. The blueprint must validate.
+func NewInstance(eng *des.Engine, bp *Blueprint, name string, alloc *cluster.Allocation, r *rng.Source) (*Instance, error) {
+	if err := bp.Validate(); err != nil {
+		return nil, err
+	}
+	if alloc == nil || alloc.Cores < 1 {
+		return nil, fmt.Errorf("service %s: needs a core allocation", name)
+	}
+	in := &Instance{
+		BP:        bp,
+		Name:      name,
+		Alloc:     alloc,
+		eng:       eng,
+		r:         r,
+		residence: stats.NewLatencyHist(),
+	}
+	in.queues = make([]queueing.Queue, len(bp.Stages))
+	in.stageWait = make([]*stats.LatencyHist, len(bp.Stages))
+	for i, s := range bp.Stages {
+		in.queues[i] = queueing.New(s.Queue, s.PerConn)
+		in.stageWait[i] = stats.NewLatencyHist()
+	}
+	if bp.Model == ModelThreaded {
+		in.idleThreads = bp.Threads
+		in.threadQ = queueing.NewFIFO()
+		in.coreQ = queueing.NewFIFO()
+		in.poolQ = make(map[string]*queueing.FIFO)
+	}
+	return in, nil
+}
+
+// Enqueue admits a job into the instance. The job's PathID selects the
+// execution path; out-of-range paths panic (a wiring bug, not load).
+func (in *Instance) Enqueue(now des.Time, j *job.Job) {
+	if j.PathID < 0 || j.PathID >= len(in.BP.Paths) {
+		panic(fmt.Sprintf("service %s: job %d has path %d of %d",
+			in.Name, j.ID, j.PathID, len(in.BP.Paths)))
+	}
+	in.arrived++
+	in.inFlight++
+	j.Arrived = now
+	j.Enqueued = now
+	j.StageIdx = 0
+	switch in.BP.Model {
+	case ModelThreaded:
+		in.threadQ.Push(j)
+		in.schedulePump(now)
+	default:
+		in.pushToStage(now, j)
+		in.schedulePump(now)
+	}
+}
+
+// schedulePump defers worker dispatch to an event at the current time, so
+// that all jobs arriving at the same instant are visible to one batch pop —
+// the simulator analogue of epoll_wait collecting every ready event before
+// the worker runs.
+func (in *Instance) schedulePump(now des.Time) {
+	if in.pumpPending {
+		return
+	}
+	in.pumpPending = true
+	in.eng.At(now, func(t des.Time) {
+		in.pumpPending = false
+		if in.BP.Model == ModelThreaded {
+			in.pumpThreaded(t)
+		} else {
+			in.pumpSimple(t)
+		}
+	})
+}
+
+// pushToStage places j into the queue of its current path stage.
+func (in *Instance) pushToStage(now des.Time, j *job.Job) {
+	path := in.BP.Paths[j.PathID]
+	stage := path.Stages[j.StageIdx]
+	j.Enqueued = now
+	in.queues[stage].Push(j)
+}
+
+// ---- simple (event-driven) model ----
+
+func (in *Instance) pumpSimple(now des.Time) {
+	progress := true
+	for progress {
+		progress = false
+		for s := len(in.BP.Stages) - 1; s >= 0; s-- {
+			st := &in.BP.Stages[s]
+			q := in.queues[s]
+			if q.Len() == 0 {
+				continue
+			}
+			if st.PoolName != "" {
+				pool := in.mustPool(st.PoolName)
+				for q.Len() > 0 && pool.TryAcquire() {
+					batch := q.PopBatch(1)
+					in.startPoolStage(now, s, batch[0], pool)
+					progress = true
+				}
+				continue
+			}
+			for q.Len() > 0 && in.busyCores < in.Alloc.Cores {
+				batch := q.PopBatch(in.batchMax(st))
+				in.startCPUBatch(now, s, batch)
+				progress = true
+			}
+		}
+	}
+}
+
+func (in *Instance) batchMax(st *StageSpec) int {
+	if !st.Batching {
+		return 1
+	}
+	return st.BatchLimit
+}
+
+func (in *Instance) mustPool(name string) *cluster.Pool {
+	pool, ok := in.Alloc.Machine.Pool(name)
+	if !ok {
+		panic(fmt.Sprintf("service %s: machine %s has no pool %q",
+			in.Name, in.Alloc.Machine.Name, name))
+	}
+	return pool
+}
+
+// startCPUBatch occupies one core for the batch's sampled duration.
+func (in *Instance) startCPUBatch(now des.Time, stage int, batch []*job.Job) {
+	in.noteWait(now, stage, batch)
+	in.setBusy(now, in.busyCores+1)
+	dur := in.sampleCost(stage, batch, false)
+	in.eng.At(now+dur, func(t des.Time) {
+		in.setBusy(t, in.busyCores-1)
+		in.advanceBatch(t, batch)
+		in.pumpSimple(t)
+	})
+}
+
+// startPoolStage occupies one pool unit (e.g. a disk spindle) for one job.
+func (in *Instance) startPoolStage(now des.Time, stage int, j *job.Job, pool *cluster.Pool) {
+	in.noteWait(now, stage, []*job.Job{j})
+	dur := in.sampleCost(stage, []*job.Job{j}, true)
+	in.eng.At(now+dur, func(t des.Time) {
+		pool.Release()
+		in.advanceBatch(t, []*job.Job{j})
+		in.pumpSimple(t)
+	})
+}
+
+// ---- threaded (blocking) model ----
+
+func (in *Instance) pumpThreaded(now des.Time) {
+	// Assign idle threads to waiting jobs.
+	for in.idleThreads > 0 && in.threadQ.Len() > 0 {
+		j := in.threadQ.Pop()
+		in.idleThreads--
+		in.runThreadedStage(now, j)
+	}
+}
+
+// runThreadedStage executes j's current stage; j holds a thread.
+func (in *Instance) runThreadedStage(now des.Time, j *job.Job) {
+	path := in.BP.Paths[j.PathID]
+	stage := path.Stages[j.StageIdx]
+	st := &in.BP.Stages[stage]
+	if st.PoolName != "" {
+		pool := in.mustPool(st.PoolName)
+		if !pool.TryAcquire() {
+			q, ok := in.poolQ[st.PoolName]
+			if !ok {
+				q = queueing.NewFIFO()
+				in.poolQ[st.PoolName] = q
+			}
+			j.Enqueued = now
+			q.Push(j)
+			return
+		}
+		in.noteWait(now, stage, []*job.Job{j})
+		dur := in.sampleCost(stage, []*job.Job{j}, true)
+		in.eng.At(now+dur, func(t des.Time) {
+			pool.Release()
+			in.wakePoolWaiter(t, st.PoolName, pool)
+			in.finishThreadedStage(t, j)
+		})
+		return
+	}
+	if in.busyCores >= in.Alloc.Cores {
+		j.Enqueued = now
+		in.coreQ.Push(j)
+		return
+	}
+	in.noteWait(now, stage, []*job.Job{j})
+	in.setBusy(now, in.busyCores+1)
+	dur := in.sampleCost(stage, []*job.Job{j}, false)
+	if in.BP.Threads > in.Alloc.Cores && in.BP.CtxSwitch > 0 {
+		dur += in.BP.CtxSwitch
+	}
+	in.eng.At(now+dur, func(t des.Time) {
+		in.setBusy(t, in.busyCores-1)
+		in.wakeCoreWaiter(t)
+		in.finishThreadedStage(t, j)
+	})
+}
+
+func (in *Instance) wakeCoreWaiter(now des.Time) {
+	if in.coreQ.Len() > 0 && in.busyCores < in.Alloc.Cores {
+		in.runThreadedStage(now, in.coreQ.Pop())
+	}
+}
+
+func (in *Instance) wakePoolWaiter(now des.Time, name string, pool *cluster.Pool) {
+	if q, ok := in.poolQ[name]; ok && q.Len() > 0 && pool.InUse() < pool.Capacity {
+		in.runThreadedStage(now, q.Pop())
+	}
+}
+
+// finishThreadedStage advances j past its current stage.
+func (in *Instance) finishThreadedStage(now des.Time, j *job.Job) {
+	path := in.BP.Paths[j.PathID]
+	j.StageIdx++
+	if j.StageIdx < len(path.Stages) {
+		in.runThreadedStage(now, j)
+		return
+	}
+	// Path complete: release the thread, admit the next waiter.
+	in.idleThreads++
+	in.completeJob(now, j)
+	in.pumpThreaded(now)
+}
+
+// ---- shared mechanics ----
+
+// advanceBatch moves each job in a simple-model batch to its next stage, or
+// completes it.
+func (in *Instance) advanceBatch(now des.Time, batch []*job.Job) {
+	for _, j := range batch {
+		path := in.BP.Paths[j.PathID]
+		j.StageIdx++
+		if j.StageIdx < len(path.Stages) {
+			in.pushToStage(now, j)
+		} else {
+			in.completeJob(now, j)
+		}
+	}
+}
+
+func (in *Instance) completeJob(now des.Time, j *job.Job) {
+	j.Finished = now
+	in.completed++
+	in.inFlight--
+	in.residence.Record(now - j.Arrived)
+	if j.Req != nil {
+		j.Req.AddTierLatency(in.BP.Name, now-j.Arrived)
+	}
+	if in.OnJobDone != nil {
+		in.OnJobDone(now, j)
+	}
+}
+
+// sampleCost draws the batch's processing duration at the current DVFS
+// setting. Pool (I/O) stages are not frequency-scaled.
+func (in *Instance) sampleCost(stage int, batch []*job.Job, isPool bool) des.Time {
+	st := &in.BP.Stages[stage]
+	freq := in.Alloc.Freq()
+	total := 0.0
+	if st.BaseTable != nil {
+		total += st.BaseTable.SampleAt(freq, in.r)
+	} else if st.Base != nil {
+		total += st.Base.Sample(in.r)
+	}
+	perJobTable := st.PerJobTable
+	for _, j := range batch {
+		if perJobTable != nil {
+			total += perJobTable.SampleAt(freq, in.r)
+		} else if st.PerJob != nil {
+			total += st.PerJob.Sample(in.r)
+		}
+		total += st.PerKB * j.SizeKB
+	}
+	// Tables already encode the frequency dependence; raw samplers are
+	// scaled linearly. I/O is frequency-independent.
+	if !isPool && st.BaseTable == nil && st.PerJobTable == nil {
+		total *= in.Alloc.SpeedFactor()
+	}
+	return des.FromNanos(total)
+}
+
+func (in *Instance) noteWait(now des.Time, stage int, batch []*job.Job) {
+	for _, j := range batch {
+		if j.Started == 0 {
+			j.Started = now
+		}
+		in.stageWait[stage].Record(now - j.Enqueued)
+	}
+}
+
+func (in *Instance) setBusy(now des.Time, n int) {
+	in.busyNsAcc += float64(in.busyCores) * float64(now-in.lastChange)
+	in.lastChange = now
+	in.busyCores = n
+}
+
+// ---- introspection ----
+
+// Arrived reports admitted jobs.
+func (in *Instance) Arrived() uint64 { return in.arrived }
+
+// Completed reports jobs that finished their service-local path.
+func (in *Instance) Completed() uint64 { return in.completed }
+
+// InFlight reports jobs currently inside the instance.
+func (in *Instance) InFlight() int { return in.inFlight }
+
+// QueueLen reports the total number of queued jobs across stages (plus
+// thread/core wait queues in the threaded model).
+func (in *Instance) QueueLen() int {
+	n := 0
+	for _, q := range in.queues {
+		n += q.Len()
+	}
+	if in.BP.Model == ModelThreaded {
+		n += in.threadQ.Len() + in.coreQ.Len()
+		for _, q := range in.poolQ {
+			n += q.Len()
+		}
+	}
+	return n
+}
+
+// Residence returns the histogram of service residence times (queueing +
+// processing inside this instance).
+func (in *Instance) Residence() *stats.LatencyHist { return in.residence }
+
+// StageWait returns the queue-delay histogram of the given stage.
+func (in *Instance) StageWait(stage int) *stats.LatencyHist { return in.stageWait[stage] }
+
+// Utilization reports mean core occupancy in [0,1] up to virtual time now.
+func (in *Instance) Utilization(now des.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	acc := in.busyNsAcc + float64(in.busyCores)*float64(now-in.lastChange)
+	return acc / (float64(in.Alloc.Cores) * float64(now))
+}

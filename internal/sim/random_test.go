@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/service"
+	"uqsim/internal/workload"
+)
+
+// buildRandomTopology assembles a random layered topology: a root service,
+// 1..3 middle services with random fan-out, and a join, with random
+// per-service costs, random placements across 1..3 machines, and an
+// optional connection pool. It exercises the whole dispatch surface.
+func buildRandomTopology(t *testing.T, seed int64) *Sim {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	s := New(Options{Seed: uint64(seed)})
+	nMachines := 1 + r.Intn(3)
+	for i := 0; i < nMachines; i++ {
+		s.AddMachine(fmt.Sprintf("m%d", i), 16, cluster.FreqSpec{})
+	}
+	mach := func() string { return fmt.Sprintf("m%d", r.Intn(nMachines)) }
+
+	deploy := func(name string, meanUs float64) {
+		t.Helper()
+		var sampler dist.Sampler
+		switch r.Intn(3) {
+		case 0:
+			sampler = dist.NewDeterministic(meanUs * 1000)
+		case 1:
+			sampler = dist.NewExponential(meanUs * 1000)
+		default:
+			sampler = dist.NewErlang(3, meanUs*1000)
+		}
+		instances := 1 + r.Intn(2)
+		placements := make([]Placement, instances)
+		for i := range placements {
+			placements[i] = Placement{Machine: mach(), Cores: 1 + r.Intn(2)}
+		}
+		if _, err := s.Deploy(service.SingleStage(name, sampler),
+			Policy(r.Intn(3)), placements...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deploy("root", 20)
+	mids := 1 + r.Intn(3)
+	for i := 0; i < mids; i++ {
+		deploy(fmt.Sprintf("mid%d", i), 10+float64(r.Intn(100)))
+	}
+	deploy("join", 15)
+
+	nodes := []graph.Node{{ID: 0, Service: "root", Instance: -1}}
+	joinID := mids + 1
+	for i := 0; i < mids; i++ {
+		nodes[0].Children = append(nodes[0].Children, i+1)
+		nodes = append(nodes, graph.Node{
+			ID: i + 1, Service: fmt.Sprintf("mid%d", i), Instance: -1,
+			Children: []int{joinID},
+		})
+	}
+	nodes = append(nodes, graph.Node{ID: joinID, Service: "join", Instance: -1})
+	topo := &graph.Topology{Trees: []graph.Tree{{Name: "t", Weight: 1, Root: 0, Nodes: nodes}}}
+	if r.Intn(2) == 0 {
+		topo.Pools = []graph.ConnPool{{Name: "cli", Capacity: 8 + r.Intn(64)}}
+		topo.Trees[0].Nodes[0].AcquireConn = []string{"cli"}
+		topo.Trees[0].Nodes[joinID].ReleaseConn = []string{"cli"}
+	}
+	if err := s.SetTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	if r.Intn(2) == 0 {
+		if err := s.EnableNetwork(NetworkConfig{
+			CoresPerMachine: 1,
+			PerMsg:          dist.NewDeterministic(float64(3 * des.Microsecond)),
+			ClientTx:        r.Intn(2) == 0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetClient(ClientConfig{Pattern: workload.ConstantRate(float64(200 + r.Intn(2000)))})
+	return s
+}
+
+// TestRandomTopologiesConserveRequests fuzzes the dispatch machinery:
+// whatever the topology, after draining, no request, netproc delivery, or
+// pool token may leak.
+func TestRandomTopologiesConserveRequests(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		s := buildRandomTopology(t, seed)
+		rep, err := s.Run(0, 300*des.Millisecond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Completions == 0 {
+			t.Fatalf("seed %d: no completions", seed)
+		}
+		s.Engine().Run() // drain
+		if n := len(s.inflight); n != 0 {
+			t.Fatalf("seed %d: %d requests leaked", seed, n)
+		}
+		if n := len(s.pending); n != 0 {
+			t.Fatalf("seed %d: %d netproc deliveries leaked", seed, n)
+		}
+		for name, p := range s.pools {
+			if p.inUse() != 0 || len(p.waiters) != 0 {
+				t.Fatalf("seed %d: pool %s leaked (%d in use, %d waiters)",
+					seed, name, p.inUse(), len(p.waiters))
+			}
+		}
+		for _, dep := range s.Deployments() {
+			for _, in := range dep.Instances {
+				if in.InFlight() != 0 || in.QueueLen() != 0 {
+					t.Fatalf("seed %d: instance %s retains work", seed, in.Name)
+				}
+			}
+		}
+	}
+}

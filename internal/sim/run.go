@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"fmt"
+
+	"uqsim/internal/des"
+	"uqsim/internal/graph"
+	"uqsim/internal/job"
+	"uqsim/internal/service"
+	"uqsim/internal/stats"
+	"uqsim/internal/workload"
+)
+
+// Run executes the simulation: warmup (not measured), then duration
+// (measured), and returns the report. Run may be called once per Sim.
+func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
+	if s.topo == nil {
+		return nil, fmt.Errorf("sim: no topology installed")
+	}
+	if s.clientCfg.Pattern == nil && s.clientCfg.ClosedUsers <= 0 {
+		return nil, fmt.Errorf("sim: no client installed")
+	}
+	s.warmupEnd = warmup
+	horizon := warmup + duration
+
+	if s.clientCfg.ClosedUsers > 0 {
+		s.closedLoop = workload.NewClosedLoop(s.eng, s.clientRNG, s.clientCfg.ClosedUsers, s.onArrival)
+		if s.clientCfg.Think != nil {
+			think := s.clientCfg.Think
+			s.closedLoop.Think = think.Sample
+		}
+		s.closedLoop.Start(0)
+	} else {
+		gen := workload.NewOpenLoop(s.eng, s.clientRNG, s.clientCfg.Pattern, s.onArrival)
+		gen.Proc = s.clientCfg.Proc
+		gen.Start(0)
+		defer gen.Stop()
+	}
+
+	s.eng.RunUntil(horizon)
+	return s.report(horizon), nil
+}
+
+// onArrival admits one client request at virtual time now.
+func (s *Sim) onArrival(now des.Time) {
+	s.admit(now, 0)
+}
+
+// admit starts one request (attempt 0) or retry (attempt > 0).
+func (s *Sim) admit(now des.Time, attempt int) {
+	treeIdx := 0
+	if s.treeChoice.N() > 1 {
+		treeIdx = s.treeChoice.Pick(s.clientRNG)
+	}
+	tree := &s.topo.Trees[treeIdx]
+
+	req := s.fac.NewRequest(now)
+	req.Class = treeIdx
+	req.Attempt = attempt
+	if s.clientCfg.SizeKB != nil {
+		req.SizeKB = s.clientCfg.SizeKB.Sample(s.clientRNG)
+	}
+	req.Conn = int(req.ID) % s.clientCfg.Connections
+	req.LeavesRemaining = len(tree.Leaves())
+
+	st := &reqState{tree: tree, treeIdx: treeIdx, arrived: make([]int, len(tree.Nodes))}
+	s.inflight[req.ID] = st
+	if now >= s.warmupEnd {
+		s.arrivals++
+	}
+	if s.clientCfg.Timeout > 0 {
+		s.eng.At(now+s.clientCfg.Timeout, func(t des.Time) { s.onTimeout(t, req) })
+	}
+	s.enterNode(now, req, st, tree.Root, req.Conn, "")
+}
+
+// onTimeout fires when a request exceeds the client's patience: the client
+// records the timeout as its observed latency and possibly retries, while
+// the in-flight server work continues to completion.
+func (s *Sim) onTimeout(now des.Time, req *job.Request) {
+	if req.Done() || req.TimedOut {
+		return
+	}
+	req.TimedOut = true
+	if now >= s.warmupEnd {
+		s.timeouts++
+		s.latency.Record(s.clientCfg.Timeout)
+	}
+	if req.Attempt < s.clientCfg.MaxRetries {
+		s.admit(now, req.Attempt+1)
+	} else if s.closedLoop != nil {
+		// The user gave up; in a closed loop they move on.
+		s.closedLoop.RequestDone(now)
+	}
+}
+
+// enterNode walks the request into tree node nodeID: acquire declared
+// connection tokens, then dispatch the node's job. srcMachine names the
+// machine the triggering job ran on ("" for the external client).
+func (s *Sim) enterNode(now des.Time, req *job.Request, st *reqState, nodeID, conn int, srcMachine string) {
+	node := &st.tree.Nodes[nodeID]
+	s.acquireConns(now, req, node.AcquireConn, conn, func(t des.Time, finalConn int) {
+		s.dispatchNode(t, req, st, nodeID, finalConn, srcMachine)
+	})
+}
+
+// acquireConns acquires each listed pool token in order, then calls done
+// with the connection id implied by the last acquired token (or the
+// inherited one when no pools are listed).
+func (s *Sim) acquireConns(now des.Time, req *job.Request, names []string, conn int, done func(des.Time, int)) {
+	if len(names) == 0 {
+		done(now, conn)
+		return
+	}
+	pool := s.pools[names[0]]
+	pool.acquire(now, req, func(t des.Time, token int) {
+		s.acquireConns(t, req, names[1:], token, done)
+	})
+}
+
+// dispatchNode creates the node's job and routes it to an instance.
+func (s *Sim) dispatchNode(now des.Time, req *job.Request, st *reqState, nodeID, conn int, srcMachine string) {
+	node := &st.tree.Nodes[nodeID]
+	dep := s.deployments[node.Service]
+	var in *service.Instance
+	if node.Instance >= 0 {
+		in = dep.Instances[node.Instance]
+	} else {
+		in = dep.pick()
+	}
+	j := s.fac.NewJob(req)
+	j.NodeID = nodeID
+	j.Conn = conn
+	pid := s.pathIDs[st.treeIdx][nodeID][0]
+	if pid < 0 {
+		// Unpinned: sample the service's execution-path state machine
+		// when it has one, else take the first path.
+		if dep.pathChoice != nil {
+			pid = dep.pathChoice.Pick(dep.pathRNG)
+		} else {
+			pid = 0
+		}
+	}
+	j.PathID = pid
+	s.route(now, j, in, srcMachine)
+}
+
+// route delivers j to instance in, passing through the destination
+// machine's network service when the hop crosses machines. The client is
+// external (srcMachine == ""), so requests entering the cluster always pay
+// the receive pass; same-machine hops use loopback and skip it.
+func (s *Sim) route(now des.Time, j *job.Job, in *service.Instance, srcMachine string) {
+	dest := in.Alloc.Machine.Name
+	j.Machine = dest
+	j.Instance = in.Name
+	if s.netCfg == nil || srcMachine == dest {
+		in.Enqueue(now, j)
+		return
+	}
+	np := s.netproc[dest]
+	targetPath := j.PathID
+	j.PathID = 0 // netproc's single path
+	s.pending[j.ID] = &delivery{instance: in, pathID: targetPath}
+	np.Enqueue(now, j)
+}
+
+// handleNetDone fires when the network service finishes processing a
+// message: deliver the job to its real destination.
+func (s *Sim) handleNetDone(now des.Time, j *job.Job) {
+	d, ok := s.pending[j.ID]
+	if !ok {
+		panic(fmt.Sprintf("sim: netproc finished unknown job %d", j.ID))
+	}
+	delete(s.pending, j.ID)
+	if d.instance == nil {
+		// Transmit pass for a response leaving the cluster.
+		s.finalizeLeaf(now, j)
+		return
+	}
+	j.PathID = d.pathID
+	d.instance.Enqueue(now, j)
+}
+
+// handleJobDone fires when a microservice instance completes a job's
+// service-local path: release tokens, fan out to children, finish leaves.
+func (s *Sim) handleJobDone(now des.Time, j *job.Job) {
+	st, ok := s.inflight[j.Req.ID]
+	if !ok {
+		panic(fmt.Sprintf("sim: job %d of unknown request %d completed", j.ID, j.Req.ID))
+	}
+	node := &st.tree.Nodes[j.NodeID]
+	if s.OnJobDone != nil {
+		s.OnJobDone(now, j, node.Service)
+	}
+	for _, name := range node.ReleaseConn {
+		s.pools[name].release(now, j.Req)
+	}
+	if len(node.Children) == 0 {
+		// Leaf: optionally pay the client-transmit network pass.
+		if s.netCfg != nil && s.netCfg.ClientTx {
+			np := s.netproc[j.Machine]
+			s.pending[j.ID] = &delivery{instance: nil}
+			j.PathID = 0
+			np.Enqueue(now, j)
+			return
+		}
+		s.finalizeLeaf(now, j)
+		return
+	}
+	children := node.Children
+	if node.BranchKey != "" {
+		fn, ok := s.branchers[node.BranchKey]
+		if !ok {
+			panic(fmt.Sprintf("sim: node %d uses unregistered brancher %q", j.NodeID, node.BranchKey))
+		}
+		selected := fn(now, j.Req, node.Children)
+		children = s.applyBranch(j, st, node, selected)
+	}
+	for _, child := range children {
+		st.arrived[child]++
+		if st.arrived[child] == st.tree.FanIn(child) {
+			s.enterNode(now, j.Req, st, child, j.Conn, j.Machine)
+		}
+	}
+}
+
+// applyBranch validates a brancher's selection and prunes the leaves of
+// the unselected subtrees from the request's completion accounting.
+func (s *Sim) applyBranch(j *job.Job, st *reqState, node *graph.Node, selected []int) []int {
+	if len(selected) == 0 {
+		panic(fmt.Sprintf("sim: brancher %q selected no children", node.BranchKey))
+	}
+	valid := make(map[int]bool, len(node.Children))
+	for _, c := range node.Children {
+		valid[c] = true
+	}
+	chosen := make(map[int]bool, len(selected))
+	for _, c := range selected {
+		if !valid[c] {
+			panic(fmt.Sprintf("sim: brancher %q selected non-child node %d", node.BranchKey, c))
+		}
+		chosen[c] = true
+	}
+	for _, c := range node.Children {
+		if !chosen[c] {
+			j.Req.LeavesRemaining -= len(st.tree.LeavesUnder(c))
+		}
+	}
+	return selected
+}
+
+// finalizeLeaf accounts a completed leaf node and, when it is the last
+// leaf, finishes the request.
+func (s *Sim) finalizeLeaf(now des.Time, j *job.Job) {
+	req := j.Req
+	req.LeavesRemaining--
+	if req.LeavesRemaining > 0 {
+		return
+	}
+	req.Finish = now
+	delete(s.inflight, req.ID)
+	if now >= s.warmupEnd && !req.TimedOut {
+		s.completions++
+		s.latency.Record(req.Latency())
+		for tier, d := range req.TierLatency {
+			h, ok := s.perTier[tier]
+			if !ok {
+				h = stats.NewLatencyHist()
+				s.perTier[tier] = h
+			}
+			h.Record(d)
+		}
+	}
+	if s.OnRequestDone != nil {
+		s.OnRequestDone(now, req)
+	}
+	// A timed-out request already released its closed-loop user (and its
+	// client-visible latency) at the timeout instant.
+	if s.closedLoop != nil && !req.TimedOut {
+		s.closedLoop.RequestDone(now)
+	}
+}
+
+// InstanceReport summarizes one instance at the end of a run.
+type InstanceReport struct {
+	Name        string
+	Service     string
+	Machine     string
+	Cores       int
+	Utilization float64
+	Completed   uint64
+	QueueLen    int
+	Residence   *stats.LatencyHist
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Warmup   des.Time
+	Horizon  des.Time
+	Arrivals uint64
+	// Completions counts requests finished during the measured window
+	// within the client's patience (timed-out requests are excluded).
+	Completions uint64
+	// Timeouts counts requests the client gave up on during the
+	// measured window (recorded into Latency at the timeout value).
+	Timeouts uint64
+	// OfferedQPS and GoodputQPS are arrival/completion rates over the
+	// measured window.
+	OfferedQPS float64
+	GoodputQPS float64
+	// Latency is the end-to-end request latency histogram.
+	Latency *stats.LatencyHist
+	// PerTier holds per-service residence-latency histograms keyed by
+	// service name, accumulated over completed requests.
+	PerTier map[string]*stats.LatencyHist
+	// Instances summarizes every deployed instance (plus network
+	// services).
+	Instances []InstanceReport
+	// InFlight reports requests still in the system at the horizon —
+	// large values indicate operation beyond saturation.
+	InFlight int
+}
+
+func (s *Sim) report(horizon des.Time) *Report {
+	window := (horizon - s.warmupEnd).Seconds()
+	r := &Report{
+		Warmup:      s.warmupEnd,
+		Horizon:     horizon,
+		Arrivals:    s.arrivals,
+		Completions: s.completions,
+		Timeouts:    s.timeouts,
+		Latency:     s.latency,
+		PerTier:     s.perTier,
+		InFlight:    len(s.inflight),
+	}
+	if window > 0 {
+		r.OfferedQPS = float64(s.arrivals) / window
+		r.GoodputQPS = float64(s.completions) / window
+	}
+	for _, dep := range s.Deployments() {
+		for _, in := range dep.Instances {
+			r.Instances = append(r.Instances, instanceReport(in, dep.Name, horizon))
+		}
+	}
+	for _, m := range s.cluster.Machines() {
+		if np, ok := s.netproc[m.Name]; ok {
+			r.Instances = append(r.Instances, instanceReport(np, "netproc", horizon))
+		}
+	}
+	return r
+}
+
+func instanceReport(in *service.Instance, svc string, horizon des.Time) InstanceReport {
+	return InstanceReport{
+		Name:        in.Name,
+		Service:     svc,
+		Machine:     in.Alloc.Machine.Name,
+		Cores:       in.Alloc.Cores,
+		Utilization: in.Utilization(horizon),
+		Completed:   in.Completed(),
+		QueueLen:    in.QueueLen(),
+		Residence:   in.Residence().Snapshot(),
+	}
+}
+
+// connPool is the runtime of a graph.ConnPool: a FIFO token dispenser whose
+// tokens double as connection IDs.
+type connPool struct {
+	spec    graph.ConnPool
+	free    []int
+	waiters []waiter
+	held    map[job.ID][]int
+}
+
+type waiter struct {
+	req  *job.Request
+	cont func(des.Time, int)
+}
+
+func newConnPool(spec graph.ConnPool, base int) *connPool {
+	p := &connPool{spec: spec, held: make(map[job.ID][]int)}
+	for i := 0; i < spec.Capacity; i++ {
+		p.free = append(p.free, base+i)
+	}
+	return p
+}
+
+// acquire grants a token now if available, else queues the continuation.
+func (p *connPool) acquire(now des.Time, req *job.Request, cont func(des.Time, int)) {
+	if len(p.free) > 0 {
+		token := p.free[0]
+		p.free = p.free[1:]
+		p.held[req.ID] = append(p.held[req.ID], token)
+		cont(now, token)
+		return
+	}
+	p.waiters = append(p.waiters, waiter{req: req, cont: cont})
+}
+
+// release returns one of req's tokens, granting it to the oldest waiter if
+// any.
+func (p *connPool) release(now des.Time, req *job.Request) {
+	tokens := p.held[req.ID]
+	if len(tokens) == 0 {
+		panic(fmt.Sprintf("sim: request %d releases pool %q it does not hold", req.ID, p.spec.Name))
+	}
+	token := tokens[len(tokens)-1]
+	if len(tokens) == 1 {
+		delete(p.held, req.ID)
+	} else {
+		p.held[req.ID] = tokens[:len(tokens)-1]
+	}
+	if len(p.waiters) > 0 {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.held[w.req.ID] = append(p.held[w.req.ID], token)
+		w.cont(now, token)
+		return
+	}
+	p.free = append(p.free, token)
+}
+
+// inUse reports granted tokens.
+func (p *connPool) inUse() int { return p.spec.Capacity - len(p.free) }

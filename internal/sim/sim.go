@@ -1,0 +1,391 @@
+// Package sim is the µqSim core: it assembles a cluster, microservice
+// deployments, an inter-service topology, and a workload generator into one
+// discrete-event simulation, and produces throughput/latency reports.
+//
+// Request flow (paper Fig. 2): the client emits a request; the sim picks a
+// weighted path tree and walks it. Entering a node acquires any declared
+// connection tokens (blocking back-pressure), routes the job through the
+// destination machine's network-processing service when it crosses
+// machines, and enqueues it into an instance of the node's microservice
+// (chosen by the deployment's load-balancing policy). When the node's job
+// completes, tokens listed for release are returned, children receive
+// copies (fan-out), join nodes wait for all parents (fan-in), and the
+// request finishes when every leaf has completed.
+package sim
+
+import (
+	"fmt"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/job"
+	"uqsim/internal/rng"
+	"uqsim/internal/service"
+	"uqsim/internal/stats"
+	"uqsim/internal/workload"
+)
+
+// Policy selects how a deployment load-balances across instances.
+type Policy int
+
+// Load-balancing policies.
+const (
+	RoundRobin Policy = iota
+	Random
+	LeastLoaded
+)
+
+// Placement pins one instance of a deployment to a machine with a core
+// budget.
+type Placement struct {
+	Machine string
+	Cores   int
+}
+
+// NetworkConfig models per-machine network (interrupt) processing as a
+// shared colocated service, per the paper: "each server is coupled with a
+// network processing process as a standalone service, and all microservices
+// deployed on the same server share the processes handling interrupts."
+type NetworkConfig struct {
+	// CoresPerMachine reserves this many cores on every machine for
+	// interrupt processing.
+	CoresPerMachine int
+	// PerMsg is the processing cost of one message (nil: 0).
+	PerMsg dist.Sampler
+	// PerKB adds payload-proportional cost in ns/KB.
+	PerKB float64
+	// ClientTx also charges a transmit pass through the sending
+	// machine's network service for responses leaving the cluster.
+	ClientTx bool
+}
+
+// ClientConfig describes the workload source.
+type ClientConfig struct {
+	// Pattern sets the open-loop target rate over time.
+	Pattern workload.Pattern
+	// Proc selects the interarrival process.
+	Proc workload.Process
+	// ClosedUsers switches to a closed-loop client with this many users
+	// when positive (Pattern is then ignored).
+	ClosedUsers int
+	// Think samples closed-loop think time in ns (nil: none).
+	Think dist.Sampler
+	// SizeKB samples request payload size (nil: 0).
+	SizeKB dist.Sampler
+	// Connections is the number of distinct client connections used to
+	// classify requests into epoll subqueues when no connection pool is
+	// declared at the root (default 64).
+	Connections int
+	// Timeout, when positive, makes the client give up on requests
+	// older than this: the request is recorded at the timeout value
+	// (what the client observed) and counted in Report.Timeouts, while
+	// the server-side work still runs to completion. This models the
+	// effect the paper notes its simulator lacks (§IV-C).
+	Timeout des.Time
+	// MaxRetries re-issues a timed-out request up to this many times
+	// (requires Timeout > 0). Retries are fresh load: a saturated
+	// system with retries degrades faster, the classic retry storm.
+	MaxRetries int
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Seed drives all random streams.
+	Seed uint64
+}
+
+// Sim is one assembled simulation.
+type Sim struct {
+	eng     *des.Engine
+	split   *rng.Splitter
+	cluster *cluster.Cluster
+	fac     *job.Factory
+
+	deployments map[string]*Deployment
+	depOrder    []string
+
+	netCfg  *NetworkConfig
+	netproc map[string]*service.Instance // machine name → interrupt service
+
+	topo       *graph.Topology
+	treeChoice *dist.Choice
+	pathIDs    [][][]int // tree → node → resolved PathID (len 1 slice for alignment)
+	pools      map[string]*connPool
+
+	clientCfg  ClientConfig
+	clientRNG  *rng.Source
+	closedLoop *workload.ClosedLoop
+
+	inflight map[job.ID]*reqState
+	pending  map[job.ID]*delivery // jobs in transit through netproc
+
+	branchers map[string]Brancher
+
+	// Measurement.
+	warmupEnd   des.Time
+	arrivals    uint64
+	completions uint64
+	timeouts    uint64
+	latency     *stats.LatencyHist
+	perTier     map[string]*stats.LatencyHist
+
+	// OnRequestDone observes every completed request (after or during
+	// warmup), e.g. for the power manager's windowed tail tracker.
+	OnRequestDone func(now des.Time, req *job.Request)
+	// OnJobDone observes every completed service-local job with the
+	// service name of the node it executed — the hook the tracer uses
+	// to build per-request waterfalls.
+	OnJobDone func(now des.Time, j *job.Job, service string)
+}
+
+// reqState tracks one in-flight request's progress through its tree.
+type reqState struct {
+	tree    *graph.Tree
+	treeIdx int
+	arrived []int // per-node parent-completion counts
+}
+
+// delivery is a job waiting to exit the network service.
+type delivery struct {
+	instance *service.Instance // final destination (nil: response to client)
+	pathID   int
+}
+
+// New creates an empty simulation.
+func New(opts Options) *Sim {
+	return &Sim{
+		eng:         des.New(),
+		split:       rng.NewSplitter(opts.Seed),
+		cluster:     cluster.NewCluster(),
+		fac:         job.NewFactory(),
+		deployments: make(map[string]*Deployment),
+		netproc:     make(map[string]*service.Instance),
+		pools:       make(map[string]*connPool),
+		inflight:    make(map[job.ID]*reqState),
+		pending:     make(map[job.ID]*delivery),
+		branchers:   make(map[string]Brancher),
+		latency:     stats.NewLatencyHist(),
+		perTier:     make(map[string]*stats.LatencyHist),
+	}
+}
+
+// Engine exposes the underlying event engine (read-mostly; used by the
+// power manager to schedule decision epochs and by tests).
+func (s *Sim) Engine() *des.Engine { return s.eng }
+
+// Cluster exposes the machine registry.
+func (s *Sim) Cluster() *cluster.Cluster { return s.cluster }
+
+// AddMachine registers a machine.
+func (s *Sim) AddMachine(name string, cores int, freq cluster.FreqSpec) *cluster.Machine {
+	m := cluster.NewMachine(name, cores, freq)
+	if err := s.cluster.Add(m); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Deployment is a named group of instances of one blueprint.
+type Deployment struct {
+	Name      string
+	BP        *service.Blueprint
+	Instances []*service.Instance
+	LB        Policy
+
+	rr         int
+	rng        *rng.Source
+	pathChoice *dist.Choice
+	pathRNG    *rng.Source
+}
+
+// Deploy creates instances of bp on the given placements under the
+// service's name (used by graph nodes).
+func (s *Sim) Deploy(bp *service.Blueprint, lb Policy, placements ...Placement) (*Deployment, error) {
+	if len(placements) == 0 {
+		return nil, fmt.Errorf("sim: deployment %s needs at least one placement", bp.Name)
+	}
+	if _, ok := s.deployments[bp.Name]; ok {
+		return nil, fmt.Errorf("sim: duplicate deployment %s", bp.Name)
+	}
+	dep := &Deployment{
+		Name: bp.Name, BP: bp, LB: lb,
+		rng: s.split.Stream("lb", bp.Name),
+	}
+	if len(bp.PathProbs) > 0 {
+		dep.pathChoice = dist.NewChoice(bp.PathProbs)
+		dep.pathRNG = s.split.Stream("paths", bp.Name)
+	}
+	for i, p := range placements {
+		m, ok := s.cluster.Machine(p.Machine)
+		if !ok {
+			return nil, fmt.Errorf("sim: deployment %s references unknown machine %q", bp.Name, p.Machine)
+		}
+		name := fmt.Sprintf("%s-%d", bp.Name, i)
+		alloc, err := m.Allocate(name, p.Cores)
+		if err != nil {
+			return nil, err
+		}
+		in, err := service.NewInstance(s.eng, bp, name, alloc, s.split.Stream("instance", name))
+		if err != nil {
+			return nil, err
+		}
+		in.OnJobDone = s.handleJobDone
+		dep.Instances = append(dep.Instances, in)
+	}
+	s.deployments[bp.Name] = dep
+	s.depOrder = append(s.depOrder, bp.Name)
+	return dep, nil
+}
+
+// Deployment looks up a deployment by service name.
+func (s *Sim) Deployment(name string) (*Deployment, bool) {
+	d, ok := s.deployments[name]
+	return d, ok
+}
+
+// Deployments lists deployments in creation order.
+func (s *Sim) Deployments() []*Deployment {
+	out := make([]*Deployment, 0, len(s.depOrder))
+	for _, n := range s.depOrder {
+		out = append(out, s.deployments[n])
+	}
+	return out
+}
+
+// pick selects an instance according to the deployment's policy.
+func (d *Deployment) pick() *service.Instance {
+	switch d.LB {
+	case Random:
+		return d.Instances[d.rng.IntN(len(d.Instances))]
+	case LeastLoaded:
+		// Scan from a rotating start so ties spread across instances
+		// instead of always landing on the first one.
+		start := d.rr % len(d.Instances)
+		d.rr++
+		best := d.Instances[start]
+		bestLoad := best.InFlight()
+		for i := 1; i < len(d.Instances); i++ {
+			in := d.Instances[(start+i)%len(d.Instances)]
+			if l := in.InFlight(); l < bestLoad {
+				best, bestLoad = in, l
+			}
+		}
+		return best
+	default:
+		in := d.Instances[d.rr%len(d.Instances)]
+		d.rr++
+		return in
+	}
+}
+
+// EnableNetwork deploys one interrupt-processing instance per machine.
+// Call after all machines exist and before Build.
+func (s *Sim) EnableNetwork(cfg NetworkConfig) error {
+	if cfg.CoresPerMachine < 1 {
+		return fmt.Errorf("sim: network needs at least one core per machine")
+	}
+	if cfg.PerMsg == nil && cfg.PerKB == 0 {
+		return fmt.Errorf("sim: network needs a message cost model")
+	}
+	s.netCfg = &cfg
+	for _, m := range s.cluster.Machines() {
+		bp := &service.Blueprint{
+			Name: "netproc",
+			Stages: []service.StageSpec{{
+				Name:   "soft_irq",
+				PerJob: cfg.PerMsg,
+				PerKB:  cfg.PerKB,
+			}},
+			Paths: []service.PathSpec{{Name: "rx", Stages: []int{0}}},
+		}
+		name := "netproc@" + m.Name
+		alloc, err := m.Allocate(name, cfg.CoresPerMachine)
+		if err != nil {
+			return fmt.Errorf("sim: reserving interrupt cores on %s: %w", m.Name, err)
+		}
+		in, err := service.NewInstance(s.eng, bp, name, alloc, s.split.Stream("netproc", m.Name))
+		if err != nil {
+			return err
+		}
+		in.OnJobDone = s.handleNetDone
+		s.netproc[m.Name] = in
+	}
+	return nil
+}
+
+// SetTopology installs the inter-service topology. All referenced services
+// must already be deployed.
+func (s *Sim) SetTopology(topo *graph.Topology) error {
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	s.pathIDs = make([][][]int, len(topo.Trees))
+	for ti := range topo.Trees {
+		t := &topo.Trees[ti]
+		s.pathIDs[ti] = make([][]int, len(t.Nodes))
+		for ni := range t.Nodes {
+			n := &t.Nodes[ni]
+			dep, ok := s.deployments[n.Service]
+			if !ok {
+				return fmt.Errorf("sim: tree %q node %d references undeployed service %q",
+					t.Name, ni, n.Service)
+			}
+			if n.Instance >= len(dep.Instances) {
+				return fmt.Errorf("sim: tree %q node %d pins instance %d of %d",
+					t.Name, ni, n.Instance, len(dep.Instances))
+			}
+			pid := -1 // default: sample from PathProbs, else path 0
+			if n.ServicePath != "" {
+				pid = -1
+				for i, p := range dep.BP.Paths {
+					if p.Name == n.ServicePath {
+						pid = i
+						break
+					}
+				}
+				if pid < 0 {
+					return fmt.Errorf("sim: tree %q node %d references unknown path %q of %s",
+						t.Name, ni, n.ServicePath, n.Service)
+				}
+			}
+			s.pathIDs[ti][ni] = []int{pid}
+		}
+	}
+	connBase := 1 << 20 // keep pool conn ids distinct from client conn ids
+	for _, p := range topo.Pools {
+		s.pools[p.Name] = newConnPool(p, connBase)
+		connBase += p.Capacity
+	}
+	s.topo = topo
+	s.treeChoice = dist.NewChoice(topo.Weights())
+	return nil
+}
+
+// Brancher decides at runtime which children of a branch node receive a
+// request (selecting among node.Children by ID). A cache model, for
+// example, returns the hit child or the miss chain depending on its state.
+type Brancher func(now des.Time, req *job.Request, children []int) []int
+
+// RegisterBrancher installs the decision function for all nodes whose
+// BranchKey equals key. Must be called before Run for every key the
+// topology references.
+func (s *Sim) RegisterBrancher(key string, fn Brancher) {
+	if key == "" || fn == nil {
+		panic("sim: brancher needs a key and a function")
+	}
+	s.branchers[key] = fn
+}
+
+// SetClient installs the workload source.
+func (s *Sim) SetClient(cfg ClientConfig) {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 64
+	}
+	s.clientCfg = cfg
+	s.clientRNG = s.split.Stream("client")
+}
+
+// Client reports the currently installed workload source.
+func (s *Sim) Client() ClientConfig { return s.clientCfg }

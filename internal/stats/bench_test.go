@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"testing"
+
+	"uqsim/internal/des"
+	"uqsim/internal/rng"
+)
+
+func BenchmarkLatencyHistRecord(b *testing.B) {
+	h := NewLatencyHist()
+	r := rng.New(1)
+	vals := make([]des.Time, 4096)
+	for i := range vals {
+		vals[i] = des.FromNanos(r.ExpFloat64() * 1e6)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(vals[i%len(vals)])
+	}
+}
+
+func BenchmarkLatencyHistQuantile(b *testing.B) {
+	h := NewLatencyHist()
+	r := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		h.Record(des.FromNanos(r.ExpFloat64() * 1e6))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkWindowedTailRecordQuery(b *testing.B) {
+	w := NewWindowedTail(100 * des.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := des.Time(i) * des.Microsecond
+		w.Record(now, des.Time(i%1000)*des.Microsecond)
+		if i%1000 == 999 {
+			w.Quantile(now, 0.99)
+		}
+	}
+}

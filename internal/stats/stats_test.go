@@ -1,0 +1,313 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uqsim/internal/des"
+	"uqsim/internal/rng"
+)
+
+func TestLatencyHistEmpty(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestLatencyHistSingle(t *testing.T) {
+	h := NewLatencyHist()
+	h.Record(5 * des.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("count")
+	}
+	if h.Mean() != 5*des.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != 5*des.Millisecond {
+			t.Fatalf("q=%v → %v, want 5ms (single sample clamps to min/max)", q, got)
+		}
+	}
+}
+
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	// Exponential samples: histogram p99 should match exact p99 within
+	// the bucket resolution (~4%) plus sampling noise.
+	r := rng.New(1)
+	h := NewLatencyHist()
+	var raw []float64
+	for i := 0; i < 200000; i++ {
+		v := r.ExpFloat64() * 1e6 // mean 1ms in ns
+		h.Record(des.FromNanos(v))
+		raw = append(raw, v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Percentile(raw, q)
+		got := float64(h.Quantile(q))
+		if math.Abs(got-exact)/exact > 0.05 {
+			t.Errorf("q=%v: hist %v vs exact %v", q, got, exact)
+		}
+	}
+	if math.Abs(float64(h.Mean())-1e6)/1e6 > 0.01 {
+		t.Errorf("mean = %v, want ≈1ms", h.Mean())
+	}
+}
+
+func TestLatencyHistNegativeClamps(t *testing.T) {
+	h := NewLatencyHist()
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("negative observation should clamp to 0")
+	}
+}
+
+func TestLatencyHistMergeEqualsCombined(t *testing.T) {
+	r := rng.New(2)
+	a, b, all := NewLatencyHist(), NewLatencyHist(), NewLatencyHist()
+	for i := 0; i < 10000; i++ {
+		v := des.FromNanos(r.ExpFloat64() * 5e5)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatal("merged count mismatch")
+	}
+	if a.Quantile(0.99) != all.Quantile(0.99) {
+		t.Fatalf("merged p99 %v vs combined %v", a.Quantile(0.99), all.Quantile(0.99))
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestLatencyHistResetAndSnapshot(t *testing.T) {
+	h := NewLatencyHist()
+	h.Record(100)
+	snap := h.Snapshot()
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if snap.Count() != 1 {
+		t.Fatal("snapshot should be independent")
+	}
+}
+
+// Property: histogram quantiles are monotone in q and bounded by [min,max].
+func TestLatencyHistQuantileMonotoneProperty(t *testing.T) {
+	prop := func(seed uint64, n uint16) bool {
+		r := rng.New(seed)
+		h := NewLatencyHist()
+		count := int(n%500) + 1
+		for i := 0; i < count; i++ {
+			h.Record(des.FromNanos(r.Float64() * 1e8))
+		}
+		prev := des.Time(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileExact(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	cases := map[float64]float64{0: 1, 0.2: 1, 0.4: 2, 0.5: 3, 0.8: 4, 1: 5, 0.99: 5}
+	for q, want := range cases {
+		if got := Percentile(s, q); got != want {
+			t.Errorf("P%v = %v, want %v", q, got, want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatal("count")
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	if math.Abs(w.Variance()-4) > 1e-12 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if math.Abs(w.Stddev()-2) > 1e-12 {
+		t.Fatalf("stddev = %v", w.Stddev())
+	}
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	c := NewCounter(0)
+	c.Add(500)
+	c.Inc()
+	if c.Count() != 501 {
+		t.Fatal("count")
+	}
+	if got := c.Rate(des.Second); math.Abs(got-501) > 1e-9 {
+		t.Fatalf("rate = %v", got)
+	}
+	if c.Rate(0) != 0 {
+		t.Fatal("zero-window rate should be 0")
+	}
+	c.ResetAt(des.Second)
+	if c.Count() != 0 {
+		t.Fatal("reset")
+	}
+	c.Inc()
+	if got := c.Rate(des.Second + des.Second/2); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("rate after reset = %v", got)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("p99")
+	ts.Record(0, 1)
+	ts.Record(des.Second, 3)
+	ts.Record(2*des.Second, 8)
+	if ts.Len() != 3 {
+		t.Fatal("len")
+	}
+	if ts.Mean() != 4 {
+		t.Fatalf("mean = %v", ts.Mean())
+	}
+	if got := ts.FractionAbove(2.5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("fraction above = %v", got)
+	}
+	if NewTimeSeries("x").FractionAbove(1) != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestWindowedTailEviction(t *testing.T) {
+	w := NewWindowedTail(des.Second)
+	w.Record(0, 10*des.Millisecond)
+	w.Record(500*des.Millisecond, 20*des.Millisecond)
+	w.Record(1500*des.Millisecond, 30*des.Millisecond)
+	// At t=1.6s the window [0.6s,1.6s] holds only the 30ms observation.
+	if n := w.Count(1600 * des.Millisecond); n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+	q, ok := w.Quantile(1600*des.Millisecond, 0.99)
+	if !ok || q != 30*des.Millisecond {
+		t.Fatalf("q = %v,%v", q, ok)
+	}
+}
+
+func TestWindowedTailQuantileAndMean(t *testing.T) {
+	w := NewWindowedTail(10 * des.Second)
+	for i := 1; i <= 100; i++ {
+		w.Record(des.Time(i)*des.Millisecond, des.Time(i)*des.Microsecond)
+	}
+	now := des.Time(200) * des.Millisecond
+	q, ok := w.Quantile(now, 0.99)
+	if !ok || q != 99*des.Microsecond {
+		t.Fatalf("p99 = %v,%v want 99us", q, ok)
+	}
+	m, ok := w.Mean(now)
+	if !ok || m != des.FromNanos(50.5*1000) {
+		t.Fatalf("mean = %v,%v", m, ok)
+	}
+}
+
+func TestWindowedTailEmpty(t *testing.T) {
+	w := NewWindowedTail(des.Second)
+	if _, ok := w.Quantile(0, 0.5); ok {
+		t.Fatal("empty window should report !ok")
+	}
+	if _, ok := w.Mean(0); ok {
+		t.Fatal("empty window mean should report !ok")
+	}
+	w.Record(0, 1)
+	w.Reset()
+	if w.Count(0) != 0 {
+		t.Fatal("reset")
+	}
+}
+
+// Property: Welford mean matches the arithmetic mean.
+func TestWelfordMeanProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var w Welford
+		sum := 0.0
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			w.Add(x)
+			sum += x
+			n++
+		}
+		if n == 0 {
+			return w.Count() == 0
+		}
+		want := sum / float64(n)
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(w.Mean()-want)/scale < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCumulativeAtAndCDF(t *testing.T) {
+	h := NewLatencyHist()
+	for i := 1; i <= 100; i++ {
+		h.Record(des.Time(i) * des.Millisecond)
+	}
+	if got := h.CumulativeAt(des.Microsecond); got != 0 {
+		t.Fatalf("CDF below min = %v", got)
+	}
+	if got := h.CumulativeAt(200 * des.Millisecond); got != 1 {
+		t.Fatalf("CDF above max = %v", got)
+	}
+	mid := h.CumulativeAt(50 * des.Millisecond)
+	if mid < 0.45 || mid > 0.55 {
+		t.Fatalf("CDF(50ms) = %v, want ≈0.5", mid)
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("no CDF points")
+	}
+	prevF, prevL := -1.0, des.Time(-1)
+	for _, p := range pts {
+		if p.Frac < prevF || p.Latency < prevL {
+			t.Fatalf("CDF not monotone at %v", p)
+		}
+		prevF, prevL = p.Frac, p.Latency
+	}
+	if pts[len(pts)-1].Frac != 1 {
+		t.Fatalf("CDF must end at 1, got %v", pts[len(pts)-1].Frac)
+	}
+	if NewLatencyHist().CDF() != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+	if NewLatencyHist().CumulativeAt(5) != 0 {
+		t.Fatal("empty CumulativeAt should be 0")
+	}
+}

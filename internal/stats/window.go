@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"uqsim/internal/des"
+)
+
+// WindowedTail tracks latency observations within a sliding virtual-time
+// window and answers quantile queries over only the recent window. The
+// power manager uses it to measure "tail latency over the last decision
+// interval" (Algorithm 1's stats input).
+type WindowedTail struct {
+	window des.Time
+	obs    []obsEntry // ring-ish buffer ordered by time
+}
+
+type obsEntry struct {
+	t des.Time
+	v des.Time
+}
+
+// NewWindowedTail returns a tracker keeping observations from the last
+// window of virtual time.
+func NewWindowedTail(window des.Time) *WindowedTail {
+	if window <= 0 {
+		panic("stats: window must be positive")
+	}
+	return &WindowedTail{window: window}
+}
+
+// Record adds an observation at virtual time now.
+func (w *WindowedTail) Record(now, v des.Time) {
+	w.evict(now)
+	w.obs = append(w.obs, obsEntry{t: now, v: v})
+}
+
+func (w *WindowedTail) evict(now des.Time) {
+	cutoff := now - w.window
+	i := 0
+	for i < len(w.obs) && w.obs[i].t < cutoff {
+		i++
+	}
+	if i > 0 {
+		w.obs = append(w.obs[:0], w.obs[i:]...)
+	}
+}
+
+// Count reports the number of live observations at virtual time now.
+func (w *WindowedTail) Count(now des.Time) int {
+	w.evict(now)
+	return len(w.obs)
+}
+
+// Quantile reports the q-quantile of observations within the window ending
+// at now. Returns (0, false) when the window holds no observations.
+func (w *WindowedTail) Quantile(now des.Time, q float64) (des.Time, bool) {
+	w.evict(now)
+	if len(w.obs) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, len(w.obs))
+	for i, o := range w.obs {
+		vals[i] = float64(o.v)
+	}
+	return des.FromNanos(Percentile(vals, q)), true
+}
+
+// Mean reports the mean of observations within the window ending at now.
+func (w *WindowedTail) Mean(now des.Time) (des.Time, bool) {
+	w.evict(now)
+	if len(w.obs) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, o := range w.obs {
+		sum += float64(o.v)
+	}
+	return des.FromNanos(sum / float64(len(w.obs))), true
+}
+
+// Reset drops all observations.
+func (w *WindowedTail) Reset() { w.obs = w.obs[:0] }

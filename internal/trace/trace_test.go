@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/job"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+// buildTraced assembles a 2-service chain with a tracer attached.
+func buildTraced(t *testing.T, sampleEvery int) (*sim.Sim, *Tracer) {
+	t.Helper()
+	s := sim.New(sim.Options{Seed: 9})
+	s.AddMachine("m0", 8, cluster.FreqSpec{})
+	for _, svc := range []struct {
+		name string
+		cost float64
+	}{{"front", float64(100 * des.Microsecond)}, {"back", float64(300 * des.Microsecond)}} {
+		if _, err := s.Deploy(service.SingleStage(svc.name, dist.NewDeterministic(svc.cost)),
+			sim.RoundRobin, sim.Placement{Machine: "m0", Cores: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetTopology(graph.Linear("main", "front", "back")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(sim.ClientConfig{Pattern: workload.ConstantRate(1000), Proc: workload.Uniform})
+	tr := New(sampleEvery)
+	s.OnJobDone = tr.OnJobDone
+	s.OnRequestDone = tr.OnRequestDone
+	return s, tr
+}
+
+func TestTracerRecordsSpans(t *testing.T) {
+	s, tr := buildTraced(t, 1)
+	if _, err := s.Run(0, 100*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	traces := tr.Traces()
+	if len(traces) < 90 {
+		t.Fatalf("traces = %d, want ≈100", len(traces))
+	}
+	r := traces[0]
+	if len(r.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(r.Spans))
+	}
+	if r.Latency() != 400*des.Microsecond {
+		t.Fatalf("latency %v, want 400µs", r.Latency())
+	}
+	crit, ok := r.CriticalSpan()
+	if !ok || crit.Service != "back" {
+		t.Fatalf("critical span %v, want back", crit.Service)
+	}
+	if crit.Residence() != 300*des.Microsecond {
+		t.Fatalf("critical residence %v", crit.Residence())
+	}
+	if crit.Instance != "back-0" {
+		t.Fatalf("instance %q", crit.Instance)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	s, tr := buildTraced(t, 10)
+	if _, err := s.Run(0, 100*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Traces())
+	if n < 8 || n > 12 {
+		t.Fatalf("sampled %d of ≈100 at 1/10", n)
+	}
+}
+
+func TestTracerSlowestOrdering(t *testing.T) {
+	s, tr := buildTraced(t, 1)
+	if _, err := s.Run(0, 100*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	slowest := tr.Slowest(5)
+	if len(slowest) != 5 {
+		t.Fatalf("slowest = %d", len(slowest))
+	}
+	for i := 1; i < len(slowest); i++ {
+		if slowest[i].Latency() > slowest[i-1].Latency() {
+			t.Fatal("slowest not sorted descending")
+		}
+	}
+}
+
+func TestTracerBoundedRetention(t *testing.T) {
+	s, tr := buildTraced(t, 1)
+	tr.MaxTraces = 10
+	if _, err := s.Run(0, 100*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Traces()) > 10 {
+		t.Fatalf("retention unbounded: %d", len(tr.Traces()))
+	}
+}
+
+func TestWaterfallRendering(t *testing.T) {
+	s, tr := buildTraced(t, 1)
+	if _, err := s.Run(0, 10*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	w := tr.Traces()[0].Waterfall()
+	for _, want := range []string{"request", "front", "back", "residence"} {
+		if !strings.Contains(w, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, w)
+		}
+	}
+}
+
+func TestCriticalSpanEmpty(t *testing.T) {
+	r := &Request{}
+	if _, ok := r.CriticalSpan(); ok {
+		t.Fatal("empty request should have no critical span")
+	}
+}
+
+func TestTracerIgnoresNilRequestJobs(t *testing.T) {
+	tr := New(1)
+	tr.OnJobDone(0, &job.Job{}, "x")
+	if tr.Sampled() != 0 {
+		t.Fatal("nil-request jobs must be ignored")
+	}
+}
+
+func TestNewClampsSampleEvery(t *testing.T) {
+	if New(0).SampleEvery != 1 {
+		t.Fatal("sampleEvery should clamp to 1")
+	}
+}

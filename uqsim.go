@@ -1,0 +1,332 @@
+// Package uqsim is a scalable, validated queueing-network simulator for
+// interactive microservices — a Go implementation of µqSim (Zhang, Gan,
+// Delimitrou: "µqSim: Enabling Accurate and Scalable Simulation for
+// Interactive Microservices", ISPASS 2019).
+//
+// µqSim models each microservice as a set of execution stages
+// (queue–consumer pairs with epoll/socket batching semantics), composes
+// microservices into dependency graphs with fan-out, fan-in
+// synchronization and connection-level blocking, and simulates request
+// flow across a cluster of DVFS-capable machines with shared
+// network-interrupt processing.
+//
+// # Quick start
+//
+//	s := uqsim.New(uqsim.Options{Seed: 1})
+//	s.AddMachine("m0", 16, uqsim.DefaultFreqSpec)
+//	s.Deploy(uqsim.SingleStageService("api", uqsim.Exponential(100*uqsim.Microsecond)),
+//		uqsim.RoundRobin, uqsim.Placement{Machine: "m0", Cores: 2})
+//	s.SetTopology(uqsim.LinearTopology("main", "api"))
+//	s.SetClient(uqsim.ClientConfig{Pattern: uqsim.ConstantRate(5000)})
+//	rep, _ := s.Run(uqsim.Second/5, uqsim.Second)
+//	fmt.Println(rep.Latency.P99())
+//
+// Prebuilt models of the paper's applications (NGINX, memcached, MongoDB,
+// Apache Thrift, a Social Network) and builders for each of its
+// experiments live in the Scenario functions (TwoTier, ThreeTier,
+// LoadBalanced, Fanout, ThriftHello, SocialNetwork, TailAtScale).
+// A JSON front-end mirroring the paper's Table I inputs is available via
+// LoadConfig.
+package uqsim
+
+import (
+	"uqsim/internal/apps"
+	"uqsim/internal/cache"
+	"uqsim/internal/cluster"
+	"uqsim/internal/config"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/monitor"
+	"uqsim/internal/power"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/stats"
+	"uqsim/internal/trace"
+	"uqsim/internal/workload"
+)
+
+// ---- core simulation types ----
+
+// Sim is one assembled simulation; see sim.Sim.
+type Sim = sim.Sim
+
+// Options seeds a simulation's random streams.
+type Options = sim.Options
+
+// Report is the outcome of a run.
+type Report = sim.Report
+
+// InstanceReport summarizes one instance after a run.
+type InstanceReport = sim.InstanceReport
+
+// ClientConfig describes the workload source.
+type ClientConfig = sim.ClientConfig
+
+// NetworkConfig models per-machine interrupt processing.
+type NetworkConfig = sim.NetworkConfig
+
+// Placement pins an instance onto a machine.
+type Placement = sim.Placement
+
+// Policy selects instance load balancing.
+type Policy = sim.Policy
+
+// Load-balancing policies.
+const (
+	RoundRobin  = sim.RoundRobin
+	Random      = sim.Random
+	LeastLoaded = sim.LeastLoaded
+)
+
+// New creates an empty simulation.
+func New(opts Options) *Sim { return sim.New(opts) }
+
+// ---- virtual time ----
+
+// Time is virtual time in nanoseconds.
+type Time = des.Time
+
+// Time units.
+const (
+	Nanosecond  = des.Nanosecond
+	Microsecond = des.Microsecond
+	Millisecond = des.Millisecond
+	Second      = des.Second
+)
+
+// ---- cluster ----
+
+// FreqSpec is a machine's DVFS range.
+type FreqSpec = cluster.FreqSpec
+
+// DefaultFreqSpec matches the paper's Xeon E5-2660 v3 (1.2–2.6 GHz).
+var DefaultFreqSpec = cluster.DefaultFreqSpec
+
+// ---- service models ----
+
+// Blueprint describes a microservice's internal architecture.
+type Blueprint = service.Blueprint
+
+// StageSpec is one execution stage.
+type StageSpec = service.StageSpec
+
+// PathSpec is one execution path through stages.
+type PathSpec = service.PathSpec
+
+// Execution models.
+const (
+	ModelSimple   = service.ModelSimple
+	ModelThreaded = service.ModelThreaded
+)
+
+// SingleStageService builds a one-stage FIFO microservice.
+func SingleStageService(name string, cost Sampler) *Blueprint {
+	return service.SingleStage(name, cost)
+}
+
+// ---- distributions ----
+
+// Sampler draws values (durations in ns) from a distribution.
+type Sampler = dist.Sampler
+
+// Deterministic returns a point-mass sampler.
+func Deterministic(v float64) Sampler { return dist.NewDeterministic(v) }
+
+// Exponential returns an exponential sampler with the given mean (ns; the
+// Time units compose naturally: Exponential(100*uqsim.Microsecond)).
+func Exponential(mean Time) Sampler { return dist.NewExponential(float64(mean)) }
+
+// Erlang returns an Erlang-k sampler with the given overall mean.
+func Erlang(k int, mean Time) Sampler { return dist.NewErlang(k, float64(mean)) }
+
+// LogNormal returns a lognormal sampler from real-space moments.
+func LogNormal(mean, stddev Time) Sampler {
+	return dist.LogNormalFromMoments(float64(mean), float64(stddev))
+}
+
+// ---- topology ----
+
+// Topology is the inter-microservice description.
+type Topology = graph.Topology
+
+// TreeNode is one inter-service path node.
+type TreeNode = graph.Node
+
+// Tree is one weighted path tree.
+type Tree = graph.Tree
+
+// ConnPool declares a connection pool.
+type ConnPool = graph.ConnPool
+
+// LinearTopology builds a pipeline through the named services.
+func LinearTopology(name string, services ...string) *Topology {
+	return graph.Linear(name, services...)
+}
+
+// ---- workload ----
+
+// Pattern yields a time-varying arrival rate.
+type Pattern = workload.Pattern
+
+// ConstantRate is a fixed QPS target.
+type ConstantRate = workload.ConstantRate
+
+// Diurnal is a sinusoidal load pattern.
+type Diurnal = workload.Diurnal
+
+// Burst is a two-state Markov-modulated (ON/OFF) load pattern.
+type Burst = workload.Burst
+
+// Arrival processes.
+const (
+	Poisson = workload.Poisson
+	Uniform = workload.Uniform
+)
+
+// ---- measurements ----
+
+// LatencyHist is a log-binned latency histogram with quantile queries.
+type LatencyHist = stats.LatencyHist
+
+// TimeSeries records (virtual time, value) pairs.
+type TimeSeries = stats.TimeSeries
+
+// ---- configuration front-end ----
+
+// ConfigSetup is a simulation assembled from JSON configs.
+type ConfigSetup = config.Setup
+
+// LoadConfig reads machines.json, service.json, graph.json, path.json, and
+// client.json from dir (the paper's Table I inputs).
+func LoadConfig(dir string) (*ConfigSetup, error) { return config.LoadDir(dir) }
+
+// ---- prebuilt application models ----
+
+// Application blueprints from the paper's evaluation.
+var (
+	// MemcachedModel is the paper's Listing 1 memcached.
+	MemcachedModel = apps.Memcached
+	// NginxModel is the NGINX webserver/proxy model.
+	NginxModel = apps.Nginx
+	// MongoDBModel is the multi-threaded, disk-blocking MongoDB model.
+	MongoDBModel = apps.MongoDB
+	// ThriftServerModel is an Apache Thrift RPC server model.
+	ThriftServerModel = apps.ThriftServer
+	// DefaultNetwork is the calibrated interrupt-processing model.
+	DefaultNetwork = apps.DefaultNetwork
+)
+
+// ---- prebuilt experiment scenarios ----
+
+// Scenario configurations (see the apps package for field semantics).
+type (
+	TwoTierConfig       = apps.TwoTierConfig
+	ThreeTierConfig     = apps.ThreeTierConfig
+	ScaleOutConfig      = apps.ScaleOutConfig
+	ThriftHelloConfig   = apps.ThriftHelloConfig
+	SocialNetworkConfig = apps.SocialNetworkConfig
+	TailAtScaleConfig   = apps.TailAtScaleConfig
+)
+
+// CachedTwoTierConfig parameterizes the emergent-cache scenario, where the
+// cache-hit probability is derived from a real LRU over Zipf-popular keys
+// instead of being configured.
+type CachedTwoTierConfig = apps.CachedTwoTierConfig
+
+// LRUCache is the live cache of a CachedTwoTier scenario.
+type LRUCache = cache.LRU
+
+// CachedTwoTier assembles the emergent-cache two-tier scenario; read the
+// returned cache's HitRatio after the run.
+func CachedTwoTier(cfg CachedTwoTierConfig) (*Sim, *LRUCache, error) {
+	return apps.CachedTwoTier(cfg)
+}
+
+// Scenario builders for the paper's experiments.
+func TwoTier(cfg TwoTierConfig) (*Sim, error)             { return apps.TwoTier(cfg) }
+func ThreeTier(cfg ThreeTierConfig) (*Sim, error)         { return apps.ThreeTier(cfg) }
+func LoadBalanced(cfg ScaleOutConfig) (*Sim, error)       { return apps.LoadBalanced(cfg) }
+func Fanout(cfg ScaleOutConfig) (*Sim, error)             { return apps.Fanout(cfg) }
+func ThriftHello(cfg ThriftHelloConfig) (*Sim, error)     { return apps.ThriftHello(cfg) }
+func SocialNetwork(cfg SocialNetworkConfig) (*Sim, error) { return apps.SocialNetwork(cfg) }
+func TailAtScale(cfg TailAtScaleConfig) (*Sim, error)     { return apps.TailAtScale(cfg) }
+
+// ---- monitoring ----
+
+// Monitor samples per-instance queue lengths, in-flight counts, and core
+// utilization on a virtual-time cadence.
+type Monitor = monitor.Monitor
+
+// MonitorSeries holds one watched instance's sampled time series.
+type MonitorSeries = monitor.Series
+
+// NewMonitor creates a monitor on the simulation's engine sampling every
+// interval of virtual time. Watch instances (e.g. from
+// Sim.Deployment(name).Instances) before Run, then Start it.
+func NewMonitor(s *Sim, interval Time) *Monitor {
+	return monitor.New(s.Engine(), interval)
+}
+
+// ---- request tracing ----
+
+// Tracer samples requests and reconstructs per-request execution
+// waterfalls (which tier on the critical path was slow).
+type Tracer = trace.Tracer
+
+// TraceRequest is one traced request with its spans.
+type TraceRequest = trace.Request
+
+// TraceSpan is one path-node execution within a traced request.
+type TraceSpan = trace.Span
+
+// NewTracer creates a tracer recording one of every sampleEvery requests.
+func NewTracer(sampleEvery int) *Tracer { return trace.New(sampleEvery) }
+
+// AttachTracer wires a tracer into a simulation's job/request hooks.
+// Attach before Run; it replaces any previously installed hooks.
+func AttachTracer(s *Sim, t *Tracer) {
+	s.OnJobDone = t.OnJobDone
+	s.OnRequestDone = t.OnRequestDone
+}
+
+// ---- power management ----
+
+// PowerManager runs the paper's Algorithm 1 QoS-aware DVFS controller.
+type PowerManager = power.Manager
+
+// PowerConfig parameterizes the controller.
+type PowerConfig = power.Config
+
+// PowerTier is one controllable tier.
+type PowerTier = power.Tier
+
+// NewPowerManager creates a controller; wire mgr.Observe to
+// Sim.OnRequestDone and call mgr.Start before Run.
+func NewPowerManager(s *Sim, cfg PowerConfig, tiers []*PowerTier) (*PowerManager, error) {
+	return power.New(s.Engine(), cfg, tiers)
+}
+
+// TiersOf builds PowerTiers from named deployments of s.
+func TiersOf(s *Sim, names ...string) ([]*PowerTier, error) {
+	var tiers []*PowerTier
+	for _, name := range names {
+		dep, ok := s.Deployment(name)
+		if !ok {
+			return nil, &UnknownDeploymentError{Name: name}
+		}
+		tier := &PowerTier{Name: name}
+		for _, in := range dep.Instances {
+			tier.Allocs = append(tier.Allocs, in.Alloc)
+		}
+		tiers = append(tiers, tier)
+	}
+	return tiers, nil
+}
+
+// UnknownDeploymentError reports a TiersOf lookup failure.
+type UnknownDeploymentError struct{ Name string }
+
+func (e *UnknownDeploymentError) Error() string {
+	return "uqsim: unknown deployment " + e.Name
+}
