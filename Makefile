@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test race bench bench-throughput examples
+
+# check is the tier-1 gate: everything CI runs.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every experiment benchmark once at reduced scale.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# bench-throughput tracks the simulator hot path (the "scalable" claim):
+# the policy variant must stay within a few percent of the base rate.
+bench-throughput:
+	$(GO) test -run xxx -bench 'BenchmarkSimulatorEventRate' -benchtime 5x .
+
+examples:
+	$(GO) build ./examples/...

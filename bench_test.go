@@ -49,6 +49,7 @@ func BenchmarkValidationSuite(b *testing.B)  { benchExperiment(b, "validation") 
 func BenchmarkExtTimeouts(b *testing.B)      { benchExperiment(b, "ext-timeouts") }
 func BenchmarkExtEmergentCache(b *testing.B) { benchExperiment(b, "ext-cache") }
 func BenchmarkScalability(b *testing.B)      { benchExperiment(b, "scalability") }
+func BenchmarkResilience(b *testing.B)       { benchExperiment(b, "resilience") }
 
 // ---- DESIGN.md ablations ----
 
@@ -66,6 +67,31 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s, err := TwoTier(TwoTierConfig{Seed: uint64(i + 1), QPS: 40000, Network: true})
 		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := s.Run(0, Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Completions), "req/op")
+		b.ReportMetric(float64(s.Engine().Processed()), "events/op")
+	}
+}
+
+// BenchmarkSimulatorEventRateWithPolicies is BenchmarkSimulatorEventRate
+// with a resilience policy guarding every memcached edge, measuring the
+// per-call cost of the attempt/timeout machinery on the hot path. The
+// timeout is far above the healthy p99, so no retries fire — this isolates
+// policy bookkeeping from fault handling.
+func BenchmarkSimulatorEventRateWithPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := TwoTier(TwoTierConfig{Seed: uint64(i + 1), QPS: 40000, Network: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.SetServicePolicy("memcached", ResiliencePolicy{
+			Timeout: Second, MaxRetries: 2, BackoffBase: Millisecond,
+		}); err != nil {
 			b.Fatal(err)
 		}
 		rep, err := s.Run(0, Second)

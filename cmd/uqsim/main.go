@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uqsim -config configs/twotier [-qps 30000] [-duration 2s] [-csv]
+//	uqsim -config configs/twotier [-qps 30000] [-duration 2s] [-csv] [-faults faults.json]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "override the measured window (virtual time)")
 	warmup := flag.Duration("warmup", 0, "override the warmup window (virtual time)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	faults := flag.String("faults", "", "faults.json with resilience policies and a fault plan (overrides <config>/faults.json)")
 	flag.Parse()
 
 	if *cfgDir == "" {
@@ -33,14 +34,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*cfgDir, *qps, *warmup, *duration, *csv); err != nil {
+	if err := run(*cfgDir, *faults, *qps, *warmup, *duration, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "uqsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgDir string, qps float64, warmup, duration time.Duration, csv bool) error {
-	setup, err := config.LoadDir(cfgDir)
+func run(cfgDir, faultsPath string, qps float64, warmup, duration time.Duration, csv bool) error {
+	var setup *config.Setup
+	var err error
+	if faultsPath != "" {
+		setup, err = config.LoadDirWithFaults(cfgDir, faultsPath)
+	} else {
+		setup, err = config.LoadDir(cfgDir)
+	}
 	if err != nil {
 		return err
 	}

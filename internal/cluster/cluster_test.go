@@ -184,3 +184,43 @@ func TestClampProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPoolSurvivesJobDeathMidStage is the fault-injection regression: when
+// an instance is killed while a job holds a pool unit, the unit is released
+// exactly once by the deferred stage-completion event. The release protocol
+// must neither leak the unit (capacity lost forever) nor release it twice
+// (busy underflow, which panics).
+func TestPoolSurvivesJobDeathMidStage(t *testing.T) {
+	m := NewMachine("m0", 4, DefaultFreqSpec)
+	p := m.AddPool("disk", 1)
+
+	// Job acquires the unit, then its instance dies mid-stage. The kill
+	// itself must NOT release the unit — the deferred completion event
+	// owns the release.
+	if !p.TryAcquire() {
+		t.Fatal("acquire")
+	}
+	// (instance killed here — nothing happens to the pool)
+	if p.InUse() != 1 {
+		t.Fatalf("kill must not release; in use %d", p.InUse())
+	}
+	// The stale completion event fires later and performs the single
+	// release, making the unit available again.
+	p.Release()
+	if p.InUse() != 0 {
+		t.Fatalf("in use %d after deferred release", p.InUse())
+	}
+	if !p.TryAcquire() {
+		t.Fatal("unit should be reusable after the owner died")
+	}
+	p.Release()
+
+	// A second release for the same acquisition is an accounting bug and
+	// must panic rather than silently corrupt capacity.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	p.Release()
+}

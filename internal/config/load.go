@@ -1,6 +1,7 @@
 package config
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"uqsim/internal/cluster"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/queueing"
 	"uqsim/internal/service"
@@ -28,64 +30,103 @@ type Setup struct {
 func (s *Setup) Run() (*sim.Report, error) { return s.Sim.Run(s.Warmup, s.Duration) }
 
 // LoadDir reads machines.json, service.json, graph.json, path.json, and
-// client.json from dir and assembles the simulation.
+// client.json from dir and assembles the simulation. An optional faults.json
+// adds resilience policies and a fault-injection plan.
 func LoadDir(dir string) (*Setup, error) {
-	read := func(name string) ([]byte, error) {
+	docs, err := readBaseDocs(dir)
+	if err != nil {
+		return nil, err
+	}
+	faults, err := os.ReadFile(filepath.Join(dir, "faults.json"))
+	if os.IsNotExist(err) {
+		return Assemble(docs[0], docs[1], docs[2], docs[3], docs[4])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("config: reading faults.json: %w", err)
+	}
+	return Assemble(docs[0], docs[1], docs[2], docs[3], docs[4], faults)
+}
+
+// LoadDirWithFaults is LoadDir with an explicit faults document replacing
+// any dir/faults.json. Unlike LoadDir's optional lookup, faultsPath must
+// exist.
+func LoadDirWithFaults(dir, faultsPath string) (*Setup, error) {
+	docs, err := readBaseDocs(dir)
+	if err != nil {
+		return nil, err
+	}
+	faults, err := os.ReadFile(faultsPath)
+	if err != nil {
+		return nil, fmt.Errorf("config: reading %s: %w", faultsPath, err)
+	}
+	return Assemble(docs[0], docs[1], docs[2], docs[3], docs[4], faults)
+}
+
+// readBaseDocs reads the five required config documents from dir in
+// machines, service, graph, path, client order.
+func readBaseDocs(dir string) ([5][]byte, error) {
+	var docs [5][]byte
+	for i, name := range [5]string{"machines.json", "service.json", "graph.json", "path.json", "client.json"} {
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, fmt.Errorf("config: reading %s: %w", name, err)
+			return docs, fmt.Errorf("config: reading %s: %w", name, err)
 		}
-		return b, nil
+		docs[i] = b
 	}
-	machines, err := read("machines.json")
-	if err != nil {
-		return nil, err
-	}
-	services, err := read("service.json")
-	if err != nil {
-		return nil, err
-	}
-	graphB, err := read("graph.json")
-	if err != nil {
-		return nil, err
-	}
-	paths, err := read("path.json")
-	if err != nil {
-		return nil, err
-	}
-	client, err := read("client.json")
-	if err != nil {
-		return nil, err
-	}
-	return Assemble(machines, services, graphB, paths, client)
+	return docs, nil
 }
 
-// Assemble builds a simulation from the five JSON documents.
-func Assemble(machinesJSON, servicesJSON, graphJSON, pathsJSON, clientJSON []byte) (*Setup, error) {
+// decodeStrict unmarshals one config document, rejecting unknown JSON keys
+// so typos fail loudly ("json: unknown field ...") instead of being ignored.
+func decodeStrict(name string, data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("config: %s: %w", name, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("config: %s: trailing data after JSON document", name)
+	}
+	return nil
+}
+
+// Assemble builds a simulation from the five JSON documents plus an
+// optional sixth faults.json document.
+func Assemble(machinesJSON, servicesJSON, graphJSON, pathsJSON, clientJSON []byte, faultsJSON ...[]byte) (*Setup, error) {
 	var mf MachinesFile
-	if err := json.Unmarshal(machinesJSON, &mf); err != nil {
-		return nil, fmt.Errorf("config: machines.json: %w", err)
+	if err := decodeStrict("machines.json", machinesJSON, &mf); err != nil {
+		return nil, err
 	}
 	var sf ServicesFile
-	if err := json.Unmarshal(servicesJSON, &sf); err != nil {
-		return nil, fmt.Errorf("config: service.json: %w", err)
+	if err := decodeStrict("service.json", servicesJSON, &sf); err != nil {
+		return nil, err
 	}
 	var gf GraphFile
-	if err := json.Unmarshal(graphJSON, &gf); err != nil {
-		return nil, fmt.Errorf("config: graph.json: %w", err)
+	if err := decodeStrict("graph.json", graphJSON, &gf); err != nil {
+		return nil, err
 	}
 	var pf PathsFile
-	if err := json.Unmarshal(pathsJSON, &pf); err != nil {
-		return nil, fmt.Errorf("config: path.json: %w", err)
+	if err := decodeStrict("path.json", pathsJSON, &pf); err != nil {
+		return nil, err
 	}
 	var cf ClientFile
-	if err := json.Unmarshal(clientJSON, &cf); err != nil {
-		return nil, fmt.Errorf("config: client.json: %w", err)
+	if err := decodeStrict("client.json", clientJSON, &cf); err != nil {
+		return nil, err
 	}
-	return assemble(&mf, &sf, &gf, &pf, &cf)
+	var ff *FaultsFile
+	if len(faultsJSON) > 1 {
+		return nil, fmt.Errorf("config: at most one faults.json document, got %d", len(faultsJSON))
+	}
+	if len(faultsJSON) == 1 {
+		ff = &FaultsFile{}
+		if err := decodeStrict("faults.json", faultsJSON[0], ff); err != nil {
+			return nil, err
+		}
+	}
+	return assemble(&mf, &sf, &gf, &pf, &cf, ff)
 }
 
-func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, cf *ClientFile) (*Setup, error) {
+func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, cf *ClientFile, ff *FaultsFile) (*Setup, error) {
 	if cf.DurationS <= 0 {
 		return nil, fmt.Errorf("config: client.json needs a positive duration_s")
 	}
@@ -249,11 +290,101 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	}
 	s.SetClient(cc)
 
+	// Faults (last: policies and plans reference deployments + topology).
+	if ff != nil {
+		if err := applyFaults(s, ff); err != nil {
+			return nil, err
+		}
+	}
+
 	return &Setup{
 		Sim:      s,
 		Warmup:   des.FromSeconds(cf.WarmupS),
 		Duration: des.FromSeconds(cf.DurationS),
 	}, nil
+}
+
+// faultKinds maps faults.json kind names to fault.Kind values (the inverse
+// of Kind.String).
+var faultKinds = map[string]fault.Kind{
+	"crash_machine":    fault.CrashMachine,
+	"recover_machine":  fault.RecoverMachine,
+	"kill_instance":    fault.KillInstance,
+	"restart_instance": fault.RestartInstance,
+	"degrade_freq":     fault.DegradeFreq,
+	"edge_latency":     fault.EdgeLatency,
+}
+
+// applyFaults installs faults.json's policies, shedding bounds, and fault
+// plan on an assembled simulation.
+func applyFaults(s *sim.Sim, ff *FaultsFile) error {
+	ms := func(v float64) des.Time { return des.FromSeconds(v / 1000) }
+	for i, ps := range ff.Policies {
+		p := fault.Policy{
+			Timeout:       ms(ps.TimeoutMs),
+			MaxRetries:    ps.MaxRetries,
+			BackoffBase:   ms(ps.BackoffBaseMs),
+			BackoffJitter: ps.BackoffJitter,
+		}
+		if ps.Breaker != nil {
+			p.Breaker = &fault.BreakerSpec{
+				ErrorThreshold: ps.Breaker.ErrorThreshold,
+				Window:         ps.Breaker.Window,
+				Cooldown:       ms(ps.Breaker.CooldownMs),
+			}
+		}
+		switch {
+		case ps.Tree != "":
+			if ps.Node == nil {
+				return fmt.Errorf("config: faults.json policy %d: tree %q needs a node", i, ps.Tree)
+			}
+			if err := s.SetNodePolicy(ps.Tree, *ps.Node, p); err != nil {
+				return fmt.Errorf("config: faults.json policy %d: %w", i, err)
+			}
+		case ps.Service != "":
+			if ps.Node != nil {
+				return fmt.Errorf("config: faults.json policy %d: node %d needs a tree", i, *ps.Node)
+			}
+			if err := s.SetServicePolicy(ps.Service, p); err != nil {
+				return fmt.Errorf("config: faults.json policy %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("config: faults.json policy %d needs a service or a tree+node", i)
+		}
+	}
+	for i, sh := range ff.Shedding {
+		if err := s.SetMaxQueue(sh.Service, sh.MaxQueue); err != nil {
+			return fmt.Errorf("config: faults.json shedding %d: %w", i, err)
+		}
+	}
+	if len(ff.Events) == 0 {
+		return nil
+	}
+	var plan fault.Plan
+	for i, es := range ff.Events {
+		kind, ok := faultKinds[strings.ToLower(es.Kind)]
+		if !ok {
+			return fmt.Errorf("config: faults.json event %d: unknown kind %q", i, es.Kind)
+		}
+		inst := -1
+		if es.Instance != nil {
+			inst = *es.Instance
+		}
+		plan.Events = append(plan.Events, fault.Event{
+			At:       des.FromSeconds(es.AtS),
+			Kind:     kind,
+			Machine:  es.Machine,
+			Service:  es.Service,
+			Instance: inst,
+			FreqMHz:  es.FreqMHz,
+			Extra:    ms(es.ExtraMs),
+			Until:    des.FromSeconds(es.UntilS),
+		})
+	}
+	if err := s.InstallFaults(plan); err != nil {
+		return fmt.Errorf("config: faults.json: %w", err)
+	}
+	return nil
 }
 
 func buildBlueprint(svc *ServiceSpec) (*service.Blueprint, error) {

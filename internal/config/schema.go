@@ -175,3 +175,56 @@ type DiurnalSpec struct {
 	PeriodS   float64 `json:"period_s"`
 	Floor     float64 `json:"floor,omitempty"`
 }
+
+// FaultsFile is the optional faults.json schema: per-edge resilience
+// policies, queue-length load shedding, and a deterministic fault-injection
+// plan.
+type FaultsFile struct {
+	Policies []EdgePolicySpec `json:"policies,omitempty"`
+	Shedding []ShedSpec       `json:"shedding,omitempty"`
+	Events   []FaultEventSpec `json:"events,omitempty"`
+}
+
+// EdgePolicySpec guards RPC edges with timeouts, backoff retries, and
+// circuit breaking. With only Service set it covers every edge into that
+// service; with Tree and Node set it overrides the policy for the edge into
+// that one path-tree node.
+type EdgePolicySpec struct {
+	Service       string       `json:"service,omitempty"`
+	Tree          string       `json:"tree,omitempty"`
+	Node          *int         `json:"node,omitempty"`
+	TimeoutMs     float64      `json:"timeout_ms,omitempty"`
+	MaxRetries    int          `json:"max_retries,omitempty"`
+	BackoffBaseMs float64      `json:"backoff_base_ms,omitempty"`
+	BackoffJitter float64      `json:"backoff_jitter,omitempty"`
+	Breaker       *BreakerSpec `json:"breaker,omitempty"`
+}
+
+// BreakerSpec configures an edge's circuit breaker.
+type BreakerSpec struct {
+	ErrorThreshold float64 `json:"error_threshold"`
+	Window         int     `json:"window"`
+	CooldownMs     float64 `json:"cooldown_ms"`
+}
+
+// ShedSpec bounds a service's per-instance queue length: arrivals beyond
+// max_queue queued jobs are rejected immediately.
+type ShedSpec struct {
+	Service  string `json:"service"`
+	MaxQueue int    `json:"max_queue"`
+}
+
+// FaultEventSpec schedules one fault action. Kind is one of crash_machine,
+// recover_machine, kill_instance, restart_instance, degrade_freq,
+// edge_latency.
+type FaultEventSpec struct {
+	AtS     float64 `json:"at_s"`
+	Kind    string  `json:"kind"`
+	Machine string  `json:"machine,omitempty"`
+	Service string  `json:"service,omitempty"`
+	// Instance selects one instance of Service; omitted → every instance.
+	Instance *int    `json:"instance,omitempty"`
+	FreqMHz  float64 `json:"freq_mhz,omitempty"`
+	ExtraMs  float64 `json:"extra_ms,omitempty"`
+	UntilS   float64 `json:"until_s,omitempty"`
+}

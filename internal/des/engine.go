@@ -10,7 +10,9 @@ import (
 type Callback func(now Time)
 
 // Event is a handle to a scheduled callback. It can be cancelled until it
-// fires; cancellation is O(1) (the heap entry is lazily discarded).
+// fires; cancellation removes the heap entry in O(log n), so heavily
+// cancelled workloads (e.g. RPC timeout guards that almost never fire)
+// don't bloat the queue.
 type Event struct {
 	at       Time
 	seq      uint64
@@ -74,8 +76,7 @@ func New() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of events currently scheduled (including
-// cancelled-but-unreaped entries).
+// Pending reports the number of live events currently scheduled.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Processed reports how many events have fired since construction.
@@ -106,17 +107,17 @@ func (e *Engine) After(d Time, fn Callback) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel prevents ev from firing. Cancelling an already-fired or
-// already-cancelled event is a harmless no-op.
+// Cancel prevents ev from firing and removes its heap entry. Cancelling an
+// already-fired or already-cancelled event is a harmless no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+	if ev == nil || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	e.canceled++
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+		e.canceled++
+	}
 }
 
 // Step fires the single earliest pending event. It reports false when the

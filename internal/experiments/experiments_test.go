@@ -107,6 +107,19 @@ func smoke(t *testing.T, id string) *Table {
 	return tb
 }
 
+func TestResilienceSmoke(t *testing.T) {
+	tb := smoke(t, "resilience")
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows %d, want 8 scenarios", len(tb.Rows))
+	}
+	leakCol := len(tb.Columns) - 1
+	for _, r := range tb.Rows {
+		if r[leakCol] != "0" {
+			t.Fatalf("scenario %s/%s leaked %s requests", r[0], r[1], r[leakCol])
+		}
+	}
+}
+
 func TestFig5Smoke(t *testing.T) {
 	tb := smoke(t, "fig5")
 	// Four configurations appear.

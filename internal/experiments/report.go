@@ -8,16 +8,20 @@ import (
 )
 
 // ReportTables renders a simulation report as summary, per-tier, and
-// per-instance tables — shared by the CLI tools.
+// per-instance tables — shared by the CLI tools. Runs with failed calls gain
+// a fourth per-service error-breakdown table.
 func ReportTables(rep *sim.Report) []*Table {
 	sum := NewTable("Run summary",
-		"offered_qps", "goodput_qps", "completions", "timeouts",
+		"offered_qps", "goodput_qps", "completions", "timeouts", "shed", "dropped", "retries",
 		"mean_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "in_flight")
 	sum.Add(
 		fmt.Sprintf("%.0f", rep.OfferedQPS),
 		fmt.Sprintf("%.0f", rep.GoodputQPS),
 		fmt.Sprintf("%d", rep.Completions),
 		fmt.Sprintf("%d", rep.Timeouts),
+		fmt.Sprintf("%d", rep.Shed),
+		fmt.Sprintf("%d", rep.Dropped),
+		fmt.Sprintf("%d", rep.Retries),
 		fmt.Sprintf("%.3f", rep.Latency.Mean().Millis()),
 		fmt.Sprintf("%.3f", rep.Latency.P50().Millis()),
 		fmt.Sprintf("%.3f", rep.Latency.P95().Millis()),
@@ -41,13 +45,36 @@ func ReportTables(rep *sim.Report) []*Table {
 	}
 
 	insts := NewTable("Instances",
-		"instance", "service", "machine", "cores", "util", "completed", "qlen")
+		"instance", "service", "machine", "cores", "util", "completed", "shed", "dropped", "qlen")
 	for _, ir := range rep.Instances {
 		insts.Add(ir.Name, ir.Service, ir.Machine,
 			fmt.Sprintf("%d", ir.Cores),
 			fmt.Sprintf("%.2f", ir.Utilization),
 			fmt.Sprintf("%d", ir.Completed),
+			fmt.Sprintf("%d", ir.Shed),
+			fmt.Sprintf("%d", ir.Dropped),
 			fmt.Sprintf("%d", ir.QueueLen))
 	}
-	return []*Table{sum, tiers, insts}
+	out := []*Table{sum, tiers, insts}
+
+	if len(rep.Errors) > 0 {
+		errs := NewTable("Per-service call errors",
+			"service", "timeouts", "shed", "dropped", "breaker_open", "retries")
+		svcs := make([]string, 0, len(rep.Errors))
+		for name := range rep.Errors {
+			svcs = append(svcs, name)
+		}
+		sort.Strings(svcs)
+		for _, name := range svcs {
+			ec := rep.Errors[name]
+			errs.Add(name,
+				fmt.Sprintf("%d", ec.Timeouts),
+				fmt.Sprintf("%d", ec.Shed),
+				fmt.Sprintf("%d", ec.Dropped),
+				fmt.Sprintf("%d", ec.BreakerOpen),
+				fmt.Sprintf("%d", ec.Retries))
+		}
+		out = append(out, errs)
+	}
+	return out
 }

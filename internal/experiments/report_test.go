@@ -7,6 +7,7 @@ import (
 	"uqsim/internal/cluster"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/service"
 	"uqsim/internal/sim"
@@ -51,5 +52,38 @@ func TestReportTables(t *testing.T) {
 	// CSV renders without error and with matching row counts.
 	if got := strings.Count(sum.CSV(), "\n"); got != 2 {
 		t.Fatalf("summary csv lines %d", got)
+	}
+}
+
+func TestReportTablesErrorBreakdown(t *testing.T) {
+	s := sim.New(sim.Options{Seed: 2})
+	s.AddMachine("m0", 4, cluster.FreqSpec{})
+	if _, err := s.Deploy(service.SingleStage("svc", dist.NewDeterministic(float64(100*des.Microsecond))),
+		sim.RoundRobin, sim.Placement{Machine: "m0", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTopology(graph.Linear("main", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(sim.ClientConfig{Pattern: workload.ConstantRate(1000)})
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+		{At: 300 * des.Millisecond, Kind: fault.KillInstance, Service: "svc", Instance: -1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := ReportTables(rep)
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d, want errors table appended", len(tables))
+	}
+	errs := tables[3]
+	if len(errs.Rows) != 1 || errs.Rows[0][0] != "svc" {
+		t.Fatalf("error rows %v", errs.Rows)
+	}
+	if errs.Rows[0][3] == "0" {
+		t.Fatalf("svc dropped column should be nonzero: %v", errs.Rows[0])
 	}
 }

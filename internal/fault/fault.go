@@ -1,0 +1,146 @@
+// Package fault defines µqSim's fault-injection and resilience model: a
+// deterministic, seeded schedule of infrastructure faults (machine crashes,
+// instance kills, frequency degradation, edge latency) plus per-RPC-edge
+// resilience policies (timeouts, exponential-backoff retries, circuit
+// breaking). The package is purely descriptive plus small deterministic
+// state machines; the sim package interprets plans and enforces policies.
+//
+// The fault vocabulary mirrors what operators of interactive microservices
+// actually rehearse: what happens when a machine dies mid-run, a dependency
+// slows down, or a retry storm cascades through the fan-out graph. Related
+// simulators (PerfSim's chain-level failures, CloudNativeSim's resilience
+// scenarios) treat these as first-class inputs; µqSim does too.
+package fault
+
+import (
+	"fmt"
+
+	"uqsim/internal/des"
+)
+
+// Kind enumerates the injectable fault actions.
+type Kind int
+
+// Fault kinds.
+const (
+	// CrashMachine takes a whole machine down: every instance on it
+	// (including its network-processing service) drops queued and
+	// in-flight jobs, which propagate failure to upstream callers.
+	CrashMachine Kind = iota
+	// RecoverMachine restarts every instance on a crashed machine with
+	// empty queues.
+	RecoverMachine
+	// KillInstance takes one instance of a service down.
+	KillInstance
+	// RestartInstance brings a killed instance back.
+	RestartInstance
+	// DegradeFreq clamps every allocation on a machine to the given
+	// frequency (a thermal event, a noisy neighbour, a bad BIOS update).
+	DegradeFreq
+	// EdgeLatency adds fixed latency to every RPC delivered into a
+	// service between At and Until (a slow dependency, a packet-loss
+	// episode on one link).
+	EdgeLatency
+)
+
+// String names the kind as it appears in faults.json.
+func (k Kind) String() string {
+	switch k {
+	case CrashMachine:
+		return "crash_machine"
+	case RecoverMachine:
+		return "recover_machine"
+	case KillInstance:
+		return "kill_instance"
+	case RestartInstance:
+		return "restart_instance"
+	case DegradeFreq:
+		return "degrade_freq"
+	case EdgeLatency:
+		return "edge_latency"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault action.
+type Event struct {
+	// At is the virtual time the fault fires.
+	At des.Time
+	// Kind selects the action.
+	Kind Kind
+	// Machine names the target machine (CrashMachine, RecoverMachine,
+	// DegradeFreq).
+	Machine string
+	// Service names the target service (KillInstance, RestartInstance,
+	// EdgeLatency).
+	Service string
+	// Instance selects the instance index within the service's
+	// deployment (KillInstance, RestartInstance); -1 targets all.
+	Instance int
+	// FreqMHz is the degraded frequency (DegradeFreq).
+	FreqMHz float64
+	// Extra is the added per-delivery latency (EdgeLatency).
+	Extra des.Time
+	// Until ends a windowed fault (EdgeLatency); 0 means it lasts until
+	// the end of the run.
+	Until des.Time
+}
+
+// Validate checks an event's internal consistency.
+func (e Event) Validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("fault: event %s at negative time %v", e.Kind, e.At)
+	}
+	switch e.Kind {
+	case CrashMachine, RecoverMachine:
+		if e.Machine == "" {
+			return fmt.Errorf("fault: %s needs a machine", e.Kind)
+		}
+	case DegradeFreq:
+		if e.Machine == "" {
+			return fmt.Errorf("fault: %s needs a machine", e.Kind)
+		}
+		if e.FreqMHz <= 0 {
+			return fmt.Errorf("fault: %s needs a positive freq_mhz", e.Kind)
+		}
+	case KillInstance, RestartInstance:
+		if e.Service == "" {
+			return fmt.Errorf("fault: %s needs a service", e.Kind)
+		}
+		if e.Instance < -1 {
+			return fmt.Errorf("fault: %s instance %d out of range", e.Kind, e.Instance)
+		}
+	case EdgeLatency:
+		if e.Service == "" {
+			return fmt.Errorf("fault: %s needs a service", e.Kind)
+		}
+		if e.Extra <= 0 {
+			return fmt.Errorf("fault: %s needs positive extra latency", e.Kind)
+		}
+		if e.Until != 0 && e.Until <= e.At {
+			return fmt.Errorf("fault: %s until %v not after at %v", e.Kind, e.Until, e.At)
+		}
+	default:
+		return fmt.Errorf("fault: unknown kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// Plan is a deterministic schedule of fault events. The same plan under the
+// same simulation seed always produces the same run.
+type Plan struct {
+	Events []Event
+}
+
+// Validate checks every event.
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan schedules anything.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }

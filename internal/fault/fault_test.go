@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"testing"
+
+	"uqsim/internal/des"
+	"uqsim/internal/rng"
+)
+
+func TestEventValidation(t *testing.T) {
+	good := []Event{
+		{At: des.Second, Kind: CrashMachine, Machine: "m0"},
+		{At: 2 * des.Second, Kind: RecoverMachine, Machine: "m0"},
+		{At: 0, Kind: KillInstance, Service: "svc", Instance: -1},
+		{At: 0, Kind: RestartInstance, Service: "svc", Instance: 1},
+		{At: 0, Kind: DegradeFreq, Machine: "m0", FreqMHz: 1200},
+		{At: des.Second, Kind: EdgeLatency, Service: "svc",
+			Extra: des.Millisecond, Until: 2 * des.Second},
+	}
+	for i, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("event %d (%s): unexpected error %v", i, e.Kind, err)
+		}
+	}
+	bad := []Event{
+		{At: -1, Kind: CrashMachine, Machine: "m0"},
+		{Kind: CrashMachine},                      // no machine
+		{Kind: KillInstance},                      // no service
+		{Kind: DegradeFreq, Machine: "m0"},        // no freq
+		{Kind: EdgeLatency, Service: "svc"},       // no latency
+		{Kind: Kind(99), Machine: "m0"},           // unknown kind
+		{At: des.Second, Kind: EdgeLatency, Service: "svc",
+			Extra: des.Millisecond, Until: des.Millisecond}, // until before at
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad event %d (%s): validation passed", i, e.Kind)
+		}
+	}
+}
+
+func TestPlanValidateNamesOffender(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: CrashMachine, Machine: "m0"},
+		{Kind: KillInstance}, // invalid
+	}}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("invalid plan passed validation")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	ok := Policy{Timeout: des.Millisecond, MaxRetries: 3,
+		BackoffBase: 100 * des.Microsecond, BackoffJitter: 0.2}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	retriesWithoutTimeout := Policy{MaxRetries: 1}
+	if err := retriesWithoutTimeout.Validate(); err == nil {
+		t.Fatal("retries without timeout should fail validation")
+	}
+	badJitter := Policy{Timeout: des.Millisecond, BackoffJitter: 1.5}
+	if err := badJitter.Validate(); err == nil {
+		t.Fatal("jitter > 1 should fail validation")
+	}
+}
+
+func TestBackoffDoublesAndJitters(t *testing.T) {
+	p := Policy{BackoffBase: des.Millisecond}
+	r := rng.New(1)
+	if got := p.Backoff(1, r); got != des.Millisecond {
+		t.Fatalf("attempt 1: %v, want 1ms", got)
+	}
+	if got := p.Backoff(3, r); got != 4*des.Millisecond {
+		t.Fatalf("attempt 3: %v, want 4ms", got)
+	}
+	// Jitter keeps the delay within ±20% and actually varies.
+	p.BackoffJitter = 0.2
+	seen := map[des.Time]bool{}
+	for i := 0; i < 32; i++ {
+		d := p.Backoff(2, r)
+		lo, hi := des.Time(float64(2*des.Millisecond)*0.8), des.Time(float64(2*des.Millisecond)*1.2)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v,%v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced no variation")
+	}
+	// Zero base → immediate retry regardless of jitter.
+	zero := Policy{BackoffJitter: 0.5}
+	if got := zero.Backoff(2, r); got != 0 {
+		t.Fatalf("zero base gave %v", got)
+	}
+}
+
+func TestBackoffDeterministicPerStream(t *testing.T) {
+	p := Policy{BackoffBase: des.Millisecond, BackoffJitter: 0.3}
+	a, b := rng.New(7), rng.New(7)
+	for i := 1; i <= 8; i++ {
+		if da, db := p.Backoff(i, a), p.Backoff(i, b); da != db {
+			t.Fatalf("attempt %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := NewBreaker(BreakerSpec{ErrorThreshold: 0.5, Window: 4, Cooldown: des.Second})
+	now := des.Time(0)
+	// 3 successes + 1 failure: 25% < 50%, stays closed.
+	for _, f := range []bool{false, false, false, true} {
+		b.Record(now, f)
+	}
+	if b.State(now) != BreakerClosed {
+		t.Fatalf("state %v after 25%% errors", b.State(now))
+	}
+	// Slide in another failure: window is now {f,f,t,t}? No — rolling:
+	// oldest success evicted. Keep feeding failures until ≥50%.
+	b.Record(now, true)
+	if b.State(now) != BreakerOpen {
+		t.Fatalf("state %v, want open at 50%% errors", b.State(now))
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips %d", b.Trips())
+	}
+	if b.Allow(now) {
+		t.Fatal("open breaker allowed a call")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(BreakerSpec{ErrorThreshold: 0.5, Window: 2, Cooldown: 10 * des.Millisecond})
+	b.Record(0, true)
+	b.Record(0, true)
+	if b.State(0) != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	// Before cooldown: blocked.
+	if b.Allow(5 * des.Millisecond) {
+		t.Fatal("allowed during cooldown")
+	}
+	// After cooldown: exactly one probe.
+	now := 11 * des.Millisecond
+	if !b.Allow(now) {
+		t.Fatal("half-open should admit one probe")
+	}
+	if b.Allow(now) {
+		t.Fatal("second probe admitted while first outstanding")
+	}
+	// Probe fails → reopen, fresh cooldown.
+	b.Record(now, true)
+	if b.State(now) != BreakerOpen {
+		t.Fatalf("state %v after failed probe", b.State(now))
+	}
+	if b.Allow(now + 5*des.Millisecond) {
+		t.Fatal("reopened breaker allowed a call inside new cooldown")
+	}
+	// Next probe succeeds → closed, window cleared.
+	now += 12 * des.Millisecond
+	if !b.Allow(now) {
+		t.Fatal("second half-open probe blocked")
+	}
+	b.Record(now, false)
+	if b.State(now) != BreakerClosed {
+		t.Fatalf("state %v after successful probe", b.State(now))
+	}
+	// One failure in the fresh window must not trip (window not full).
+	b.Record(now, true)
+	if b.State(now) != BreakerClosed {
+		t.Fatal("tripped on a partially filled window")
+	}
+}
+
+func TestBreakerIgnoresLateOutcomesWhileOpen(t *testing.T) {
+	b := NewBreaker(BreakerSpec{ErrorThreshold: 1, Window: 1, Cooldown: des.Second})
+	b.Record(0, true)
+	if b.State(0) != BreakerOpen {
+		t.Fatal("should be open")
+	}
+	// A straggler success from before the trip must not close it.
+	b.Record(des.Millisecond, false)
+	if b.State(des.Millisecond) != BreakerOpen {
+		t.Fatal("late outcome closed an open breaker")
+	}
+}

@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"fmt"
+
+	"uqsim/internal/des"
+	"uqsim/internal/rng"
+)
+
+// Policy is the resilience contract of one RPC edge (one caller→service
+// hop of an inter-microservice path tree). The zero value means "no
+// protection": infinite patience, no retries, no breaker.
+type Policy struct {
+	// Timeout bounds one attempt (transit + queueing + service). The
+	// abandoned attempt keeps consuming server resources — timeouts free
+	// the caller, not the callee.
+	Timeout des.Time
+	// MaxRetries re-issues a failed attempt (timeout, shed, or dead
+	// instance) up to this many times against a healthy instance.
+	MaxRetries int
+	// BackoffBase is the first retry delay; attempt k waits
+	// BackoffBase·2^k (0: retry immediately, the classic storm).
+	BackoffBase des.Time
+	// BackoffJitter spreads each delay uniformly over ±jitter fraction
+	// (0.2 → delay·[0.8,1.2]), decorrelating synchronized retries.
+	BackoffJitter float64
+	// Breaker fails calls fast while the edge's recent error rate is
+	// above threshold, giving the callee room to recover.
+	Breaker *BreakerSpec
+}
+
+// Validate checks parameter ranges.
+func (p *Policy) Validate() error {
+	if p.Timeout < 0 {
+		return fmt.Errorf("fault: policy timeout %v negative", p.Timeout)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("fault: policy max_retries %d negative", p.MaxRetries)
+	}
+	if p.MaxRetries > 0 && p.Timeout <= 0 {
+		return fmt.Errorf("fault: policy retries need a timeout to detect failure")
+	}
+	if p.BackoffBase < 0 {
+		return fmt.Errorf("fault: policy backoff_base %v negative", p.BackoffBase)
+	}
+	if p.BackoffJitter < 0 || p.BackoffJitter > 1 {
+		return fmt.Errorf("fault: policy backoff_jitter %v outside [0,1]", p.BackoffJitter)
+	}
+	if p.Breaker != nil {
+		if err := p.Breaker.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Backoff samples the delay before retry attempt k (k=1 for the first
+// retry): BackoffBase·2^(k-1), jittered. Deterministic given the stream.
+func (p *Policy) Backoff(attempt int, r *rng.Source) des.Time {
+	if p.BackoffBase <= 0 {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BackoffBase)
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	if p.BackoffJitter > 0 {
+		// Uniform in [1-j, 1+j].
+		d *= 1 + p.BackoffJitter*(2*r.Float64()-1)
+	}
+	return des.Time(d)
+}
+
+// BreakerSpec parameterizes a circuit breaker.
+type BreakerSpec struct {
+	// ErrorThreshold trips the breaker when the error fraction over a
+	// full Window reaches it (0.5 = half the calls failing).
+	ErrorThreshold float64
+	// Window is the number of most-recent call outcomes considered.
+	Window int
+	// Cooldown is how long the breaker stays open before letting one
+	// probe through (half-open).
+	Cooldown des.Time
+}
+
+// Validate checks parameter ranges.
+func (b *BreakerSpec) Validate() error {
+	if b.ErrorThreshold <= 0 || b.ErrorThreshold > 1 {
+		return fmt.Errorf("fault: breaker error_threshold %v outside (0,1]", b.ErrorThreshold)
+	}
+	if b.Window < 1 {
+		return fmt.Errorf("fault: breaker window %d must be positive", b.Window)
+	}
+	if b.Cooldown <= 0 {
+		return fmt.Errorf("fault: breaker needs a positive cooldown")
+	}
+	return nil
+}
+
+// BreakerState is the classic three-state breaker lifecycle.
+type BreakerState int
+
+// Breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Breaker is the runtime of one edge's circuit breaker: a rolling window of
+// call outcomes and the closed → open → half-open state machine. It is
+// driven entirely by virtual time, so runs stay deterministic.
+type Breaker struct {
+	spec BreakerSpec
+
+	window []bool // true = error
+	idx    int
+	filled int
+	errs   int
+
+	state    BreakerState
+	openedAt des.Time
+	probing  bool // a half-open probe is outstanding
+	trips    uint64
+}
+
+// NewBreaker creates a closed breaker with the given spec (must validate).
+func NewBreaker(spec BreakerSpec) *Breaker {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Breaker{spec: spec, window: make([]bool, spec.Window)}
+}
+
+// State reports the current state, advancing open → half-open when the
+// cooldown has elapsed at virtual time now.
+func (b *Breaker) State(now des.Time) BreakerState {
+	if b.state == BreakerOpen && now >= b.openedAt+b.spec.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+	return b.state
+}
+
+// Allow reports whether a call may be issued now. In half-open state only a
+// single probe is admitted until its outcome is recorded.
+func (b *Breaker) Allow(now des.Time) bool {
+	switch b.State(now) {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Record feeds one call outcome into the breaker.
+func (b *Breaker) Record(now des.Time, failed bool) {
+	switch b.State(now) {
+	case BreakerHalfOpen:
+		b.probing = false
+		if failed {
+			b.trip(now)
+		} else {
+			b.reset()
+		}
+		return
+	case BreakerOpen:
+		// Late outcome of a call issued before the trip: ignore.
+		return
+	}
+	if b.filled == len(b.window) {
+		if b.window[b.idx] {
+			b.errs--
+		}
+	} else {
+		b.filled++
+	}
+	b.window[b.idx] = failed
+	if failed {
+		b.errs++
+	}
+	b.idx = (b.idx + 1) % len(b.window)
+	if b.filled == len(b.window) &&
+		float64(b.errs) >= b.spec.ErrorThreshold*float64(len(b.window)) {
+		b.trip(now)
+	}
+}
+
+func (b *Breaker) trip(now des.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.probing = false
+	b.trips++
+	b.clearWindow()
+}
+
+func (b *Breaker) reset() {
+	b.state = BreakerClosed
+	b.probing = false
+	b.clearWindow()
+}
+
+func (b *Breaker) clearWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.idx, b.filled, b.errs = 0, 0, 0
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 { return b.trips }

@@ -13,6 +13,48 @@ import (
 // ID identifies requests and jobs uniquely within a run.
 type ID uint64
 
+// Outcome classifies how a request or job attempt ended. Beyond OK, the
+// taxonomy follows the failure modes a resilience policy can produce:
+// client/edge timeouts, load shedding, crash-induced drops, and circuit
+// breakers failing fast.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// OutcomeOK is a normal completion.
+	OutcomeOK Outcome = iota
+	// OutcomeTimeout marks a request the client gave up on, or a job
+	// attempt abandoned by an edge timeout (the server-side work keeps
+	// running either way).
+	OutcomeTimeout
+	// OutcomeShed marks admission rejected by queue-length load
+	// shedding.
+	OutcomeShed
+	// OutcomeDropped marks work lost to a crashed machine or killed
+	// instance.
+	OutcomeDropped
+	// OutcomeBreakerOpen marks a call failed fast by an open circuit
+	// breaker.
+	OutcomeBreakerOpen
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeBreakerOpen:
+		return "breaker-open"
+	}
+	return "unknown"
+}
+
 // Request is an end-to-end user request.
 type Request struct {
 	ID      ID
@@ -30,6 +72,13 @@ type Request struct {
 	// server-side work still completes (and still holds resources),
 	// matching real systems under timeout storms.
 	TimedOut bool
+	// Failed marks a request that terminated without completing: a
+	// resilience policy exhausted its retries, a breaker failed it
+	// fast, or a crash dropped its work with nothing left to retry.
+	Failed bool
+	// Outcome records how the request ended (meaningful once Done,
+	// TimedOut, or Failed).
+	Outcome Outcome
 	// Attempt is 0 for the original request, k for its k-th retry.
 	Attempt int
 
@@ -76,6 +125,12 @@ type Job struct {
 	// Instance records the instance that executed the job, set at
 	// routing time (used by tracing).
 	Instance string
+
+	// Outcome records how this job attempt ended: OK on completion,
+	// Timeout when an edge policy abandoned it mid-service (the server
+	// still finishes it, but the result is discarded), Shed/Dropped when
+	// it never ran to completion, BreakerOpen when it was never issued.
+	Outcome Outcome
 
 	Enqueued des.Time // entry into the current stage queue
 	Arrived  des.Time // entry into the service (first stage)

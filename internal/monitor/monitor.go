@@ -24,6 +24,25 @@ type Target interface {
 
 var _ Target = (*service.Instance)(nil)
 
+// ErrorTarget is an optional Target extension for targets that reject work:
+// cumulative shed (queue-bound) and dropped (kill/crash) counts.
+// service.Instance satisfies it.
+type ErrorTarget interface {
+	Shed() uint64
+	Dropped() uint64
+}
+
+// HealthTarget is an optional Target extension for targets that can be taken
+// down by fault injection. service.Instance satisfies it.
+type HealthTarget interface {
+	Down() bool
+}
+
+var (
+	_ ErrorTarget  = (*service.Instance)(nil)
+	_ HealthTarget = (*service.Instance)(nil)
+)
+
 // Series holds the sampled time series of one target.
 type Series struct {
 	Name     string
@@ -31,6 +50,13 @@ type Series struct {
 	InFlight *stats.TimeSeries
 	// Util is the cumulative mean utilization at each sample time.
 	Util *stats.TimeSeries
+	// Shed and Dropped track cumulative rejected work; nil unless the
+	// target implements ErrorTarget.
+	Shed    *stats.TimeSeries
+	Dropped *stats.TimeSeries
+	// Up is 1 while the target is serving and 0 while faulted; nil unless
+	// the target implements HealthTarget.
+	Up *stats.TimeSeries
 }
 
 // Monitor drives periodic sampling on a DES engine.
@@ -63,6 +89,13 @@ func (m *Monitor) Watch(name string, t Target) *Series {
 		InFlight: stats.NewTimeSeries(name + ".inflight"),
 		Util:     stats.NewTimeSeries(name + ".util"),
 	}
+	if _, ok := t.(ErrorTarget); ok {
+		s.Shed = stats.NewTimeSeries(name + ".shed")
+		s.Dropped = stats.NewTimeSeries(name + ".dropped")
+	}
+	if _, ok := t.(HealthTarget); ok {
+		s.Up = stats.NewTimeSeries(name + ".up")
+	}
 	m.targets = append(m.targets, t)
 	m.series = append(m.series, s)
 	return s
@@ -81,6 +114,17 @@ func (m *Monitor) sample(now des.Time) {
 		s.QueueLen.Record(now, float64(t.QueueLen()))
 		s.InFlight.Record(now, float64(t.InFlight()))
 		s.Util.Record(now, t.Utilization(now))
+		if et, ok := t.(ErrorTarget); ok {
+			s.Shed.Record(now, float64(et.Shed()))
+			s.Dropped.Record(now, float64(et.Dropped()))
+		}
+		if ht, ok := t.(HealthTarget); ok {
+			up := 1.0
+			if ht.Down() {
+				up = 0
+			}
+			s.Up.Record(now, up)
+		}
 	}
 	m.eng.After(m.interval, m.sample)
 }
@@ -113,6 +157,12 @@ func (m *Monitor) CSV() string {
 	b.WriteString("t_s")
 	for _, s := range m.series {
 		fmt.Fprintf(&b, ",%s_qlen,%s_inflight,%s_util", s.Name, s.Name, s.Name)
+		if s.Shed != nil {
+			fmt.Fprintf(&b, ",%s_shed,%s_dropped", s.Name, s.Name)
+		}
+		if s.Up != nil {
+			fmt.Fprintf(&b, ",%s_up", s.Name)
+		}
 	}
 	b.WriteByte('\n')
 	if len(m.series) == 0 {
@@ -127,8 +177,20 @@ func (m *Monitor) CSV() string {
 					s.QueueLen.Points()[i].V,
 					s.InFlight.Points()[i].V,
 					s.Util.Points()[i].V)
+				if s.Shed != nil {
+					fmt.Fprintf(&b, ",%.0f,%.0f", s.Shed.Points()[i].V, s.Dropped.Points()[i].V)
+				}
+				if s.Up != nil {
+					fmt.Fprintf(&b, ",%.0f", s.Up.Points()[i].V)
+				}
 			} else {
 				b.WriteString(",,,")
+				if s.Shed != nil {
+					b.WriteString(",,")
+				}
+				if s.Up != nil {
+					b.WriteString(",")
+				}
 			}
 		}
 		b.WriteByte('\n')

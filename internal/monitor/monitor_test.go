@@ -7,6 +7,7 @@ import (
 	"uqsim/internal/cluster"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/service"
 	"uqsim/internal/sim"
@@ -71,11 +72,44 @@ func TestMonitorCSV(t *testing.T) {
 	}
 	csv := m.CSV()
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
-	if lines[0] != "t_s,svc-0_qlen,svc-0_inflight,svc-0_util" {
+	if lines[0] != "t_s,svc-0_qlen,svc-0_inflight,svc-0_util,svc-0_shed,svc-0_dropped,svc-0_up" {
 		t.Fatalf("header %q", lines[0])
 	}
 	if len(lines) != m.Samples()+1 {
 		t.Fatalf("csv rows %d for %d samples", len(lines)-1, m.Samples())
+	}
+}
+
+func TestMonitorTracksFaults(t *testing.T) {
+	// 8000 QPS on a 10k-capacity instance keeps work in flight, so the
+	// kill has queued jobs to drop.
+	s, m := buildMonitored(t, 8000)
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+		{At: 300 * des.Millisecond, Kind: fault.KillInstance, Service: "svc", Instance: -1},
+		{At: 600 * des.Millisecond, Kind: fault.RestartInstance, Service: "svc", Instance: -1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0, des.Second); err != nil {
+		t.Fatal(err)
+	}
+	series := m.AllSeries()[0]
+	if series.Up == nil || series.Dropped == nil {
+		t.Fatal("instance target should expose health + error series")
+	}
+	downSamples, lost := 0, 0.0
+	for i, p := range series.Up.Points() {
+		if p.V == 0 {
+			downSamples++
+		}
+		lost = series.Dropped.Points()[i].V
+	}
+	// Down for ≈300ms of 1s at a 10ms cadence.
+	if downSamples < 25 || downSamples > 35 {
+		t.Fatalf("down for %d samples, want ≈30", downSamples)
+	}
+	if lost == 0 {
+		t.Fatal("kill window should record dropped jobs")
 	}
 }
 

@@ -29,6 +29,23 @@ type Instance struct {
 	// pumpPending coalesces same-instant dispatch attempts.
 	pumpPending bool
 
+	// Fault state: down marks a killed instance; epoch invalidates
+	// completion events scheduled before the kill (their callbacks see a
+	// stale epoch and report the job dropped instead of completed).
+	down  bool
+	epoch uint64
+
+	// MaxQueue, when positive, sheds arrivals once QueueLen reaches it —
+	// saturation then degrades gracefully (bounded queueing delay, fast
+	// rejections) instead of unboundedly.
+	MaxQueue int
+
+	// OnJobDrop fires for every job lost to a kill: jobs drained from
+	// queues at kill time, and in-flight jobs reported when their stale
+	// completion events fire. Set by the sim layer to propagate failure
+	// upstream.
+	OnJobDrop func(now des.Time, j *job.Job)
+
 	// Threaded-model state.
 	idleThreads int
 	threadQ     *queueing.FIFO // jobs waiting for a thread
@@ -42,6 +59,8 @@ type Instance struct {
 	// Metrics.
 	arrived    uint64
 	completed  uint64
+	shed       uint64
+	dropped    uint64
 	inFlight   int
 	residence  *stats.LatencyHist
 	stageWait  []*stats.LatencyHist
@@ -81,12 +100,44 @@ func NewInstance(eng *des.Engine, bp *Blueprint, name string, alloc *cluster.All
 	return in, nil
 }
 
+// AdmitResult reports what Admit did with a job.
+type AdmitResult int
+
+// Admission outcomes.
+const (
+	// Admitted: the job entered the instance's queues.
+	Admitted AdmitResult = iota
+	// RejectedDown: the instance is killed; the connection is refused.
+	RejectedDown
+	// RejectedQueue: load shedding — the queue is at MaxQueue.
+	RejectedQueue
+)
+
+// Admit offers a job to the instance, applying fault and load-shedding
+// admission control: a down instance refuses it, a full one (MaxQueue)
+// sheds it. Callers that route jobs should use Admit and handle rejection;
+// Enqueue panics on a down instance.
+func (in *Instance) Admit(now des.Time, j *job.Job) AdmitResult {
+	if in.down {
+		return RejectedDown
+	}
+	if in.MaxQueue > 0 && in.QueueLen() >= in.MaxQueue {
+		in.shed++
+		return RejectedQueue
+	}
+	in.Enqueue(now, j)
+	return Admitted
+}
+
 // Enqueue admits a job into the instance. The job's PathID selects the
 // execution path; out-of-range paths panic (a wiring bug, not load).
 func (in *Instance) Enqueue(now des.Time, j *job.Job) {
 	if j.PathID < 0 || j.PathID >= len(in.BP.Paths) {
 		panic(fmt.Sprintf("service %s: job %d has path %d of %d",
 			in.Name, j.ID, j.PathID, len(in.BP.Paths)))
+	}
+	if in.down {
+		panic(fmt.Sprintf("service %s: enqueue on a down instance (route via Admit)", in.Name))
 	}
 	in.arrived++
 	in.inFlight++
@@ -133,6 +184,9 @@ func (in *Instance) pushToStage(now des.Time, j *job.Job) {
 // ---- simple (event-driven) model ----
 
 func (in *Instance) pumpSimple(now des.Time) {
+	if in.down {
+		return
+	}
 	progress := true
 	for progress {
 		progress = false
@@ -181,7 +235,13 @@ func (in *Instance) startCPUBatch(now des.Time, stage int, batch []*job.Job) {
 	in.noteWait(now, stage, batch)
 	in.setBusy(now, in.busyCores+1)
 	dur := in.sampleCost(stage, batch, false)
+	epoch := in.epoch
 	in.eng.At(now+dur, func(t des.Time) {
+		if in.epoch != epoch {
+			// The instance was killed mid-stage: the work is lost.
+			in.dropBatch(t, batch)
+			return
+		}
 		in.setBusy(t, in.busyCores-1)
 		in.advanceBatch(t, batch)
 		in.pumpSimple(t)
@@ -192,8 +252,16 @@ func (in *Instance) startCPUBatch(now des.Time, stage int, batch []*job.Job) {
 func (in *Instance) startPoolStage(now des.Time, stage int, j *job.Job, pool *cluster.Pool) {
 	in.noteWait(now, stage, []*job.Job{j})
 	dur := in.sampleCost(stage, []*job.Job{j}, true)
+	epoch := in.epoch
 	in.eng.At(now+dur, func(t des.Time) {
+		// The pool unit is freed exactly once — here — whether or not
+		// the instance survived; a kill must never double-release it.
 		pool.Release()
+		if in.epoch != epoch {
+			in.dropBatch(t, []*job.Job{j})
+			in.pumpSimple(t) // a queued job may be waiting for the unit
+			return
+		}
 		in.advanceBatch(t, []*job.Job{j})
 		in.pumpSimple(t)
 	})
@@ -202,6 +270,9 @@ func (in *Instance) startPoolStage(now des.Time, stage int, j *job.Job, pool *cl
 // ---- threaded (blocking) model ----
 
 func (in *Instance) pumpThreaded(now des.Time) {
+	if in.down {
+		return
+	}
 	// Assign idle threads to waiting jobs.
 	for in.idleThreads > 0 && in.threadQ.Len() > 0 {
 		j := in.threadQ.Pop()
@@ -229,8 +300,14 @@ func (in *Instance) runThreadedStage(now des.Time, j *job.Job) {
 		}
 		in.noteWait(now, stage, []*job.Job{j})
 		dur := in.sampleCost(stage, []*job.Job{j}, true)
+		epoch := in.epoch
 		in.eng.At(now+dur, func(t des.Time) {
 			pool.Release()
+			if in.epoch != epoch {
+				in.dropBatch(t, []*job.Job{j})
+				in.wakePoolWaiter(t, st.PoolName, pool)
+				return
+			}
 			in.wakePoolWaiter(t, st.PoolName, pool)
 			in.finishThreadedStage(t, j)
 		})
@@ -247,7 +324,12 @@ func (in *Instance) runThreadedStage(now des.Time, j *job.Job) {
 	if in.BP.Threads > in.Alloc.Cores && in.BP.CtxSwitch > 0 {
 		dur += in.BP.CtxSwitch
 	}
+	epoch := in.epoch
 	in.eng.At(now+dur, func(t des.Time) {
+		if in.epoch != epoch {
+			in.dropBatch(t, []*job.Job{j})
+			return
+		}
 		in.setBusy(t, in.busyCores-1)
 		in.wakeCoreWaiter(t)
 		in.finishThreadedStage(t, j)
@@ -255,12 +337,18 @@ func (in *Instance) runThreadedStage(now des.Time, j *job.Job) {
 }
 
 func (in *Instance) wakeCoreWaiter(now des.Time) {
+	if in.down {
+		return
+	}
 	if in.coreQ.Len() > 0 && in.busyCores < in.Alloc.Cores {
 		in.runThreadedStage(now, in.coreQ.Pop())
 	}
 }
 
 func (in *Instance) wakePoolWaiter(now des.Time, name string, pool *cluster.Pool) {
+	if in.down {
+		return
+	}
 	if q, ok := in.poolQ[name]; ok && q.Len() > 0 && pool.InUse() < pool.Capacity {
 		in.runThreadedStage(now, q.Pop())
 	}
@@ -278,6 +366,72 @@ func (in *Instance) finishThreadedStage(now des.Time, j *job.Job) {
 	in.idleThreads++
 	in.completeJob(now, j)
 	in.pumpThreaded(now)
+}
+
+// ---- fault handling ----
+
+// Kill takes the instance down: queued jobs are drained and returned (the
+// caller propagates their failure upstream), in-flight work is invalidated
+// via the epoch — when a stale completion event fires, its jobs are
+// reported through OnJobDrop instead of completing. Killing an
+// already-down instance is a no-op returning nil.
+func (in *Instance) Kill(now des.Time) []*job.Job {
+	if in.down {
+		return nil
+	}
+	in.down = true
+	in.epoch++
+	in.setBusy(now, 0)
+	var lost []*job.Job
+	for _, q := range in.queues {
+		for q.Len() > 0 {
+			lost = append(lost, q.PopBatch(0)...)
+		}
+	}
+	if in.BP.Model == ModelThreaded {
+		for in.threadQ.Len() > 0 {
+			lost = append(lost, in.threadQ.Pop())
+		}
+		for in.coreQ.Len() > 0 {
+			lost = append(lost, in.coreQ.Pop())
+		}
+		for _, q := range in.poolQ {
+			for q.Len() > 0 {
+				lost = append(lost, q.Pop())
+			}
+		}
+		in.idleThreads = 0
+	}
+	in.dropped += uint64(len(lost))
+	in.inFlight -= len(lost)
+	return lost
+}
+
+// Restart brings a killed instance back with empty queues and a full
+// thread pool. No-op when the instance is up.
+func (in *Instance) Restart(now des.Time) {
+	if !in.down {
+		return
+	}
+	in.down = false
+	in.lastChange = now
+	if in.BP.Model == ModelThreaded {
+		in.idleThreads = in.BP.Threads
+	}
+}
+
+// Down reports whether the instance is currently killed.
+func (in *Instance) Down() bool { return in.down }
+
+// dropBatch accounts jobs lost to a kill and notifies the sim layer.
+func (in *Instance) dropBatch(now des.Time, batch []*job.Job) {
+	in.dropped += uint64(len(batch))
+	in.inFlight -= len(batch)
+	for _, j := range batch {
+		if in.OnJobDrop != nil {
+			in.OnJobDrop(now, j)
+		}
+	}
 }
 
 // ---- shared mechanics ----
@@ -359,6 +513,12 @@ func (in *Instance) Arrived() uint64 { return in.arrived }
 
 // Completed reports jobs that finished their service-local path.
 func (in *Instance) Completed() uint64 { return in.completed }
+
+// Shed reports arrivals rejected by MaxQueue load shedding.
+func (in *Instance) Shed() uint64 { return in.shed }
+
+// Dropped reports jobs lost to kills (queued and in-flight).
+func (in *Instance) Dropped() uint64 { return in.dropped }
 
 // InFlight reports jobs currently inside the instance.
 func (in *Instance) InFlight() int { return in.inFlight }

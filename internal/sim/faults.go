@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+
+	"uqsim/internal/des"
+	"uqsim/internal/fault"
+	"uqsim/internal/service"
+)
+
+// InstallFaults schedules a fault plan's events on the engine. Call after
+// all deployments (and EnableNetwork, if used) exist and before Run;
+// references to unknown machines, services, or instances fail eagerly. The
+// plan is deterministic: the same plan under the same seed always yields
+// the same run.
+func (s *Sim) InstallFaults(plan fault.Plan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	for i, ev := range plan.Events {
+		switch ev.Kind {
+		case fault.CrashMachine, fault.RecoverMachine, fault.DegradeFreq:
+			if _, ok := s.cluster.Machine(ev.Machine); !ok {
+				return fmt.Errorf("sim: fault event %d (%s) references unknown machine %q", i, ev.Kind, ev.Machine)
+			}
+		case fault.KillInstance, fault.RestartInstance:
+			dep, ok := s.deployments[ev.Service]
+			if !ok {
+				return fmt.Errorf("sim: fault event %d (%s) references undeployed service %q", i, ev.Kind, ev.Service)
+			}
+			if ev.Instance >= len(dep.Instances) {
+				return fmt.Errorf("sim: fault event %d (%s) targets instance %d of %d", i, ev.Kind, ev.Instance, len(dep.Instances))
+			}
+		case fault.EdgeLatency:
+			if _, ok := s.deployments[ev.Service]; !ok {
+				return fmt.Errorf("sim: fault event %d (%s) references undeployed service %q", i, ev.Kind, ev.Service)
+			}
+		}
+		ev := ev
+		s.eng.At(ev.At, func(t des.Time) { s.applyFault(t, ev) })
+	}
+	return nil
+}
+
+// applyFault executes one fault event at virtual time now.
+func (s *Sim) applyFault(now des.Time, ev fault.Event) {
+	switch ev.Kind {
+	case fault.KillInstance:
+		dep := s.deployments[ev.Service]
+		for i, in := range dep.Instances {
+			if ev.Instance >= 0 && i != ev.Instance {
+				continue
+			}
+			s.killInstance(now, dep, in)
+		}
+	case fault.RestartInstance:
+		dep := s.deployments[ev.Service]
+		for i, in := range dep.Instances {
+			if ev.Instance >= 0 && i != ev.Instance {
+				continue
+			}
+			if in.Down() {
+				in.Restart(now)
+				dep.down--
+			}
+		}
+	case fault.CrashMachine:
+		// Deterministic deployment order matters: kill order decides the
+		// order drops propagate and retries get scheduled.
+		for _, dep := range s.Deployments() {
+			for _, in := range dep.Instances {
+				if in.Alloc.Machine.Name == ev.Machine {
+					s.killInstance(now, dep, in)
+				}
+			}
+		}
+		if np, ok := s.netproc[ev.Machine]; ok {
+			for _, j := range np.Kill(now) {
+				s.handleNetDrop(now, j)
+			}
+		}
+	case fault.RecoverMachine:
+		for _, dep := range s.Deployments() {
+			for _, in := range dep.Instances {
+				if in.Alloc.Machine.Name == ev.Machine && in.Down() {
+					in.Restart(now)
+					dep.down--
+				}
+			}
+		}
+		if np, ok := s.netproc[ev.Machine]; ok {
+			np.Restart(now)
+		}
+	case fault.DegradeFreq:
+		m, _ := s.cluster.Machine(ev.Machine)
+		allocs := m.Allocations()
+		old := make([]float64, len(allocs))
+		for i, a := range allocs {
+			old[i] = a.Freq()
+			a.SetFreq(ev.FreqMHz)
+		}
+		if ev.Until > now {
+			s.eng.At(ev.Until, func(t des.Time) {
+				for i, a := range allocs {
+					a.SetFreq(old[i])
+				}
+			})
+		}
+	case fault.EdgeLatency:
+		s.edgeExtra[ev.Service] = ev.Extra
+		if ev.Until > now {
+			svc := ev.Service
+			s.eng.At(ev.Until, func(t des.Time) { delete(s.edgeExtra, svc) })
+		}
+	}
+}
+
+// killInstance takes one deployed instance down and propagates every lost
+// job upstream. No-op when already down.
+func (s *Sim) killInstance(now des.Time, dep *Deployment, in *service.Instance) {
+	if in.Down() {
+		return
+	}
+	dep.down++
+	for _, j := range in.Kill(now) {
+		s.handleJobDrop(now, j)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"uqsim/internal/cluster"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/job"
 	"uqsim/internal/service"
@@ -70,6 +71,88 @@ func TestConservation(t *testing.T) {
 	if rep.Arrivals != rep.Completions+uint64(rep.InFlight) {
 		t.Fatalf("conservation violated: %d arrivals vs %d completed + %d in flight",
 			rep.Arrivals, rep.Completions, rep.InFlight)
+	}
+}
+
+// TestConservationUnderFaults: with resilience policies, load shedding,
+// client timeouts, and a fault plan all active at once, every counted
+// arrival lands in exactly one outcome bucket:
+//
+//	arrivals == completions + timeouts + shed + dropped (+ in-flight)
+//
+// both at the horizon (with in-flight) and after a full drain (without),
+// and with a warmup window that requests straddle in both directions.
+func TestConservationUnderFaults(t *testing.T) {
+	for _, warmup := range []des.Time{0, 200 * des.Millisecond} {
+		s := New(Options{Seed: 17})
+		s.AddMachine("m0", 4, cluster.FreqSpec{})
+		s.AddMachine("m1", 4, cluster.FreqSpec{})
+		if _, err := s.Deploy(service.SingleStage("svc", dist.NewExponential(float64(des.Millisecond))),
+			RoundRobin,
+			Placement{Machine: "m0", Cores: 1},
+			Placement{Machine: "m1", Cores: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetTopology(graph.Linear("main", "svc")); err != nil {
+			t.Fatal(err)
+		}
+		// 1.25× overload on 2×1000 QPS capacity: queues pin at the shedding
+		// bound (excess arrivals shed), requests deep in the queue outlive
+		// the client's 60ms patience (timeouts), and a window where both
+		// instances are down leaves arrivals nowhere to go but the dropped
+		// bucket.
+		s.SetClient(ClientConfig{
+			Pattern: workload.ConstantRate(2500),
+			Timeout: 60 * des.Millisecond,
+		})
+		if err := s.SetServicePolicy("svc", fault.Policy{
+			Timeout: 80 * des.Millisecond, MaxRetries: 1,
+			BackoffBase: 5 * des.Millisecond, BackoffJitter: 0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetMaxQueue("svc", 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+			{At: 300 * des.Millisecond, Kind: fault.KillInstance, Service: "svc", Instance: 0},
+			{At: 500 * des.Millisecond, Kind: fault.RestartInstance, Service: "svc", Instance: 0},
+			{At: 400 * des.Millisecond, Kind: fault.CrashMachine, Machine: "m1"},
+			{At: 450 * des.Millisecond, Kind: fault.RecoverMachine, Machine: "m1"},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(warmup, des.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(rep *Report, drained bool) {
+			t.Helper()
+			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped + uint64(rep.InFlight)
+			if rep.Arrivals != total {
+				t.Fatalf("warmup %v drained=%v: arrivals %d != %d (completions %d + timeouts %d + shed %d + dropped %d + in-flight %d)",
+					warmup, drained, rep.Arrivals, total,
+					rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped, rep.InFlight)
+			}
+		}
+		check(rep, false)
+		// Every failure mode must actually have fired, or the invariant
+		// checked nothing.
+		if rep.Timeouts == 0 || rep.Shed == 0 || rep.Dropped == 0 {
+			t.Fatalf("warmup %v: want all buckets exercised, got timeouts %d shed %d dropped %d",
+				warmup, rep.Timeouts, rep.Shed, rep.Dropped)
+		}
+		// Drain: no arrivals after the horizon, so pending retries, backoff
+		// timers, and client-timeout guards all resolve.
+		s.Engine().Run()
+		if n := len(s.inflight); n != 0 {
+			t.Fatalf("warmup %v: %d requests stuck after drain", warmup, n)
+		}
+		drained := s.report(s.Engine().Now())
+		if drained.InFlight != 0 {
+			t.Fatalf("warmup %v: drained report claims %d in flight", warmup, drained.InFlight)
+		}
+		check(drained, true)
 	}
 }
 

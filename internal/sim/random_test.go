@@ -3,11 +3,13 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"uqsim/internal/cluster"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/service"
 	"uqsim/internal/workload"
@@ -86,6 +88,97 @@ func buildRandomTopology(t *testing.T, seed int64) *Sim {
 	}
 	s.SetClient(ClientConfig{Pattern: workload.ConstantRate(float64(200 + r.Intn(2000)))})
 	return s
+}
+
+// withRandomFaults derives a fault plan and resilience policies from seed
+// and installs them on s: policies (with breakers) guarding the fan-out
+// edges, shedding on the root, an instance outage, a machine crash, and a
+// transient edge-latency injection — every fault kind except frequency
+// scaling, which TestDegradeFreqSlowsService covers.
+func withRandomFaults(t *testing.T, s *Sim, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	mids := len(s.Deployments()) - 2 // root + mids + join
+	victim := fmt.Sprintf("mid%d", r.Intn(mids))
+	for _, svc := range []string{victim, "join"} {
+		p := fault.Policy{
+			Timeout:       des.Time(2+r.Intn(20)) * des.Millisecond,
+			MaxRetries:    1 + r.Intn(3),
+			BackoffBase:   des.Time(1+r.Intn(5)) * des.Millisecond,
+			BackoffJitter: 0.5,
+		}
+		if r.Intn(2) == 0 {
+			p.Breaker = &fault.BreakerSpec{
+				ErrorThreshold: 0.5, Window: 8 + r.Intn(16),
+				Cooldown: des.Time(5+r.Intn(20)) * des.Millisecond,
+			}
+		}
+		if err := s.SetServicePolicy(svc, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetMaxQueue("root", 64+r.Intn(64)); err != nil {
+		t.Fatal(err)
+	}
+	kill := des.Time(50+r.Intn(100)) * des.Millisecond
+	crash := des.Time(120+r.Intn(80)) * des.Millisecond
+	lag := des.Time(30+r.Intn(50)) * des.Millisecond
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+		{At: kill, Kind: fault.KillInstance, Service: victim, Instance: -1},
+		{At: kill + 40*des.Millisecond, Kind: fault.RestartInstance, Service: victim, Instance: -1},
+		{At: crash, Kind: fault.CrashMachine, Machine: "m0"},
+		{At: crash + 25*des.Millisecond, Kind: fault.RecoverMachine, Machine: "m0"},
+		{At: lag, Kind: fault.EdgeLatency, Service: "join",
+			Extra: des.Time(1+r.Intn(3)) * des.Millisecond, Until: lag + 60*des.Millisecond},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reportFingerprint flattens everything a Report asserts about a run into
+// one comparable string.
+func reportFingerprint(rep *Report) string {
+	fp := fmt.Sprintf("arr=%d comp=%d to=%d shed=%d drop=%d brk=%d retry=%d inflight=%d mean=%v p50=%v p99=%v",
+		rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped,
+		rep.BreakerFastFails, rep.Retries, rep.InFlight,
+		rep.Latency.Mean(), rep.Latency.P50(), rep.Latency.P99())
+	svcs := make([]string, 0, len(rep.Errors))
+	for svc := range rep.Errors {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	for _, svc := range svcs {
+		fp += fmt.Sprintf(" %s=%+v", svc, *rep.Errors[svc])
+	}
+	for _, ir := range rep.Instances {
+		fp += fmt.Sprintf(" %s:%d/%d/%d", ir.Name, ir.Completed, ir.Shed, ir.Dropped)
+	}
+	return fp
+}
+
+// TestRandomFaultsDeterministic: the reproducibility guarantee extends to
+// fault injection — the same seed and the same fault plan yield an
+// identical report, however chaotic the run (outages, retries, breakers,
+// shedding, crash-induced drops).
+func TestRandomFaultsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		run := func() string {
+			s := buildRandomTopology(t, seed)
+			withRandomFaults(t, s, seed)
+			rep, err := s.Run(0, 300*des.Millisecond)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped + uint64(rep.InFlight)
+			if rep.Arrivals != total {
+				t.Fatalf("seed %d: conservation: arrivals %d != %d", seed, rep.Arrivals, total)
+			}
+			return reportFingerprint(rep)
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("seed %d: reports differ\n a: %s\n b: %s", seed, a, b)
+		}
+	}
 }
 
 // TestRandomTopologiesConserveRequests fuzzes the dispatch machinery:

@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"fmt"
+
+	"uqsim/internal/des"
+	"uqsim/internal/fault"
+	"uqsim/internal/job"
+	"uqsim/internal/service"
+)
+
+// This file enforces per-edge RPC resilience policies (internal/fault) at
+// the layer where child RPCs are issued: attempt timeouts, backoff retries
+// against healthy instances, circuit breaking, and upstream propagation of
+// sheds and crash-induced drops. Edges without a policy keep the original
+// fast path; a request on a policy edge gets a call record per live attempt.
+
+// policyRuntime is one installed policy plus its breaker instance.
+type policyRuntime struct {
+	pol fault.Policy
+	brk *fault.Breaker
+}
+
+func newPolicyRuntime(p fault.Policy) *policyRuntime {
+	pr := &policyRuntime{pol: p}
+	if p.Breaker != nil {
+		pr.brk = fault.NewBreaker(*p.Breaker)
+	}
+	return pr
+}
+
+// call is the live state of one policy-guarded RPC attempt, keyed by the
+// attempt's job ID. It carries everything needed to re-issue the edge.
+type call struct {
+	req        *job.Request
+	st         *reqState
+	nodeID     int
+	conn       int
+	srcMachine string
+	attempt    int
+	pr         *policyRuntime
+	timeout    *des.Event
+}
+
+// ErrorCounts breaks down failed call attempts against one target service.
+type ErrorCounts struct {
+	// Timeouts counts attempts abandoned by an edge timeout.
+	Timeouts uint64
+	// Shed counts attempts rejected by queue-length load shedding.
+	Shed uint64
+	// Dropped counts attempts lost to killed instances or crashed machines
+	// (including "no healthy instance" dispatch failures).
+	Dropped uint64
+	// BreakerOpen counts calls failed fast by an open circuit breaker.
+	BreakerOpen uint64
+	// Retries counts policy-driven attempt re-issues.
+	Retries uint64
+}
+
+// SetServicePolicy guards every topology edge calling into service svc with
+// the given resilience policy. The service must already be deployed. A
+// single breaker instance covers the whole edge (all callers of svc), which
+// matches a service-mesh sidecar's view of the destination.
+func (s *Sim) SetServicePolicy(svc string, p fault.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, ok := s.deployments[svc]; !ok {
+		return fmt.Errorf("sim: policy for undeployed service %q", svc)
+	}
+	s.svcPolicies[svc] = newPolicyRuntime(p)
+	s.hasPolicies = true
+	return nil
+}
+
+// SetNodePolicy overrides the service-level policy for one path-tree node
+// (the edge into that node). Call after SetTopology.
+func (s *Sim) SetNodePolicy(tree string, nodeID int, p fault.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if s.topo == nil {
+		return fmt.Errorf("sim: node policy needs a topology (call SetTopology first)")
+	}
+	for ti := range s.topo.Trees {
+		if s.topo.Trees[ti].Name != tree {
+			continue
+		}
+		if nodeID < 0 || nodeID >= len(s.topo.Trees[ti].Nodes) {
+			return fmt.Errorf("sim: tree %q has no node %d", tree, nodeID)
+		}
+		s.nodePolicies[[2]int{ti, nodeID}] = newPolicyRuntime(p)
+		s.hasPolicies = true
+		return nil
+	}
+	return fmt.Errorf("sim: node policy references unknown tree %q", tree)
+}
+
+// SetMaxQueue enables queue-length load shedding on every instance of svc:
+// arrivals beyond max queued jobs are rejected immediately instead of
+// queueing unboundedly.
+func (s *Sim) SetMaxQueue(svc string, max int) error {
+	dep, ok := s.deployments[svc]
+	if !ok {
+		return fmt.Errorf("sim: max queue for undeployed service %q", svc)
+	}
+	if max < 0 {
+		return fmt.Errorf("sim: max queue %d negative", max)
+	}
+	for _, in := range dep.Instances {
+		in.MaxQueue = max
+	}
+	return nil
+}
+
+// edgePolicy resolves the policy guarding tree node nodeID (nil: none). Node
+// overrides win over service-level policies.
+func (s *Sim) edgePolicy(treeIdx, nodeID int, svc string) *policyRuntime {
+	if len(s.nodePolicies) > 0 {
+		if pr, ok := s.nodePolicies[[2]int{treeIdx, nodeID}]; ok {
+			return pr
+		}
+	}
+	return s.svcPolicies[svc]
+}
+
+// startAttempt issues attempt number attempt of a policy-guarded edge.
+func (s *Sim) startAttempt(now des.Time, req *job.Request, st *reqState, nodeID, conn int, srcMachine string, attempt int, pr *policyRuntime) {
+	if req.Failed || req.Done() {
+		return
+	}
+	node := &st.tree.Nodes[nodeID]
+	if pr.brk != nil && !pr.brk.Allow(now) {
+		s.countError(node.Service, job.OutcomeBreakerOpen)
+		s.failRequest(now, req, job.OutcomeBreakerOpen)
+		return
+	}
+	dep := s.deployments[node.Service]
+	in := s.pickFor(node, dep)
+	if in == nil {
+		// No healthy instance: an instant connection failure.
+		if pr.brk != nil {
+			pr.brk.Record(now, true)
+		}
+		s.retryOrFail(now, req, st, nodeID, conn, srcMachine, attempt, pr, job.OutcomeDropped)
+		return
+	}
+	j := s.newNodeJob(req, st, nodeID, conn, dep)
+	c := &call{
+		req: req, st: st, nodeID: nodeID, conn: conn,
+		srcMachine: srcMachine, attempt: attempt, pr: pr,
+	}
+	s.calls[j.ID] = c
+	if pr.pol.Timeout > 0 {
+		c.timeout = s.eng.At(now+pr.pol.Timeout, func(t des.Time) { s.onAttemptTimeout(t, j) })
+	}
+	s.deliver(now, j, in, srcMachine)
+}
+
+// onAttemptTimeout fires when an attempt outlives its edge timeout: the
+// caller abandons it (the server-side work keeps running, its result
+// discarded) and retries or fails the request.
+func (s *Sim) onAttemptTimeout(now des.Time, j *job.Job) {
+	c, ok := s.calls[j.ID]
+	if !ok {
+		return // the attempt settled first
+	}
+	delete(s.calls, j.ID)
+	j.Outcome = job.OutcomeTimeout
+	if c.pr.brk != nil {
+		c.pr.brk.Record(now, true)
+	}
+	if c.req.Failed || c.req.Done() {
+		return
+	}
+	s.retryOrFail(now, c.req, c.st, c.nodeID, c.conn, c.srcMachine, c.attempt, c.pr, job.OutcomeTimeout)
+}
+
+// retryOrFail re-issues a failed attempt after exponential backoff, or
+// fails the request once retries are exhausted. out is the failure that
+// triggered it (used for accounting and, terminally, the request outcome).
+func (s *Sim) retryOrFail(now des.Time, req *job.Request, st *reqState, nodeID, conn int, srcMachine string, attempt int, pr *policyRuntime, out job.Outcome) {
+	svc := st.tree.Nodes[nodeID].Service
+	s.countError(svc, out)
+	if attempt < pr.pol.MaxRetries {
+		s.retriesN++
+		s.errCount(svc).Retries++
+		delay := pr.pol.Backoff(attempt+1, s.retryRNG)
+		s.eng.At(now+delay, func(t des.Time) {
+			s.startAttempt(t, req, st, nodeID, conn, srcMachine, attempt+1, pr)
+		})
+		return
+	}
+	s.failRequest(now, req, out)
+}
+
+// settleCall closes a live attempt whose job completed in time: cancel the
+// timeout and feed the breaker a success.
+func (s *Sim) settleCall(now des.Time, c *call, jID job.ID) {
+	if c.timeout != nil {
+		s.eng.Cancel(c.timeout)
+	}
+	delete(s.calls, jID)
+	if c.pr.brk != nil {
+		c.pr.brk.Record(now, false)
+	}
+}
+
+// failAttemptOrRequest propagates one dead job upstream: a policy-guarded
+// edge retries or fails; an unguarded edge fails the whole request. Jobs of
+// already-abandoned attempts (edge timeout fired) or finished requests are
+// discarded silently — their edge has moved on.
+func (s *Sim) failAttemptOrRequest(now des.Time, j *job.Job, out job.Outcome) {
+	abandoned := j.Outcome == job.OutcomeTimeout
+	if !abandoned {
+		j.Outcome = out
+	}
+	req := j.Req
+	if req == nil || req.Failed || req.Done() || abandoned {
+		return
+	}
+	if c, ok := s.calls[j.ID]; ok {
+		if c.timeout != nil {
+			s.eng.Cancel(c.timeout)
+		}
+		delete(s.calls, j.ID)
+		if c.pr.brk != nil {
+			c.pr.brk.Record(now, true)
+		}
+		s.retryOrFail(now, req, c.st, c.nodeID, c.conn, c.srcMachine, c.attempt, c.pr, out)
+		return
+	}
+	if st, ok := s.inflight[req.ID]; ok {
+		s.countError(st.tree.Nodes[j.NodeID].Service, out)
+	}
+	s.failRequest(now, req, out)
+}
+
+// deliveryRejected handles a job refused at admission: a down instance
+// (kill/crash) or queue-length load shedding.
+func (s *Sim) deliveryRejected(now des.Time, j *job.Job, res service.AdmitResult) {
+	out := job.OutcomeDropped
+	if res == service.RejectedQueue {
+		out = job.OutcomeShed
+	}
+	s.failAttemptOrRequest(now, j, out)
+}
+
+// handleJobDrop fires for every job lost inside a killed instance (queued
+// at kill time, or in-flight when its stale completion event fires).
+func (s *Sim) handleJobDrop(now des.Time, j *job.Job) {
+	s.failAttemptOrRequest(now, j, job.OutcomeDropped)
+}
+
+// handleNetDrop fires for jobs lost inside a killed network-processing
+// service (machine crash): an RPC in transit fails like any dead attempt; a
+// response in transit is lost on the wire, so the request never completes
+// and is dropped.
+func (s *Sim) handleNetDrop(now des.Time, j *job.Job) {
+	d, ok := s.pending[j.ID]
+	if ok {
+		delete(s.pending, j.ID)
+	}
+	if ok && d.instance != nil {
+		s.failAttemptOrRequest(now, j, job.OutcomeDropped)
+		return
+	}
+	req := j.Req
+	if req == nil || req.Failed || req.Done() {
+		return
+	}
+	s.countError("netproc", job.OutcomeDropped)
+	s.failRequest(now, req, job.OutcomeDropped)
+}
+
+// failRequest terminates a request with an error: it leaves the system now
+// (conn-pool tokens released, closed-loop user freed) and is counted into
+// exactly one outcome bucket, keeping arrivals == completions + timeouts +
+// shed + dropped. Stray server-side work of the request is discarded as it
+// surfaces.
+func (s *Sim) failRequest(now des.Time, req *job.Request, out job.Outcome) {
+	if req.Failed || req.Done() {
+		return
+	}
+	req.Failed = true
+	req.Outcome = out
+	delete(s.inflight, req.ID)
+	for _, name := range s.poolOrder {
+		s.pools[name].releaseAll(now, req)
+	}
+	// A client-timed-out request was already counted (and its closed-loop
+	// user freed) at the timeout instant. Buckets are gated on arrival time
+	// so counted arrivals land in exactly one bucket.
+	if req.Arrival >= s.warmupEnd && !req.TimedOut {
+		switch out {
+		case job.OutcomeShed:
+			s.shedReqs++
+		case job.OutcomeBreakerOpen:
+			s.shedReqs++
+			s.breakerFast++
+		default:
+			s.droppedReqs++
+		}
+	}
+	if s.OnRequestDone != nil {
+		s.OnRequestDone(now, req)
+	}
+	if s.closedLoop != nil && !req.TimedOut {
+		s.closedLoop.RequestDone(now)
+	}
+}
+
+// errCount returns svc's error-counter record, creating it on first use.
+func (s *Sim) errCount(svc string) *ErrorCounts {
+	ec, ok := s.errCounts[svc]
+	if !ok {
+		ec = &ErrorCounts{}
+		s.errCounts[svc] = ec
+	}
+	return ec
+}
+
+// countError accrues one failed attempt against svc.
+func (s *Sim) countError(svc string, out job.Outcome) {
+	ec := s.errCount(svc)
+	switch out {
+	case job.OutcomeTimeout:
+		ec.Timeouts++
+	case job.OutcomeShed:
+		ec.Shed++
+	case job.OutcomeBreakerOpen:
+		ec.BreakerOpen++
+	default:
+		ec.Dropped++
+	}
+}

@@ -63,7 +63,7 @@ func (s *Sim) admit(now des.Time, attempt int) {
 	req.Conn = int(req.ID) % s.clientCfg.Connections
 	req.LeavesRemaining = len(tree.Leaves())
 
-	st := &reqState{tree: tree, treeIdx: treeIdx, arrived: make([]int, len(tree.Nodes))}
+	st := &reqState{tree: tree, treeIdx: treeIdx, arrived: make([]int, len(tree.Nodes)), at: now}
 	s.inflight[req.ID] = st
 	if now >= s.warmupEnd {
 		s.arrivals++
@@ -78,13 +78,22 @@ func (s *Sim) admit(now des.Time, attempt int) {
 // records the timeout as its observed latency and possibly retries, while
 // the in-flight server work continues to completion.
 func (s *Sim) onTimeout(now des.Time, req *job.Request) {
-	if req.Done() || req.TimedOut {
+	if req.Done() || req.TimedOut || req.Failed {
 		return
 	}
 	req.TimedOut = true
+	if st, ok := s.inflight[req.ID]; ok {
+		st.timedOut = true
+	}
+	// The latency sample belongs to the measurement window it lands in;
+	// the outcome bucket is gated on the request's arrival instead, so
+	// every counted arrival lands in exactly one bucket and
+	// warmup-straddling requests never skew the conservation invariant.
 	if now >= s.warmupEnd {
-		s.timeouts++
 		s.latency.Record(s.clientCfg.Timeout)
+	}
+	if req.Arrival >= s.warmupEnd {
+		s.timeouts++
 	}
 	if req.Attempt < s.clientCfg.MaxRetries {
 		s.admit(now, req.Attempt+1)
@@ -118,16 +127,48 @@ func (s *Sim) acquireConns(now des.Time, req *job.Request, names []string, conn 
 	})
 }
 
-// dispatchNode creates the node's job and routes it to an instance.
+// dispatchNode creates the node's job and routes it to an instance. Edges
+// guarded by a resilience policy go through the attempt machinery; bare
+// edges take the direct path, where a rejected or dropped job fails the
+// whole request.
 func (s *Sim) dispatchNode(now des.Time, req *job.Request, st *reqState, nodeID, conn int, srcMachine string) {
-	node := &st.tree.Nodes[nodeID]
-	dep := s.deployments[node.Service]
-	var in *service.Instance
-	if node.Instance >= 0 {
-		in = dep.Instances[node.Instance]
-	} else {
-		in = dep.pick()
+	if req.Failed || req.Done() {
+		return // the request ended while this dispatch waited (conn pool)
 	}
+	node := &st.tree.Nodes[nodeID]
+	if s.hasPolicies {
+		if pr := s.edgePolicy(st.treeIdx, nodeID, node.Service); pr != nil {
+			s.startAttempt(now, req, st, nodeID, conn, srcMachine, 0, pr)
+			return
+		}
+	}
+	dep := s.deployments[node.Service]
+	in := s.pickFor(node, dep)
+	if in == nil {
+		// Every instance is down and no policy protects the edge.
+		s.countError(node.Service, job.OutcomeDropped)
+		s.failRequest(now, req, job.OutcomeDropped)
+		return
+	}
+	j := s.newNodeJob(req, st, nodeID, conn, dep)
+	s.deliver(now, j, in, srcMachine)
+}
+
+// pickFor selects the node's instance: its pinned one (nil when killed) or
+// a healthy instance by the deployment's balancing policy.
+func (s *Sim) pickFor(node *graph.Node, dep *Deployment) *service.Instance {
+	if node.Instance >= 0 {
+		in := dep.Instances[node.Instance]
+		if in.Down() {
+			return nil
+		}
+		return in
+	}
+	return dep.pickHealthy()
+}
+
+// newNodeJob creates the job for one visit to tree node nodeID.
+func (s *Sim) newNodeJob(req *job.Request, st *reqState, nodeID, conn int, dep *Deployment) *job.Job {
 	j := s.fac.NewJob(req)
 	j.NodeID = nodeID
 	j.Conn = conn
@@ -142,26 +183,43 @@ func (s *Sim) dispatchNode(now des.Time, req *job.Request, st *reqState, nodeID,
 		}
 	}
 	j.PathID = pid
-	s.route(now, j, in, srcMachine)
+	return j
 }
 
-// route delivers j to instance in, passing through the destination
-// machine's network service when the hop crosses machines. The client is
-// external (srcMachine == ""), so requests entering the cluster always pay
-// the receive pass; same-machine hops use loopback and skip it.
-func (s *Sim) route(now des.Time, j *job.Job, in *service.Instance, srcMachine string) {
+// deliver routes j to instance in, paying any injected edge latency first,
+// passing through the destination machine's network service when the hop
+// crosses machines. The client is external (srcMachine == ""), so requests
+// entering the cluster always pay the receive pass; same-machine hops use
+// loopback and skip it.
+func (s *Sim) deliver(now des.Time, j *job.Job, in *service.Instance, srcMachine string) {
+	if len(s.edgeExtra) > 0 {
+		if extra := s.edgeExtra[in.BP.Name]; extra > 0 {
+			s.eng.At(now+extra, func(t des.Time) { s.deliverDirect(t, j, in, srcMachine) })
+			return
+		}
+	}
+	s.deliverDirect(now, j, in, srcMachine)
+}
+
+func (s *Sim) deliverDirect(now des.Time, j *job.Job, in *service.Instance, srcMachine string) {
 	dest := in.Alloc.Machine.Name
 	j.Machine = dest
 	j.Instance = in.Name
 	if s.netCfg == nil || srcMachine == dest {
-		in.Enqueue(now, j)
+		if res := in.Admit(now, j); res != service.Admitted {
+			s.deliveryRejected(now, j, res)
+		}
 		return
 	}
 	np := s.netproc[dest]
 	targetPath := j.PathID
 	j.PathID = 0 // netproc's single path
 	s.pending[j.ID] = &delivery{instance: in, pathID: targetPath}
-	np.Enqueue(now, j)
+	if res := np.Admit(now, j); res != service.Admitted {
+		delete(s.pending, j.ID)
+		j.PathID = targetPath
+		s.deliveryRejected(now, j, res)
+	}
 }
 
 // handleNetDone fires when the network service finishes processing a
@@ -178,19 +236,38 @@ func (s *Sim) handleNetDone(now des.Time, j *job.Job) {
 		return
 	}
 	j.PathID = d.pathID
-	d.instance.Enqueue(now, j)
+	if res := d.instance.Admit(now, j); res != service.Admitted {
+		// The destination died or filled up while the message was in
+		// transit through the network service.
+		s.deliveryRejected(now, j, res)
+	}
 }
 
 // handleJobDone fires when a microservice instance completes a job's
 // service-local path: release tokens, fan out to children, finish leaves.
 func (s *Sim) handleJobDone(now des.Time, j *job.Job) {
+	if len(s.calls) > 0 {
+		if c, ok := s.calls[j.ID]; ok {
+			// A live policy-guarded attempt finished in time.
+			s.settleCall(now, c, j.ID)
+		}
+	}
 	st, ok := s.inflight[j.Req.ID]
 	if !ok {
+		if j.Req.Failed || j.Req.Done() {
+			return // stray server-side work of a request that already ended
+		}
 		panic(fmt.Sprintf("sim: job %d of unknown request %d completed", j.ID, j.Req.ID))
 	}
 	node := &st.tree.Nodes[j.NodeID]
 	if s.OnJobDone != nil {
 		s.OnJobDone(now, j, node.Service)
+	}
+	if j.Outcome != job.OutcomeOK {
+		// An abandoned attempt completed server-side: the edge timeout
+		// already handed this hop to a retry, so the result is discarded
+		// (and the conn tokens stay with the live attempt's completion).
+		return
 	}
 	for _, name := range node.ReleaseConn {
 		s.pools[name].release(now, j.Req)
@@ -253,22 +330,36 @@ func (s *Sim) applyBranch(j *job.Job, st *reqState, node *graph.Node, selected [
 // leaf, finishes the request.
 func (s *Sim) finalizeLeaf(now des.Time, j *job.Job) {
 	req := j.Req
+	if req.Failed {
+		return // the request already terminated with an error
+	}
 	req.LeavesRemaining--
 	if req.LeavesRemaining > 0 {
 		return
 	}
 	req.Finish = now
 	delete(s.inflight, req.ID)
-	if now >= s.warmupEnd && !req.TimedOut {
-		s.completions++
-		s.latency.Record(req.Latency())
-		for tier, d := range req.TierLatency {
-			h, ok := s.perTier[tier]
-			if !ok {
-				h = stats.NewLatencyHist()
-				s.perTier[tier] = h
+	if !req.TimedOut {
+		// Delivered throughput and latency samples belong to the window
+		// the completion lands in (warmup-backlog work the system serves
+		// during the window is real delivered work)...
+		if now >= s.warmupEnd {
+			s.windowDone++
+			s.latency.Record(req.Latency())
+			for tier, d := range req.TierLatency {
+				h, ok := s.perTier[tier]
+				if !ok {
+					h = stats.NewLatencyHist()
+					s.perTier[tier] = h
+				}
+				h.Record(d)
 			}
-			h.Record(d)
+		}
+		// ...while the outcome bucket is gated on the arrival, so every
+		// counted arrival lands in exactly one bucket and the conservation
+		// invariant holds for any warmup.
+		if req.Arrival >= s.warmupEnd {
+			s.completions++
 		}
 	}
 	if s.OnRequestDone != nil {
@@ -289,8 +380,12 @@ type InstanceReport struct {
 	Cores       int
 	Utilization float64
 	Completed   uint64
-	QueueLen    int
-	Residence   *stats.LatencyHist
+	// Shed counts arrivals this instance rejected via MaxQueue; Dropped
+	// counts jobs it lost to kills.
+	Shed      uint64
+	Dropped   uint64
+	QueueLen  int
+	Residence *stats.LatencyHist
 }
 
 // Report is the outcome of a run.
@@ -298,14 +393,35 @@ type Report struct {
 	Warmup   des.Time
 	Horizon  des.Time
 	Arrivals uint64
-	// Completions counts requests finished during the measured window
-	// within the client's patience (timed-out requests are excluded).
+	// Completions counts measured arrivals that finished within the
+	// client's patience (timed-out requests are excluded). Like all four
+	// outcome buckets it is gated on the request's arrival time, so the
+	// conservation identity below holds for any warmup.
 	Completions uint64
 	// Timeouts counts requests the client gave up on during the
 	// measured window (recorded into Latency at the timeout value).
 	Timeouts uint64
-	// OfferedQPS and GoodputQPS are arrival/completion rates over the
-	// measured window.
+	// Shed counts requests rejected with an immediate error: queue-length
+	// load shedding with retries exhausted, plus circuit-breaker fast
+	// fails (the BreakerFastFails subset).
+	Shed uint64
+	// Dropped counts requests that lost work to a crashed machine or
+	// killed instance with nothing left to retry. Together the four
+	// outcome buckets conserve requests:
+	// Arrivals == Completions + Timeouts + Shed + Dropped (+ InFlight).
+	Dropped uint64
+	// BreakerFastFails is the subset of Shed failed by open breakers.
+	BreakerFastFails uint64
+	// Retries counts resilience-policy attempt re-issues across all edges
+	// (not client retries, which appear as fresh Arrivals).
+	Retries uint64
+	// Errors breaks down failed call attempts by target service.
+	Errors map[string]*ErrorCounts
+	// OfferedQPS and GoodputQPS are arrival/delivery rates over the
+	// measured window. Goodput counts deliveries by completion time —
+	// backlog from the warmup window served during measurement is real
+	// delivered throughput — so at overload GoodputQPS·window can exceed
+	// Completions (which is arrival-gated).
 	OfferedQPS float64
 	GoodputQPS float64
 	// Latency is the end-to-end request latency histogram.
@@ -316,8 +432,10 @@ type Report struct {
 	// Instances summarizes every deployed instance (plus network
 	// services).
 	Instances []InstanceReport
-	// InFlight reports requests still in the system at the horizon —
-	// large values indicate operation beyond saturation.
+	// InFlight reports requests the client still awaits at the horizon —
+	// large values indicate operation beyond saturation. Abandoned server
+	// work of client-timed-out requests is excluded: those requests are
+	// already counted in Timeouts.
 	InFlight int
 }
 
@@ -329,13 +447,27 @@ func (s *Sim) report(horizon des.Time) *Report {
 		Arrivals:    s.arrivals,
 		Completions: s.completions,
 		Timeouts:    s.timeouts,
-		Latency:     s.latency,
-		PerTier:     s.perTier,
-		InFlight:    len(s.inflight),
+		Shed:        s.shedReqs,
+		Dropped:     s.droppedReqs,
+
+		BreakerFastFails: s.breakerFast,
+		Retries:          s.retriesN,
+		Errors:           s.errCounts,
+
+		Latency: s.latency,
+		PerTier: s.perTier,
+	}
+	// Only measured arrivals count: a request still draining from the
+	// warmup window belongs to no bucket, and a timed-out request already
+	// landed in Timeouts even though its abandoned work is still running.
+	for _, st := range s.inflight {
+		if st.at >= s.warmupEnd && !st.timedOut {
+			r.InFlight++
+		}
 	}
 	if window > 0 {
 		r.OfferedQPS = float64(s.arrivals) / window
-		r.GoodputQPS = float64(s.completions) / window
+		r.GoodputQPS = float64(s.windowDone) / window
 	}
 	for _, dep := range s.Deployments() {
 		for _, in := range dep.Instances {
@@ -358,6 +490,8 @@ func instanceReport(in *service.Instance, svc string, horizon des.Time) Instance
 		Cores:       in.Alloc.Cores,
 		Utilization: in.Utilization(horizon),
 		Completed:   in.Completed(),
+		Shed:        in.Shed(),
+		Dropped:     in.Dropped(),
 		QueueLen:    in.QueueLen(),
 		Residence:   in.Residence().Snapshot(),
 	}
@@ -410,14 +544,25 @@ func (p *connPool) release(now des.Time, req *job.Request) {
 	} else {
 		p.held[req.ID] = tokens[:len(tokens)-1]
 	}
-	if len(p.waiters) > 0 {
+	for len(p.waiters) > 0 {
 		w := p.waiters[0]
 		p.waiters = p.waiters[1:]
+		if w.req.Failed {
+			continue // abandoned while queued; the token passes it by
+		}
 		p.held[w.req.ID] = append(p.held[w.req.ID], token)
 		w.cont(now, token)
 		return
 	}
 	p.free = append(p.free, token)
+}
+
+// releaseAll returns every token req holds (a failed request exits the
+// system in one step, wherever it was in its acquire chain).
+func (p *connPool) releaseAll(now des.Time, req *job.Request) {
+	for len(p.held[req.ID]) > 0 {
+		p.release(now, req)
+	}
 }
 
 // inUse reports granted tokens.

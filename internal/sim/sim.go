@@ -113,6 +113,7 @@ type Sim struct {
 	treeChoice *dist.Choice
 	pathIDs    [][][]int // tree → node → resolved PathID (len 1 slice for alignment)
 	pools      map[string]*connPool
+	poolOrder  []string // deterministic iteration for releaseAll
 
 	clientCfg  ClientConfig
 	clientRNG  *rng.Source
@@ -123,11 +124,27 @@ type Sim struct {
 
 	branchers map[string]Brancher
 
-	// Measurement.
+	// Resilience: per-edge policies and their live attempt state.
+	svcPolicies  map[string]*policyRuntime
+	nodePolicies map[[2]int]*policyRuntime // [tree,node] override
+	hasPolicies  bool
+	calls        map[job.ID]*call
+	edgeExtra    map[string]des.Time // injected per-delivery latency by service
+	retryRNG     *rng.Source
+
+	// Measurement. completions/timeouts/shedReqs/droppedReqs are the
+	// arrival-gated outcome buckets of the conservation identity;
+	// windowDone counts deliveries by completion time and feeds goodput.
 	warmupEnd   des.Time
 	arrivals    uint64
 	completions uint64
+	windowDone  uint64
 	timeouts    uint64
+	shedReqs    uint64
+	droppedReqs uint64
+	breakerFast uint64
+	retriesN    uint64
+	errCounts   map[string]*ErrorCounts
 	latency     *stats.LatencyHist
 	perTier     map[string]*stats.LatencyHist
 
@@ -142,9 +159,11 @@ type Sim struct {
 
 // reqState tracks one in-flight request's progress through its tree.
 type reqState struct {
-	tree    *graph.Tree
-	treeIdx int
-	arrived []int // per-node parent-completion counts
+	tree     *graph.Tree
+	treeIdx  int
+	arrived  []int    // per-node parent-completion counts
+	at       des.Time // the request's arrival instant
+	timedOut bool     // client gave up; server work continues abandoned
 }
 
 // delivery is a job waiting to exit the network service.
@@ -155,19 +174,26 @@ type delivery struct {
 
 // New creates an empty simulation.
 func New(opts Options) *Sim {
+	split := rng.NewSplitter(opts.Seed)
 	return &Sim{
-		eng:         des.New(),
-		split:       rng.NewSplitter(opts.Seed),
-		cluster:     cluster.NewCluster(),
-		fac:         job.NewFactory(),
-		deployments: make(map[string]*Deployment),
-		netproc:     make(map[string]*service.Instance),
-		pools:       make(map[string]*connPool),
-		inflight:    make(map[job.ID]*reqState),
-		pending:     make(map[job.ID]*delivery),
-		branchers:   make(map[string]Brancher),
-		latency:     stats.NewLatencyHist(),
-		perTier:     make(map[string]*stats.LatencyHist),
+		eng:          des.New(),
+		split:        split,
+		cluster:      cluster.NewCluster(),
+		fac:          job.NewFactory(),
+		deployments:  make(map[string]*Deployment),
+		netproc:      make(map[string]*service.Instance),
+		pools:        make(map[string]*connPool),
+		inflight:     make(map[job.ID]*reqState),
+		pending:      make(map[job.ID]*delivery),
+		branchers:    make(map[string]Brancher),
+		svcPolicies:  make(map[string]*policyRuntime),
+		nodePolicies: make(map[[2]int]*policyRuntime),
+		calls:        make(map[job.ID]*call),
+		edgeExtra:    make(map[string]des.Time),
+		retryRNG:     split.Stream("retry"),
+		errCounts:    make(map[string]*ErrorCounts),
+		latency:      stats.NewLatencyHist(),
+		perTier:      make(map[string]*stats.LatencyHist),
 	}
 }
 
@@ -198,6 +224,10 @@ type Deployment struct {
 	rng        *rng.Source
 	pathChoice *dist.Choice
 	pathRNG    *rng.Source
+
+	// down counts currently-killed instances; while zero, instance picking
+	// takes the fault-oblivious fast path.
+	down int
 }
 
 // Deploy creates instances of bp on the given placements under the
@@ -232,6 +262,7 @@ func (s *Sim) Deploy(bp *service.Blueprint, lb Policy, placements ...Placement) 
 			return nil, err
 		}
 		in.OnJobDone = s.handleJobDone
+		in.OnJobDrop = s.handleJobDrop
 		dep.Instances = append(dep.Instances, in)
 	}
 	s.deployments[bp.Name] = dep
@@ -280,6 +311,44 @@ func (d *Deployment) pick() *service.Instance {
 	}
 }
 
+// pickHealthy selects an instance skipping killed ones; nil when every
+// instance is down. While nothing is down it is exactly pick(), so fault
+// support costs healthy runs one integer comparison.
+func (d *Deployment) pickHealthy() *service.Instance {
+	if d.down == 0 {
+		return d.pick()
+	}
+	healthy := make([]*service.Instance, 0, len(d.Instances))
+	for _, in := range d.Instances {
+		if !in.Down() {
+			healthy = append(healthy, in)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil
+	}
+	switch d.LB {
+	case Random:
+		return healthy[d.rng.IntN(len(healthy))]
+	case LeastLoaded:
+		start := d.rr % len(healthy)
+		d.rr++
+		best := healthy[start]
+		bestLoad := best.InFlight()
+		for i := 1; i < len(healthy); i++ {
+			in := healthy[(start+i)%len(healthy)]
+			if l := in.InFlight(); l < bestLoad {
+				best, bestLoad = in, l
+			}
+		}
+		return best
+	default:
+		in := healthy[d.rr%len(healthy)]
+		d.rr++
+		return in
+	}
+}
+
 // EnableNetwork deploys one interrupt-processing instance per machine.
 // Call after all machines exist and before Build.
 func (s *Sim) EnableNetwork(cfg NetworkConfig) error {
@@ -310,6 +379,7 @@ func (s *Sim) EnableNetwork(cfg NetworkConfig) error {
 			return err
 		}
 		in.OnJobDone = s.handleNetDone
+		in.OnJobDrop = s.handleNetDrop
 		s.netproc[m.Name] = in
 	}
 	return nil
@@ -356,6 +426,7 @@ func (s *Sim) SetTopology(topo *graph.Topology) error {
 	connBase := 1 << 20 // keep pool conn ids distinct from client conn ids
 	for _, p := range topo.Pools {
 		s.pools[p.Name] = newConnPool(p, connBase)
+		s.poolOrder = append(s.poolOrder, p.Name)
 		connBase += p.Capacity
 	}
 	s.topo = topo

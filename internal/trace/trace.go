@@ -22,6 +22,9 @@ type Span struct {
 	Service  string
 	Instance string
 	Node     int
+	// Outcome classifies the span: OK for a normal completion, Timeout
+	// for an attempt whose caller gave up before the service finished.
+	Outcome job.Outcome
 	// Enqueued/Started/Finished are the service-local timestamps:
 	// Enqueued→Started is the final stage's queueing delay,
 	// Arrived→Finished the full residence.
@@ -68,9 +71,13 @@ func (r *Request) Waterfall() string {
 	spans := append([]Span(nil), r.Spans...)
 	sort.Slice(spans, func(i, j int) bool { return spans[i].Arrived < spans[j].Arrived })
 	for _, s := range spans {
-		fmt.Fprintf(&b, "  %8s..%-8s  %-14s @%-14s node=%d residence=%v\n",
+		fmt.Fprintf(&b, "  %8s..%-8s  %-14s @%-14s node=%d residence=%v",
 			(s.Arrived - r.Arrival).String(), (s.Finished - r.Arrival).String(),
 			s.Service, s.Instance, s.Node, s.Residence())
+		if s.Outcome != job.OutcomeOK {
+			fmt.Fprintf(&b, " [%s]", s.Outcome)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -117,6 +124,7 @@ func (t *Tracer) OnJobDone(now des.Time, j *job.Job, service string) {
 		Service:  service,
 		Instance: j.Instance,
 		Node:     j.NodeID,
+		Outcome:  j.Outcome,
 		Arrived:  j.Arrived,
 		Started:  j.Started,
 		Finished: j.Finished,

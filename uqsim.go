@@ -36,6 +36,7 @@ import (
 	"uqsim/internal/config"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/monitor"
 	"uqsim/internal/power"
@@ -251,6 +252,37 @@ func Fanout(cfg ScaleOutConfig) (*Sim, error)             { return apps.Fanout(c
 func ThriftHello(cfg ThriftHelloConfig) (*Sim, error)     { return apps.ThriftHello(cfg) }
 func SocialNetwork(cfg SocialNetworkConfig) (*Sim, error) { return apps.SocialNetwork(cfg) }
 func TailAtScale(cfg TailAtScaleConfig) (*Sim, error)     { return apps.TailAtScale(cfg) }
+
+// ---- fault injection & resilience ----
+
+// FaultPlan is a deterministic schedule of fault events; install with
+// Sim.InstallFaults after deployments and topology exist.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled fault action.
+type FaultEvent = fault.Event
+
+// Fault kinds.
+const (
+	CrashMachine    = fault.CrashMachine
+	RecoverMachine  = fault.RecoverMachine
+	KillInstance    = fault.KillInstance
+	RestartInstance = fault.RestartInstance
+	DegradeFreq     = fault.DegradeFreq
+	EdgeLatency     = fault.EdgeLatency
+)
+
+// ResiliencePolicy guards RPC edges with attempt timeouts, backoff retries,
+// and circuit breaking; install with Sim.SetServicePolicy or
+// Sim.SetNodePolicy. Queue-length load shedding is Sim.SetMaxQueue.
+type ResiliencePolicy = fault.Policy
+
+// BreakerSpec configures a ResiliencePolicy's circuit breaker.
+type BreakerSpec = fault.BreakerSpec
+
+// ErrorCounts breaks down failed call attempts per target service (see
+// Report.Errors).
+type ErrorCounts = sim.ErrorCounts
 
 // ---- monitoring ----
 
