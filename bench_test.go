@@ -50,6 +50,7 @@ func BenchmarkExtTimeouts(b *testing.B)      { benchExperiment(b, "ext-timeouts"
 func BenchmarkExtEmergentCache(b *testing.B) { benchExperiment(b, "ext-cache") }
 func BenchmarkScalability(b *testing.B)      { benchExperiment(b, "scalability") }
 func BenchmarkResilience(b *testing.B)       { benchExperiment(b, "resilience") }
+func BenchmarkOverload(b *testing.B)         { benchExperiment(b, "overload") }
 
 // ---- DESIGN.md ablations ----
 
@@ -99,6 +100,32 @@ func BenchmarkSimulatorEventRateWithPolicies(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(rep.Completions), "req/op")
+		b.ReportMetric(float64(s.Engine().Processed()), "events/op")
+	}
+}
+
+// BenchmarkSimulatorEventRateWithHedging measures the cost of hedged
+// dispatch on the hot path: an 8-way load-balanced cluster with a p95
+// quantile hedge on the leaf edge, so every call pays the per-edge
+// latency sampling and hedge-timer arm/cancel, and the ~5% of calls whose
+// backup actually fires pay the race bookkeeping too.
+func BenchmarkSimulatorEventRateWithHedging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := LoadBalanced(ScaleOutConfig{Seed: uint64(i + 1), QPS: 20000, Servers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.SetServicePolicy("nginx", ResiliencePolicy{
+			Hedge: &HedgeSpec{Quantile: 0.95, MinSamples: 64},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := s.Run(0, Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Completions), "req/op")
+		b.ReportMetric(float64(rep.HedgesIssued), "hedges/op")
 		b.ReportMetric(float64(s.Engine().Processed()), "events/op")
 	}
 }

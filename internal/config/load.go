@@ -164,10 +164,14 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	}
 
 	// Deployments.
-	for _, d := range gf.Deployments {
+	for i, d := range gf.Deployments {
 		bp, ok := blueprints[d.Service]
 		if !ok {
-			return nil, fmt.Errorf("config: graph.json deploys unknown service %q", d.Service)
+			declared := make([]string, 0, len(blueprints))
+			for name := range blueprints {
+				declared = append(declared, name)
+			}
+			return nil, unknownName("graph.json", fmt.Sprintf("deployments[%d].service", i), d.Service, declared)
 		}
 		var lb sim.Policy
 		switch strings.ToLower(d.LB) {
@@ -279,6 +283,21 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	} else if cc.Pattern == nil {
 		return nil, fmt.Errorf("config: client.json needs qps, diurnal, or closed_users")
 	}
+	if cf.Budget != nil && cf.BudgetMs != 0 {
+		return nil, fmt.Errorf("config: client.json: budget and budget_ms are mutually exclusive")
+	}
+	if cf.BudgetMs < 0 {
+		return nil, fmt.Errorf("config: client.json: budget_ms must be non-negative")
+	}
+	if cf.Budget != nil {
+		b, err := cf.Budget.Build()
+		if err != nil {
+			return nil, fmt.Errorf("config: client budget: %w", err)
+		}
+		cc.Budget = b
+	} else if cf.BudgetMs > 0 {
+		cc.Budget = dist.NewDeterministic(float64(des.FromSeconds(cf.BudgetMs / 1000)))
+	}
 	if cf.SizeKB != nil {
 		sz, err := cf.SizeKB.Build()
 		if err != nil {
@@ -319,6 +338,18 @@ var faultKinds = map[string]fault.Kind{
 // plan on an assembled simulation.
 func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 	ms := func(v float64) des.Time { return des.FromSeconds(v / 1000) }
+	var deployed []string
+	for _, dep := range s.Deployments() {
+		deployed = append(deployed, dep.Name)
+	}
+	known := func(name string) bool {
+		for _, d := range deployed {
+			if d == name {
+				return true
+			}
+		}
+		return false
+	}
 	for i, ps := range ff.Policies {
 		p := fault.Policy{
 			Timeout:       ms(ps.TimeoutMs),
@@ -333,6 +364,14 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 				Cooldown:       ms(ps.Breaker.CooldownMs),
 			}
 		}
+		if ps.Hedge != nil {
+			p.Hedge = &fault.HedgeSpec{
+				Delay:      ms(ps.Hedge.DelayMs),
+				Quantile:   ps.Hedge.Quantile,
+				MinSamples: ps.Hedge.MinSamples,
+				Jitter:     ps.Hedge.Jitter,
+			}
+		}
 		switch {
 		case ps.Tree != "":
 			if ps.Node == nil {
@@ -345,6 +384,9 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 			if ps.Node != nil {
 				return fmt.Errorf("config: faults.json policy %d: node %d needs a tree", i, *ps.Node)
 			}
+			if !known(ps.Service) {
+				return unknownName("faults.json", fmt.Sprintf("policies[%d].service", i), ps.Service, deployed)
+			}
 			if err := s.SetServicePolicy(ps.Service, p); err != nil {
 				return fmt.Errorf("config: faults.json policy %d: %w", i, err)
 			}
@@ -353,8 +395,36 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 		}
 	}
 	for i, sh := range ff.Shedding {
+		if !known(sh.Service) {
+			return unknownName("faults.json", fmt.Sprintf("shedding[%d].service", i), sh.Service, deployed)
+		}
 		if err := s.SetMaxQueue(sh.Service, sh.MaxQueue); err != nil {
 			return fmt.Errorf("config: faults.json shedding %d: %w", i, err)
+		}
+	}
+	for i, qs := range ff.Queues {
+		if !known(qs.Service) {
+			return unknownName("faults.json", fmt.Sprintf("queues[%d].service", i), qs.Service, deployed)
+		}
+		var kind fault.QueueKind
+		switch strings.ToLower(qs.Kind) {
+		case "", "fifo":
+			kind = fault.QueueFIFO
+		case "codel":
+			kind = fault.QueueCoDel
+		case "lifo", "adaptive_lifo":
+			kind = fault.QueueLIFO
+		case "codel_lifo", "codel+lifo":
+			kind = fault.QueueCoDelLIFO
+		default:
+			return fmt.Errorf("config: faults.json: queues[%d].kind: unknown discipline %q (fifo, codel, lifo, codel_lifo)", i, qs.Kind)
+		}
+		if err := s.SetQueueDiscipline(qs.Service, fault.QueueDiscipline{
+			Kind:     kind,
+			Target:   ms(qs.TargetMs),
+			Interval: ms(qs.IntervalMs),
+		}); err != nil {
+			return fmt.Errorf("config: faults.json queues %d: %w", i, err)
 		}
 	}
 	if len(ff.Events) == 0 {
@@ -365,6 +435,9 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 		kind, ok := faultKinds[strings.ToLower(es.Kind)]
 		if !ok {
 			return fmt.Errorf("config: faults.json event %d: unknown kind %q", i, es.Kind)
+		}
+		if es.Service != "" && !known(es.Service) {
+			return unknownName("faults.json", fmt.Sprintf("events[%d].service", i), es.Service, deployed)
 		}
 		inst := -1
 		if es.Instance != nil {

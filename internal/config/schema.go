@@ -164,6 +164,14 @@ type ClientFile struct {
 	TimeoutMs  float64 `json:"timeout_ms,omitempty"`
 	MaxRetries int     `json:"max_retries,omitempty"`
 
+	// Budget samples each request's end-to-end deadline budget (spec
+	// durations in µs, as everywhere); an expired budget short-circuits
+	// the request's remaining subtree and cancels its queued work.
+	// BudgetMs is shorthand for a constant budget in milliseconds; the
+	// two are mutually exclusive. Omitted: no deadlines.
+	Budget   *dist.Spec `json:"budget,omitempty"`
+	BudgetMs float64    `json:"budget_ms,omitempty"`
+
 	WarmupS   float64 `json:"warmup_s,omitempty"`
 	DurationS float64 `json:"duration_s"`
 }
@@ -182,6 +190,7 @@ type DiurnalSpec struct {
 type FaultsFile struct {
 	Policies []EdgePolicySpec `json:"policies,omitempty"`
 	Shedding []ShedSpec       `json:"shedding,omitempty"`
+	Queues   []QueueSpec      `json:"queues,omitempty"`
 	Events   []FaultEventSpec `json:"events,omitempty"`
 }
 
@@ -198,6 +207,18 @@ type EdgePolicySpec struct {
 	BackoffBaseMs float64      `json:"backoff_base_ms,omitempty"`
 	BackoffJitter float64      `json:"backoff_jitter,omitempty"`
 	Breaker       *BreakerSpec `json:"breaker,omitempty"`
+	Hedge         *HedgeSpec   `json:"hedge,omitempty"`
+}
+
+// HedgeSpec configures hedged (backup) requests on an edge: after the
+// delay, a second attempt races on a different healthy instance and the
+// first response wins. Exactly one of DelayMs (fixed) or Quantile
+// (observed edge latency, e.g. 0.95) must be set.
+type HedgeSpec struct {
+	DelayMs    float64 `json:"delay_ms,omitempty"`
+	Quantile   float64 `json:"quantile,omitempty"`
+	MinSamples int     `json:"min_samples,omitempty"`
+	Jitter     float64 `json:"jitter,omitempty"`
 }
 
 // BreakerSpec configures an edge's circuit breaker.
@@ -212,6 +233,18 @@ type BreakerSpec struct {
 type ShedSpec struct {
 	Service  string `json:"service"`
 	MaxQueue int    `json:"max_queue"`
+}
+
+// QueueSpec selects a service's per-instance queue discipline beyond the
+// default FIFO: "codel" sheds jobs whose queue sojourn persistently
+// exceeds target_ms (CoDel control law over interval_ms), "lifo" serves
+// newest-first while the head sojourn exceeds target_ms, "codel_lifo"
+// does both.
+type QueueSpec struct {
+	Service    string  `json:"service"`
+	Kind       string  `json:"kind"`
+	TargetMs   float64 `json:"target_ms,omitempty"`
+	IntervalMs float64 `json:"interval_ms,omitempty"`
 }
 
 // FaultEventSpec schedules one fault action. Kind is one of crash_machine,

@@ -1,0 +1,74 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// unknownName builds the error for a config document referencing a name
+// that doesn't exist: it names the file, the offending key, the bad
+// value, and — when one is plausibly a typo away — the closest valid
+// name.
+func unknownName(file, key, got string, valid []string) error {
+	if s := closest(got, valid); s != "" {
+		return fmt.Errorf("config: %s: %s: unknown service %q (did you mean %q?)", file, key, got, s)
+	}
+	sorted := append([]string(nil), valid...)
+	sort.Strings(sorted)
+	return fmt.Errorf("config: %s: %s: unknown service %q (deployed: %s)",
+		file, key, got, strings.Join(sorted, ", "))
+}
+
+// closest returns the valid name nearest to got by edit distance, or ""
+// when nothing is close enough to be a likely typo (distance > half the
+// name's length).
+func closest(got string, valid []string) string {
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, v := range valid {
+		d := editDistance(strings.ToLower(got), strings.ToLower(v))
+		if d < bestDist || (d == bestDist && v < best) {
+			best, bestDist = v, d
+		}
+	}
+	limit := len(got) / 2
+	if limit < 1 {
+		limit = 1
+	}
+	if best == "" || bestDist > limit {
+		return ""
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -146,6 +146,90 @@ func TestEngineCancel(t *testing.T) {
 	e.Cancel(nil)
 }
 
+// TestEngineCancelAfterFired: cancelling an event that already ran is a
+// no-op — it must not touch the heap (the event's slot may have been
+// reused) or re-mark it as pending work.
+func TestEngineCancelAfterFired(t *testing.T) {
+	e := New()
+	fired := 0
+	ev := e.At(10, func(Time) { fired++ })
+	later := e.At(20, func(Time) { fired++ })
+	e.Step() // fires ev
+	e.Cancel(ev)
+	if !ev.Canceled() {
+		t.Fatal("post-fire cancel should still mark the event")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d; post-fire cancel must not disturb other events", fired)
+	}
+	_ = later
+}
+
+// TestEngineCancelLastElement: removing the final heap slot (index ==
+// len-1) exercises heap.Remove's no-swap path.
+func TestEngineCancelLastElement(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.At(10, func(now Time) { fired = append(fired, now) })
+	last := e.At(30, func(now Time) { fired = append(fired, now) })
+	e.Cancel(last)
+	e.At(20, func(now Time) { fired = append(fired, now) })
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+}
+
+// TestEngineCancelSoleEvent: cancelling the only pending event leaves an
+// empty, runnable engine.
+func TestEngineCancelSoleEvent(t *testing.T) {
+	e := New()
+	ev := e.At(5, func(Time) { t.Fatal("cancelled event fired") })
+	e.Cancel(ev)
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("cancelled sole event still pending")
+	}
+	e.Run()
+	e.At(7, func(Time) {})
+	e.Run()
+	if e.Now() != 7 {
+		t.Fatalf("now = %v, want 7", e.Now())
+	}
+}
+
+// TestEngineCancelSelfFromCallback: an event cancelling itself mid-fire
+// (index already -1) must not corrupt the heap.
+func TestEngineCancelSelfFromCallback(t *testing.T) {
+	e := New()
+	var ev *Event
+	fired := 0
+	ev = e.At(10, func(Time) {
+		fired++
+		e.Cancel(ev)
+	})
+	e.At(20, func(Time) { fired++ })
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+// TestEngineCancelThenRescheduleSameTime: cancel+reschedule at the same
+// timestamp keeps the deterministic insertion (seq) order for survivors.
+func TestEngineCancelThenRescheduleSameTime(t *testing.T) {
+	e := New()
+	var order []int
+	a := e.At(10, func(Time) { order = append(order, 0) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.Cancel(a)
+	e.At(10, func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2] (insertion order at equal times)", order)
+	}
+}
+
 func TestEngineCancelInterleaved(t *testing.T) {
 	e := New()
 	var fired []int

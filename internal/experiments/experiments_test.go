@@ -120,6 +120,43 @@ func TestResilienceSmoke(t *testing.T) {
 	}
 }
 
+func TestOverloadSmoke(t *testing.T) {
+	tb := smoke(t, "overload")
+	leakCol := len(tb.Columns) - 1
+	// goodput per config at the highest load (1.5×) and at the peak.
+	at15 := map[string]float64{}
+	peak := map[string]float64{}
+	for _, r := range tb.Rows {
+		if r[leakCol] != "0" {
+			t.Fatalf("%s at %s× leaked %s requests", r[0], r[1], r[leakCol])
+		}
+		g, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatalf("unparseable goodput in %v", r)
+		}
+		if g > peak[r[0]] {
+			peak[r[0]] = g
+		}
+		if r[1] == "1.50" {
+			at15[r[0]] = g
+		}
+	}
+	// The acceptance criterion: with deadlines + CoDel-LIFO (+ hedging),
+	// goodput at 1.5× saturation stays within 2× of the config's peak,
+	// while the FIFO baseline's backlog outgrows the client's patience
+	// and goodput collapses.
+	for _, cfg := range []string{"deadline-codel-lifo", "deadline-codel-lifo-hedge"} {
+		if at15[cfg] < peak[cfg]/2 {
+			t.Fatalf("%s: goodput %v at 1.5× vs peak %v — should degrade gracefully",
+				cfg, at15[cfg], peak[cfg])
+		}
+	}
+	if base := at15["fifo-baseline"]; base > at15["deadline-codel-lifo"]/4 {
+		t.Fatalf("fifo-baseline goodput %v at 1.5× should collapse (graceful: %v)",
+			base, at15["deadline-codel-lifo"])
+	}
+}
+
 func TestFig5Smoke(t *testing.T) {
 	tb := smoke(t, "fig5")
 	// Four configurations appear.

@@ -12,16 +12,18 @@ import (
 // a fourth per-service error-breakdown table.
 func ReportTables(rep *sim.Report) []*Table {
 	sum := NewTable("Run summary",
-		"offered_qps", "goodput_qps", "completions", "timeouts", "shed", "dropped", "retries",
-		"mean_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "in_flight")
+		"offered_qps", "goodput_qps", "completions", "timeouts", "deadline", "shed", "dropped",
+		"retries", "hedges", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "in_flight")
 	sum.Add(
 		fmt.Sprintf("%.0f", rep.OfferedQPS),
 		fmt.Sprintf("%.0f", rep.GoodputQPS),
 		fmt.Sprintf("%d", rep.Completions),
 		fmt.Sprintf("%d", rep.Timeouts),
+		fmt.Sprintf("%d", rep.DeadlineExpired),
 		fmt.Sprintf("%d", rep.Shed),
 		fmt.Sprintf("%d", rep.Dropped),
 		fmt.Sprintf("%d", rep.Retries),
+		fmt.Sprintf("%d", rep.HedgesIssued),
 		fmt.Sprintf("%.3f", rep.Latency.Mean().Millis()),
 		fmt.Sprintf("%.3f", rep.Latency.P50().Millis()),
 		fmt.Sprintf("%.3f", rep.Latency.P95().Millis()),
@@ -45,7 +47,8 @@ func ReportTables(rep *sim.Report) []*Table {
 	}
 
 	insts := NewTable("Instances",
-		"instance", "service", "machine", "cores", "util", "completed", "shed", "dropped", "qlen")
+		"instance", "service", "machine", "cores", "util", "completed", "shed", "dropped",
+		"canceled", "wasted", "qlen")
 	for _, ir := range rep.Instances {
 		insts.Add(ir.Name, ir.Service, ir.Machine,
 			fmt.Sprintf("%d", ir.Cores),
@@ -53,13 +56,15 @@ func ReportTables(rep *sim.Report) []*Table {
 			fmt.Sprintf("%d", ir.Completed),
 			fmt.Sprintf("%d", ir.Shed),
 			fmt.Sprintf("%d", ir.Dropped),
+			fmt.Sprintf("%d", ir.Canceled),
+			fmt.Sprintf("%d", ir.Wasted),
 			fmt.Sprintf("%d", ir.QueueLen))
 	}
 	out := []*Table{sum, tiers, insts}
 
 	if len(rep.Errors) > 0 {
 		errs := NewTable("Per-service call errors",
-			"service", "timeouts", "shed", "dropped", "breaker_open", "retries")
+			"service", "timeouts", "shed", "dropped", "breaker_open", "retries", "hedges")
 		svcs := make([]string, 0, len(rep.Errors))
 		for name := range rep.Errors {
 			svcs = append(svcs, name)
@@ -72,7 +77,8 @@ func ReportTables(rep *sim.Report) []*Table {
 				fmt.Sprintf("%d", ec.Shed),
 				fmt.Sprintf("%d", ec.Dropped),
 				fmt.Sprintf("%d", ec.BreakerOpen),
-				fmt.Sprintf("%d", ec.Retries))
+				fmt.Sprintf("%d", ec.Retries),
+				fmt.Sprintf("%d", ec.Hedges))
 		}
 		out = append(out, errs)
 	}

@@ -41,11 +41,11 @@ func resilienceScenario(seed uint64, qps float64, machines []string, perMachine 
 }
 
 // leaked is the conservation residue: nonzero means requests vanished from
-// the accounting (arrivals != completions + timeouts + shed + dropped +
-// in-flight).
+// the accounting (arrivals != completions + timeouts + deadline + shed +
+// dropped + in-flight).
 func leaked(rep *sim.Report) int64 {
 	return int64(rep.Arrivals) -
-		int64(rep.Completions+rep.Timeouts+rep.Shed+rep.Dropped) -
+		int64(rep.Completions+rep.Timeouts+rep.DeadlineExpired+rep.Shed+rep.Dropped) -
 		int64(rep.InFlight)
 }
 

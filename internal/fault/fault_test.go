@@ -24,11 +24,11 @@ func TestEventValidation(t *testing.T) {
 	}
 	bad := []Event{
 		{At: -1, Kind: CrashMachine, Machine: "m0"},
-		{Kind: CrashMachine},                      // no machine
-		{Kind: KillInstance},                      // no service
-		{Kind: DegradeFreq, Machine: "m0"},        // no freq
-		{Kind: EdgeLatency, Service: "svc"},       // no latency
-		{Kind: Kind(99), Machine: "m0"},           // unknown kind
+		{Kind: CrashMachine},                // no machine
+		{Kind: KillInstance},                // no service
+		{Kind: DegradeFreq, Machine: "m0"},  // no freq
+		{Kind: EdgeLatency, Service: "svc"}, // no latency
+		{Kind: Kind(99), Machine: "m0"},     // unknown kind
 		{At: des.Second, Kind: EdgeLatency, Service: "svc",
 			Extra: des.Millisecond, Until: des.Millisecond}, // until before at
 	}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"testing"
+
+	"uqsim/internal/des"
+)
+
+func TestQueueDisciplineValidateAndDefaults(t *testing.T) {
+	good := QueueDiscipline{Kind: QueueCoDel}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := good.WithDefaults()
+	if d.Target != 5*des.Millisecond || d.Interval != 100*des.Millisecond {
+		t.Fatalf("defaults %v/%v", d.Target, d.Interval)
+	}
+	for _, bad := range []QueueDiscipline{
+		{Kind: QueueKind(99)},
+		{Kind: QueueCoDel, Target: -1},
+		{Kind: QueueCoDel, Interval: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v: want error", bad)
+		}
+	}
+	if !(QueueCoDel.String() == "codel" && QueueCoDelLIFO.String() == "codel+lifo") {
+		t.Fatal("kind names")
+	}
+	if QueueLIFO.Sheds() || !QueueCoDelLIFO.Sheds() {
+		t.Fatal("Sheds classification")
+	}
+	if QueueCoDel.LIFO() || !QueueLIFO.LIFO() {
+		t.Fatal("LIFO classification")
+	}
+}
+
+func (k QueueKind) Sheds() bool { return QueueDiscipline{Kind: k}.Sheds() }
+func (k QueueKind) LIFO() bool  { return QueueDiscipline{Kind: k}.LIFO() }
+
+// TestCoDelBelowTargetNeverDrops: an uncongested queue must never shed.
+func TestCoDelBelowTargetNeverDrops(t *testing.T) {
+	c := NewCoDel(QueueDiscipline{Kind: QueueCoDel, Target: 5 * des.Millisecond, Interval: 100 * des.Millisecond})
+	for i := 0; i < 1000; i++ {
+		now := des.Time(i) * des.Millisecond
+		if c.OnDequeue(now, 4*des.Millisecond) {
+			t.Fatalf("dropped at %v with sojourn below target", now)
+		}
+	}
+	if c.Drops() != 0 || c.Dropping() {
+		t.Fatal("controller must stay idle")
+	}
+}
+
+// TestCoDelGracePeriod: sojourn above target must survive one full
+// interval before the first drop.
+func TestCoDelGracePeriod(t *testing.T) {
+	tgt, itv := 5*des.Millisecond, 100*des.Millisecond
+	c := NewCoDel(QueueDiscipline{Kind: QueueCoDel, Target: tgt, Interval: itv})
+	if c.OnDequeue(0, 10*des.Millisecond) {
+		t.Fatal("first above-target dequeue must not drop")
+	}
+	if c.OnDequeue(itv/2, 10*des.Millisecond) {
+		t.Fatal("dropped before the interval elapsed")
+	}
+	if !c.OnDequeue(itv, 10*des.Millisecond) {
+		t.Fatal("must start shedding after a full interval above target")
+	}
+	if !c.Dropping() || c.Drops() != 1 {
+		t.Fatalf("dropping=%v drops=%d", c.Dropping(), c.Drops())
+	}
+}
+
+// TestCoDelControlLaw: inside a dropping episode the drop rate increases
+// as interval/sqrt(count), so persistent overload sheds ever harder.
+func TestCoDelControlLaw(t *testing.T) {
+	tgt, itv := des.Millisecond, 10*des.Millisecond
+	c := NewCoDel(QueueDiscipline{Kind: QueueCoDel, Target: tgt, Interval: itv})
+	c.OnDequeue(0, 5*des.Millisecond)
+	if !c.OnDequeue(itv, 5*des.Millisecond) {
+		t.Fatal("want first drop at the interval boundary")
+	}
+	// Walk virtual time forward in small steps with a persistently bad
+	// sojourn; intervals between consecutive drops must shrink.
+	var dropTimes []des.Time
+	for now := itv; now < 50*itv; now += itv / 20 {
+		if c.OnDequeue(now, 5*des.Millisecond) {
+			dropTimes = append(dropTimes, now)
+		}
+	}
+	if len(dropTimes) < 4 {
+		t.Fatalf("only %d drops under persistent overload", len(dropTimes))
+	}
+	first := dropTimes[1] - dropTimes[0]
+	last := dropTimes[len(dropTimes)-1] - dropTimes[len(dropTimes)-2]
+	if last > first {
+		t.Fatalf("drop spacing grew (%v -> %v); control law must tighten", first, last)
+	}
+}
+
+// TestCoDelRecovers: one below-target dequeue ends the episode and resets
+// the grace period.
+func TestCoDelRecovers(t *testing.T) {
+	tgt, itv := des.Millisecond, 10*des.Millisecond
+	c := NewCoDel(QueueDiscipline{Kind: QueueCoDel, Target: tgt, Interval: itv})
+	c.OnDequeue(0, 5*des.Millisecond)
+	c.OnDequeue(itv, 5*des.Millisecond) // drop, now dropping
+	if c.OnDequeue(itv+1, tgt/2) {
+		t.Fatal("below-target dequeue must never drop")
+	}
+	if c.Dropping() {
+		t.Fatal("below-target dequeue must end the episode")
+	}
+	// The grace period starts over: an above-target dequeue right after
+	// recovery must not drop.
+	if c.OnDequeue(itv+2, 5*des.Millisecond) {
+		t.Fatal("grace period must restart after recovery")
+	}
+}
+
+func TestHedgeSpecValidate(t *testing.T) {
+	good := []HedgeSpec{
+		{Delay: des.Millisecond},
+		{Quantile: 0.95},
+		{Delay: des.Millisecond, Quantile: 0.99, MinSamples: 5, Jitter: 0.3},
+	}
+	for _, h := range good {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+	}
+	bad := []HedgeSpec{
+		{},
+		{Delay: -1},
+		{Quantile: 1},
+		{Quantile: -0.1},
+		{Delay: des.Millisecond, MinSamples: -1},
+		{Delay: des.Millisecond, Jitter: 2},
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Fatalf("%+v: want error", h)
+		}
+	}
+	if (&HedgeSpec{}).MinSamplesOrDefault() != 16 {
+		t.Fatal("MinSamples default")
+	}
+	p := Policy{Timeout: des.Millisecond, Hedge: &HedgeSpec{Quantile: 2}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("policy must surface hedge validation errors")
+	}
+}

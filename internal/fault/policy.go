@@ -27,6 +27,12 @@ type Policy struct {
 	// Breaker fails calls fast while the edge's recent error rate is
 	// above threshold, giving the callee room to recover.
 	Breaker *BreakerSpec
+	// Hedge races a single backup attempt against a slow primary: after
+	// the hedge delay the edge re-issues the RPC to a different healthy
+	// instance, the first response wins, and the loser is cancelled (if
+	// still queued) or its completed work discarded. A hedge is an
+	// attempt, not an arrival — it never perturbs request conservation.
+	Hedge *HedgeSpec
 }
 
 // Validate checks parameter ranges.
@@ -51,7 +57,60 @@ func (p *Policy) Validate() error {
 			return err
 		}
 	}
+	if p.Hedge != nil {
+		if err := p.Hedge.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// HedgeSpec parameterizes hedged (backup) requests on one edge.
+type HedgeSpec struct {
+	// Delay is the fixed wait before issuing the backup attempt. With
+	// Quantile set it is the cold-start fallback used until enough edge
+	// latency has been observed (0: no hedging until the stream warms).
+	Delay des.Time
+	// Quantile, when in (0,1), replaces Delay with the observed
+	// edge-latency quantile (e.g. 0.95 hedges requests slower than the
+	// running p95), tracked by a per-edge streaming estimator.
+	Quantile float64
+	// MinSamples gates quantile-derived delays: below this many observed
+	// attempt latencies the estimator is considered cold and Delay (or no
+	// hedging at all) applies. Defaults to 16 when zero.
+	MinSamples int
+	// Jitter spreads the delay uniformly over ±jitter fraction,
+	// decorrelating synchronized hedges. Drawn from a dedicated RNG
+	// stream so hedging never perturbs service-time draws.
+	Jitter float64
+}
+
+// Validate checks parameter ranges.
+func (h *HedgeSpec) Validate() error {
+	if h.Delay < 0 {
+		return fmt.Errorf("fault: hedge delay %v negative", h.Delay)
+	}
+	if h.Quantile < 0 || h.Quantile >= 1 {
+		return fmt.Errorf("fault: hedge quantile %v outside [0,1)", h.Quantile)
+	}
+	if h.Delay == 0 && h.Quantile == 0 {
+		return fmt.Errorf("fault: hedge needs a delay or a latency quantile")
+	}
+	if h.MinSamples < 0 {
+		return fmt.Errorf("fault: hedge min_samples %d negative", h.MinSamples)
+	}
+	if h.Jitter < 0 || h.Jitter > 1 {
+		return fmt.Errorf("fault: hedge jitter %v outside [0,1]", h.Jitter)
+	}
+	return nil
+}
+
+// MinSamplesOrDefault applies the documented default.
+func (h *HedgeSpec) MinSamplesOrDefault() int {
+	if h.MinSamples <= 0 {
+		return 16
+	}
+	return h.MinSamples
 }
 
 // Backoff samples the delay before retry attempt k (k=1 for the first

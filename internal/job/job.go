@@ -36,6 +36,14 @@ const (
 	// OutcomeBreakerOpen marks a call failed fast by an open circuit
 	// breaker.
 	OutcomeBreakerOpen
+	// OutcomeDeadline marks a request whose end-to-end deadline budget
+	// expired: the subtree is short-circuited and queued work cancelled.
+	OutcomeDeadline
+	// OutcomeCanceled marks a job attempt abandoned before (or while)
+	// serving because its request already terminated or a racing hedge
+	// attempt won; queued canceled work is discarded at dequeue without
+	// consuming server time. Job-level only — requests never end Canceled.
+	OutcomeCanceled
 )
 
 // String names the outcome.
@@ -51,6 +59,10 @@ func (o Outcome) String() string {
 		return "dropped"
 	case OutcomeBreakerOpen:
 		return "breaker-open"
+	case OutcomeDeadline:
+		return "deadline"
+	case OutcomeCanceled:
+		return "canceled"
 	}
 	return "unknown"
 }
@@ -67,6 +79,12 @@ type Request struct {
 	// LeavesRemaining counts path-tree leaves not yet completed; the
 	// request finishes when it reaches zero.
 	LeavesRemaining int
+
+	// Deadline is the absolute virtual time the request's end-to-end
+	// budget expires (0: no budget). Child RPCs inherit the residual
+	// implicitly — every tier sees the same absolute deadline, so the
+	// remaining budget at any hop is Deadline minus the current time.
+	Deadline des.Time
 
 	// TimedOut marks a request whose client gave up waiting; the
 	// server-side work still completes (and still holds resources),
@@ -89,6 +107,21 @@ type Request struct {
 
 // Done reports whether the request has completed.
 func (r *Request) Done() bool { return r.Finish != 0 }
+
+// Expired reports whether the request's deadline budget has run out at
+// virtual time now (always false without a budget).
+func (r *Request) Expired(now des.Time) bool {
+	return r.Deadline > 0 && now >= r.Deadline
+}
+
+// Remaining reports the residual deadline budget at virtual time now; 0
+// when expired or budget-less.
+func (r *Request) Remaining(now des.Time) des.Time {
+	if r.Deadline == 0 || now >= r.Deadline {
+		return 0
+	}
+	return r.Deadline - now
+}
 
 // Latency reports end-to-end latency; 0 while in flight.
 func (r *Request) Latency() des.Time {

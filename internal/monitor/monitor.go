@@ -38,9 +38,19 @@ type HealthTarget interface {
 	Down() bool
 }
 
+// WasteTarget is an optional Target extension for targets that discard
+// work under overload control: jobs cancelled before service (deadline
+// expiry, lost hedge races caught in the queue) and completed services
+// nobody consumed. service.Instance satisfies it.
+type WasteTarget interface {
+	CanceledEarly() uint64
+	WastedWork() uint64
+}
+
 var (
 	_ ErrorTarget  = (*service.Instance)(nil)
 	_ HealthTarget = (*service.Instance)(nil)
+	_ WasteTarget  = (*service.Instance)(nil)
 )
 
 // Series holds the sampled time series of one target.
@@ -57,6 +67,11 @@ type Series struct {
 	// Up is 1 while the target is serving and 0 while faulted; nil unless
 	// the target implements HealthTarget.
 	Up *stats.TimeSeries
+	// Canceled and Wasted track cumulative discarded work (cancelled
+	// before service vs served uselessly); nil unless the target
+	// implements WasteTarget.
+	Canceled *stats.TimeSeries
+	Wasted   *stats.TimeSeries
 }
 
 // Monitor drives periodic sampling on a DES engine.
@@ -96,6 +111,10 @@ func (m *Monitor) Watch(name string, t Target) *Series {
 	if _, ok := t.(HealthTarget); ok {
 		s.Up = stats.NewTimeSeries(name + ".up")
 	}
+	if _, ok := t.(WasteTarget); ok {
+		s.Canceled = stats.NewTimeSeries(name + ".canceled")
+		s.Wasted = stats.NewTimeSeries(name + ".wasted")
+	}
 	m.targets = append(m.targets, t)
 	m.series = append(m.series, s)
 	return s
@@ -124,6 +143,10 @@ func (m *Monitor) sample(now des.Time) {
 				up = 0
 			}
 			s.Up.Record(now, up)
+		}
+		if wt, ok := t.(WasteTarget); ok {
+			s.Canceled.Record(now, float64(wt.CanceledEarly()))
+			s.Wasted.Record(now, float64(wt.WastedWork()))
 		}
 	}
 	m.eng.After(m.interval, m.sample)
@@ -163,6 +186,9 @@ func (m *Monitor) CSV() string {
 		if s.Up != nil {
 			fmt.Fprintf(&b, ",%s_up", s.Name)
 		}
+		if s.Canceled != nil {
+			fmt.Fprintf(&b, ",%s_canceled,%s_wasted", s.Name, s.Name)
+		}
 	}
 	b.WriteByte('\n')
 	if len(m.series) == 0 {
@@ -183,6 +209,9 @@ func (m *Monitor) CSV() string {
 				if s.Up != nil {
 					fmt.Fprintf(&b, ",%.0f", s.Up.Points()[i].V)
 				}
+				if s.Canceled != nil {
+					fmt.Fprintf(&b, ",%.0f,%.0f", s.Canceled.Points()[i].V, s.Wasted.Points()[i].V)
+				}
 			} else {
 				b.WriteString(",,,")
 				if s.Shed != nil {
@@ -190,6 +219,9 @@ func (m *Monitor) CSV() string {
 				}
 				if s.Up != nil {
 					b.WriteString(",")
+				}
+				if s.Canceled != nil {
+					b.WriteString(",,")
 				}
 			}
 		}

@@ -72,7 +72,7 @@ func TestMonitorCSV(t *testing.T) {
 	}
 	csv := m.CSV()
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
-	if lines[0] != "t_s,svc-0_qlen,svc-0_inflight,svc-0_util,svc-0_shed,svc-0_dropped,svc-0_up" {
+	if lines[0] != "t_s,svc-0_qlen,svc-0_inflight,svc-0_util,svc-0_shed,svc-0_dropped,svc-0_up,svc-0_canceled,svc-0_wasted" {
 		t.Fatalf("header %q", lines[0])
 	}
 	if len(lines) != m.Samples()+1 {
@@ -110,6 +110,46 @@ func TestMonitorTracksFaults(t *testing.T) {
 	}
 	if lost == 0 {
 		t.Fatal("kill window should record dropped jobs")
+	}
+}
+
+func TestMonitorTracksCanceledWork(t *testing.T) {
+	// 2× overload with a 5ms budget: expired requests' queued jobs are
+	// discarded at dequeue, so the cumulative canceled series climbs.
+	s := sim.New(sim.Options{Seed: 4})
+	s.AddMachine("m0", 8, cluster.FreqSpec{})
+	dep, err := s.Deploy(service.SingleStage("svc", dist.NewDeterministic(float64(des.Millisecond))),
+		sim.RoundRobin, sim.Placement{Machine: "m0", Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTopology(graph.Linear("main", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(sim.ClientConfig{
+		Pattern: workload.ConstantRate(2000),
+		Budget:  dist.NewDeterministic(float64(5 * des.Millisecond)),
+	})
+	m := New(s.Engine(), 10*des.Millisecond)
+	series := m.Watch("svc-0", dep.Instances[0])
+	m.Start()
+	if _, err := s.Run(0, des.Second); err != nil {
+		t.Fatal(err)
+	}
+	if series.Canceled == nil || series.Wasted == nil {
+		t.Fatal("instance target should expose waste series")
+	}
+	last := series.Canceled.Points()[series.Canceled.Len()-1]
+	if last.V == 0 {
+		t.Fatal("deadline overload should accumulate canceled work")
+	}
+	// Cumulative counters never decrease.
+	prev := 0.0
+	for _, p := range series.Canceled.Points() {
+		if p.V < prev {
+			t.Fatalf("canceled series decreased: %v -> %v", prev, p.V)
+		}
+		prev = p.V
 	}
 }
 

@@ -68,6 +68,20 @@ func (q *FIFO) Pop() *job.Job {
 	return b[0]
 }
 
+// PopTail removes and returns the single newest job, or nil when empty.
+// Adaptive-LIFO admission uses it to serve fresh requests first under
+// overload while the queue otherwise stays FIFO.
+func (q *FIFO) PopTail() *job.Job {
+	if q.Len() == 0 {
+		return nil
+	}
+	j := q.items[len(q.items)-1]
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	q.compact()
+	return j
+}
+
 func (q *FIFO) Len() int { return len(q.items) - q.head }
 
 func (q *FIFO) Peek() *job.Job {

@@ -78,6 +78,42 @@ func TestFIFOPop(t *testing.T) {
 	}
 }
 
+func TestFIFOPopTail(t *testing.T) {
+	f := job.NewFactory()
+	q := NewFIFO()
+	if q.PopTail() != nil {
+		t.Fatal("pop-tail on empty should be nil")
+	}
+	a, b, c := mkJob(f, 0), mkJob(f, 0), mkJob(f, 0)
+	q.Push(a)
+	q.Push(b)
+	q.Push(c)
+	if q.PopTail() != c {
+		t.Fatal("pop-tail should return newest")
+	}
+	if q.Peek() != a {
+		t.Fatal("peek should still show oldest")
+	}
+	// Mixing head and tail pops must preserve the remaining order.
+	if q.Pop() != a || q.PopTail() != b {
+		t.Fatal("mixed pops out of order")
+	}
+	if q.Len() != 0 || q.PopTail() != nil {
+		t.Fatal("queue should be empty")
+	}
+	// PopTail after head pops (head > 0) must not resurrect popped jobs.
+	for i := 0; i < 4; i++ {
+		q.Push(mkJob(f, 0))
+	}
+	q.Pop()
+	q.Pop()
+	last := mkJob(f, 0)
+	q.Push(last)
+	if q.PopTail() != last || q.Len() != 2 {
+		t.Fatal("pop-tail interacted badly with the head index")
+	}
+}
+
 func TestFIFOCompaction(t *testing.T) {
 	f := job.NewFactory()
 	q := NewFIFO()

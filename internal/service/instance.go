@@ -5,6 +5,7 @@ import (
 
 	"uqsim/internal/cluster"
 	"uqsim/internal/des"
+	"uqsim/internal/fault"
 	"uqsim/internal/job"
 	"uqsim/internal/queueing"
 	"uqsim/internal/rng"
@@ -46,6 +47,22 @@ type Instance struct {
 	// upstream.
 	OnJobDrop func(now des.Time, j *job.Job)
 
+	// OnJobShed fires for every entry job shed by the CoDel discipline at
+	// dequeue time (unlike MaxQueue sheds, the job had been admitted). Set
+	// by the sim layer to fail the attempt upstream.
+	OnJobShed func(now des.Time, j *job.Job)
+
+	// IsCanceled, when set, is consulted for every entry job at dequeue:
+	// a true return discards the job unserved (its request already
+	// terminated — deadline expiry, client timeout, or a lost hedge race).
+	// Lazy cancellation at dequeue keeps enqueue O(1) while guaranteeing
+	// no core is ever spent on work nobody wants.
+	IsCanceled func(j *job.Job) bool
+
+	// Overload admission discipline for entry jobs (first path stage).
+	disc  fault.QueueDiscipline
+	codel *fault.CoDel
+
 	// Threaded-model state.
 	idleThreads int
 	threadQ     *queueing.FIFO // jobs waiting for a thread
@@ -61,6 +78,8 @@ type Instance struct {
 	completed  uint64
 	shed       uint64
 	dropped    uint64
+	canceled   uint64 // entry jobs discarded unserved (dead request / lost hedge)
+	wasted     uint64 // jobs served to completion whose result was discarded
 	inFlight   int
 	residence  *stats.LatencyHist
 	stageWait  []*stats.LatencyHist
@@ -181,6 +200,112 @@ func (in *Instance) pushToStage(now des.Time, j *job.Job) {
 	in.queues[stage].Push(j)
 }
 
+// ---- overload admission ----
+
+// SetDiscipline installs the entry-queue overload discipline (CoDel
+// sojourn shedding and/or adaptive LIFO ordering). Must be called before
+// the run starts; LIFO kinds require a plain FIFO entry queue.
+func (in *Instance) SetDiscipline(d fault.QueueDiscipline) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.LIFO() && in.BP.Model != ModelThreaded {
+		for i, s := range in.BP.Stages {
+			if in.entryStage(i) && s.Queue != queueing.KindSingle {
+				return fmt.Errorf("service %s: adaptive LIFO needs a %q entry queue, stage %d is %q",
+					in.Name, queueing.KindSingle, i, s.Queue)
+			}
+		}
+	}
+	in.disc = d.WithDefaults()
+	if d.Sheds() {
+		in.codel = fault.NewCoDel(d)
+	} else {
+		in.codel = nil
+	}
+	return nil
+}
+
+// Discipline reports the installed entry-queue discipline.
+func (in *Instance) Discipline() fault.QueueDiscipline { return in.disc }
+
+// entryStage reports whether blueprint stage s is the first stage of any
+// execution path — the stage whose queue holds not-yet-started jobs.
+func (in *Instance) entryStage(s int) bool {
+	for _, p := range in.BP.Paths {
+		if len(p.Stages) > 0 && p.Stages[0] == s {
+			return true
+		}
+	}
+	return false
+}
+
+// entryJob reports whether j is still at its admission point: first path
+// stage, no processing done. Only such jobs may be vetted — once work has
+// been invested the job runs to completion (and is counted wasted if its
+// result turns out to be unwanted).
+func entryJob(j *job.Job) bool { return j.StageIdx == 0 && j.Started == 0 }
+
+// overloadActive reports whether any dequeue-time vetting is configured.
+func (in *Instance) overloadActive() bool {
+	return in.IsCanceled != nil || in.codel != nil || in.disc.LIFO()
+}
+
+// popEntry pops up to max jobs from q, applying the overload controls to
+// entry jobs: canceled jobs are discarded, CoDel sheds stale heads, and
+// adaptive LIFO serves the newest job while the head's sojourn exceeds
+// the target. Non-entry jobs (later path stages) pass through untouched.
+// Returns nil once the queue has drained; with no controls configured it
+// degrades to a plain PopBatch, preserving batch amortization.
+func (in *Instance) popEntry(now des.Time, q queueing.Queue, max int) []*job.Job {
+	if !in.overloadActive() {
+		return q.PopBatch(max)
+	}
+	for q.Len() > 0 {
+		batch := in.popOrdered(now, q, max)
+		kept := batch[:0]
+		for _, j := range batch {
+			if !entryJob(j) {
+				kept = append(kept, j)
+				continue
+			}
+			if in.IsCanceled != nil && in.IsCanceled(j) {
+				in.canceled++
+				in.inFlight--
+				continue
+			}
+			if in.codel != nil && in.codel.OnDequeue(now, now-j.Enqueued) {
+				in.shed++
+				in.inFlight--
+				if in.OnJobShed != nil {
+					in.OnJobShed(now, j)
+				}
+				continue
+			}
+			kept = append(kept, j)
+		}
+		if len(kept) > 0 {
+			return kept
+		}
+	}
+	return nil
+}
+
+// popOrdered applies the adaptive-LIFO flip: while the oldest entry job
+// has waited longer than the target, the newest job is served first —
+// fresh requests can still meet their deadlines, stale ones mostly
+// cannot. Otherwise the queue's native batch discipline applies.
+func (in *Instance) popOrdered(now des.Time, q queueing.Queue, max int) []*job.Job {
+	if in.disc.LIFO() {
+		if f, ok := q.(*queueing.FIFO); ok {
+			if head := f.Peek(); head != nil && entryJob(head) && now-head.Enqueued > in.disc.Target {
+				return []*job.Job{f.PopTail()}
+			}
+		}
+	}
+	return q.PopBatch(max)
+}
+
 // ---- simple (event-driven) model ----
 
 func (in *Instance) pumpSimple(now des.Time) {
@@ -199,14 +324,21 @@ func (in *Instance) pumpSimple(now des.Time) {
 			if st.PoolName != "" {
 				pool := in.mustPool(st.PoolName)
 				for q.Len() > 0 && pool.TryAcquire() {
-					batch := q.PopBatch(1)
+					batch := in.popEntry(now, q, 1)
+					if len(batch) == 0 {
+						pool.Release()
+						break
+					}
 					in.startPoolStage(now, s, batch[0], pool)
 					progress = true
 				}
 				continue
 			}
 			for q.Len() > 0 && in.busyCores < in.Alloc.Cores {
-				batch := q.PopBatch(in.batchMax(st))
+				batch := in.popEntry(now, q, in.batchMax(st))
+				if len(batch) == 0 {
+					break
+				}
 				in.startCPUBatch(now, s, batch)
 				progress = true
 			}
@@ -273,11 +405,15 @@ func (in *Instance) pumpThreaded(now des.Time) {
 	if in.down {
 		return
 	}
-	// Assign idle threads to waiting jobs.
+	// Assign idle threads to waiting jobs. Everything in threadQ is an
+	// entry job, so the overload vetting applies to each pop.
 	for in.idleThreads > 0 && in.threadQ.Len() > 0 {
-		j := in.threadQ.Pop()
+		batch := in.popEntry(now, in.threadQ, 1)
+		if len(batch) == 0 {
+			return
+		}
 		in.idleThreads--
-		in.runThreadedStage(now, j)
+		in.runThreadedStage(now, batch[0])
 	}
 }
 
@@ -454,6 +590,14 @@ func (in *Instance) completeJob(now des.Time, j *job.Job) {
 	j.Finished = now
 	in.completed++
 	in.inFlight--
+	if j.Outcome != job.OutcomeOK || (j.Req != nil && j.Req.Failed) {
+		// The caller stopped waiting (expired deadline, lost hedge
+		// race, dead request) while this job was being served: the
+		// cores it burned produced a result nobody will read. Client
+		// timeouts are excluded — those responses are still delivered
+		// and accounted at the timeout value.
+		in.wasted++
+	}
 	in.residence.Record(now - j.Arrived)
 	if j.Req != nil {
 		j.Req.AddTierLatency(in.BP.Name, now-j.Arrived)
@@ -519,6 +663,15 @@ func (in *Instance) Shed() uint64 { return in.shed }
 
 // Dropped reports jobs lost to kills (queued and in-flight).
 func (in *Instance) Dropped() uint64 { return in.dropped }
+
+// CanceledEarly reports entry jobs discarded at dequeue because their
+// request had already terminated — queueing capacity reclaimed with zero
+// service cost.
+func (in *Instance) CanceledEarly() uint64 { return in.canceled }
+
+// WastedWork reports jobs served to completion whose result was discarded
+// because the caller had stopped waiting.
+func (in *Instance) WastedWork() uint64 { return in.wasted }
 
 // InFlight reports jobs currently inside the instance.
 func (in *Instance) InFlight() int { return in.inFlight }

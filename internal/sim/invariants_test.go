@@ -156,6 +156,105 @@ func TestConservationUnderFaults(t *testing.T) {
 	}
 }
 
+// TestConservationUnderOverload extends the bucket invariant to the
+// overload-control machinery: with deadlines, hedged requests, CoDel
+// admission, shedding, client timeouts, and outages all active at once,
+//
+//	arrivals == completions + timeouts + shed + dropped +
+//	            deadline-expired (+ in-flight)
+//
+// at the horizon and after a full drain, with every bucket — including
+// the new deadline one — actually exercised, and a hedge never counted
+// as an arrival.
+func TestConservationUnderOverload(t *testing.T) {
+	for _, warmup := range []des.Time{0, 200 * des.Millisecond} {
+		s := New(Options{Seed: 17})
+		s.AddMachine("m0", 4, cluster.FreqSpec{})
+		s.AddMachine("m1", 4, cluster.FreqSpec{})
+		if _, err := s.Deploy(service.SingleStage("svc", dist.NewExponential(float64(des.Millisecond))),
+			RoundRobin,
+			Placement{Machine: "m0", Cores: 1},
+			Placement{Machine: "m1", Cores: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetTopology(graph.Linear("main", "svc")); err != nil {
+			t.Fatal(err)
+		}
+		// 1.25× overload; budgets span the 60ms patience so some requests
+		// expire (budget < queueing delay < patience) while others time
+		// out first.
+		s.SetClient(ClientConfig{
+			Pattern: workload.ConstantRate(2500),
+			Timeout: 60 * des.Millisecond,
+			Budget:  dist.NewUniform(float64(10*des.Millisecond), float64(100*des.Millisecond)),
+		})
+		if err := s.SetServicePolicy("svc", fault.Policy{
+			Timeout: 80 * des.Millisecond, MaxRetries: 1,
+			BackoffBase: 5 * des.Millisecond, BackoffJitter: 0.5,
+			Hedge: &fault.HedgeSpec{Delay: 10 * des.Millisecond},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetMaxQueue("svc", 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetQueueDiscipline("svc", fault.QueueDiscipline{
+			Kind: fault.QueueCoDel, Target: 5 * des.Millisecond, Interval: 50 * des.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+			{At: 300 * des.Millisecond, Kind: fault.KillInstance, Service: "svc", Instance: 0},
+			{At: 500 * des.Millisecond, Kind: fault.RestartInstance, Service: "svc", Instance: 0},
+			{At: 400 * des.Millisecond, Kind: fault.CrashMachine, Machine: "m1"},
+			{At: 450 * des.Millisecond, Kind: fault.RecoverMachine, Machine: "m1"},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(warmup, des.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(rep *Report, drained bool) {
+			t.Helper()
+			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
+				rep.DeadlineExpired + uint64(rep.InFlight)
+			if rep.Arrivals != total {
+				t.Fatalf("warmup %v drained=%v: arrivals %d != %d (completions %d + timeouts %d + shed %d + dropped %d + deadline %d + in-flight %d)",
+					warmup, drained, rep.Arrivals, total, rep.Completions,
+					rep.Timeouts, rep.Shed, rep.Dropped, rep.DeadlineExpired, rep.InFlight)
+			}
+		}
+		check(rep, false)
+		if rep.Timeouts == 0 || rep.Shed == 0 || rep.Dropped == 0 || rep.DeadlineExpired == 0 {
+			t.Fatalf("warmup %v: want all buckets exercised, got timeouts %d shed %d dropped %d deadline %d",
+				warmup, rep.Timeouts, rep.Shed, rep.Dropped, rep.DeadlineExpired)
+		}
+		if rep.HedgesIssued == 0 {
+			t.Fatalf("warmup %v: hedging never fired", warmup)
+		}
+		// Hedges are attempts, not arrivals: the client offered at most
+		// 2500 QPS × 1s regardless of how many backups were raced.
+		if rep.Arrivals > 2600 {
+			t.Fatalf("warmup %v: arrivals %d inflated by hedges", warmup, rep.Arrivals)
+		}
+		// Cancelled and wasted work only ever shrink the served pie;
+		// they are instance-side views, never new requests.
+		if rep.CanceledWork+rep.WastedWork == 0 {
+			t.Fatalf("warmup %v: overload run should cancel or waste some work", warmup)
+		}
+		s.Engine().Run()
+		if n := len(s.inflight); n != 0 {
+			t.Fatalf("warmup %v: %d requests stuck after drain", warmup, n)
+		}
+		drained := s.report(s.Engine().Now())
+		if drained.InFlight != 0 {
+			t.Fatalf("warmup %v: drained report claims %d in flight", warmup, drained.InFlight)
+		}
+		check(drained, true)
+	}
+}
+
 // TestNoLostRequestsAcrossComplexTopology: with fanout, pools, and
 // netproc, a drained system must complete every admitted request.
 func TestNoLostRequestsAcrossComplexTopology(t *testing.T) {

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"fmt"
+
+	"uqsim/internal/des"
+	"uqsim/internal/fault"
+	"uqsim/internal/job"
+	"uqsim/internal/service"
+	"uqsim/internal/stats"
+)
+
+// This file is the graceful-degradation layer: end-to-end deadline
+// propagation (requests carry an absolute deadline; expiry terminates the
+// whole subtree and cancels queued-not-started work), hedged requests
+// (per-edge backup attempts racing a slow primary), and per-service
+// adaptive admission (CoDel sojourn shedding, adaptive LIFO). All three
+// are opt-in; with none configured the simulator's hot paths are
+// untouched.
+
+// SetQueueDiscipline installs a per-instance entry-queue overload
+// discipline on every instance of svc (see fault.QueueDiscipline): CoDel
+// sheds jobs whose queueing delay stays above target, adaptive LIFO
+// serves the newest job first while the head is stale.
+func (s *Sim) SetQueueDiscipline(svc string, d fault.QueueDiscipline) error {
+	dep, ok := s.deployments[svc]
+	if !ok {
+		return fmt.Errorf("sim: queue discipline for undeployed service %q", svc)
+	}
+	for _, in := range dep.Instances {
+		if err := in.SetDiscipline(d); err != nil {
+			return err
+		}
+	}
+	if d.Kind != fault.QueueFIFO {
+		s.hasDiscipline = true
+	}
+	return nil
+}
+
+// installOverload arms the dequeue-time vetting before a run when any
+// overload feature (budget, hedging, discipline) is configured. The
+// network-processing instances are deliberately excluded: a message
+// silently discarded inside netproc would leak its pending-delivery
+// record.
+func (s *Sim) installOverload() {
+	s.overloadOn = s.hasDiscipline || s.hasHedge || s.clientCfg.Budget != nil
+	if !s.overloadOn {
+		return
+	}
+	isCanceled := func(j *job.Job) bool {
+		if j.Outcome != job.OutcomeOK {
+			return true // abandoned attempt or lost hedge race
+		}
+		r := j.Req
+		return r != nil && (r.Failed || r.Done())
+	}
+	for _, dep := range s.Deployments() {
+		for _, in := range dep.Instances {
+			in.IsCanceled = isCanceled
+		}
+	}
+}
+
+// ---- deadline propagation ----
+
+// onDeadline fires when a request's end-to-end budget expires: the whole
+// subtree short-circuits — the request is failed now, queued work is
+// cancelled (lazily, at dequeue), and pending timers leave the event heap
+// via O(log n) cancellation.
+func (s *Sim) onDeadline(now des.Time, req *job.Request) {
+	if req.Failed || req.Done() {
+		return
+	}
+	s.failRequest(now, req, job.OutcomeDeadline)
+}
+
+// cleanupRequest tears down a terminated request's live machinery: the
+// deadline and client-timeout events, pending retry/hedge timers, and
+// every live policy attempt — whose jobs are marked canceled so the
+// serving instance discards them unserved (or counts the work wasted if
+// already on a core). Cancellation keeps the event heap small under
+// overload: dead timers never fire.
+func (s *Sim) cleanupRequest(st *reqState) {
+	if st == nil {
+		return
+	}
+	if st.deadlineEv != nil {
+		s.eng.Cancel(st.deadlineEv)
+		st.deadlineEv = nil
+	}
+	if st.clientTO != nil {
+		s.eng.Cancel(st.clientTO)
+		st.clientTO = nil
+	}
+	for _, ev := range st.retries {
+		s.eng.Cancel(ev) // fired events are safe no-ops
+	}
+	st.retries = nil
+	for id, c := range st.calls {
+		if c.timeout != nil {
+			s.eng.Cancel(c.timeout)
+		}
+		if c.op != nil && !c.op.done {
+			c.op.done = true
+			if c.op.timer != nil {
+				s.eng.Cancel(c.op.timer)
+			}
+		}
+		c.j.Outcome = job.OutcomeCanceled
+		delete(s.calls, id)
+	}
+	st.calls = nil
+}
+
+// trackCall indexes a live attempt under its request so cleanupRequest
+// can find it. Only maintained when an overload feature is on.
+func (s *Sim) trackCall(st *reqState, id job.ID, c *call) {
+	if !s.overloadOn {
+		return
+	}
+	if st.calls == nil {
+		st.calls = make(map[job.ID]*call, 2)
+	}
+	st.calls[id] = c
+}
+
+func untrackCall(st *reqState, id job.ID) {
+	if st.calls != nil {
+		delete(st.calls, id)
+	}
+}
+
+// handleJobShed fires when an instance's CoDel discipline sheds an
+// admitted job at dequeue time: upstream it fails exactly like a
+// queue-length shed at admission.
+func (s *Sim) handleJobShed(now des.Time, j *job.Job) {
+	s.failAttemptOrRequest(now, j, job.OutcomeShed)
+}
+
+// ---- hedged requests ----
+
+// hedgeOp is the state of one hedged edge dispatch: a primary attempt, an
+// optional backup racing it, and the timer that issues the backup. The
+// first response wins; the loser is cancelled (unserved) or its completed
+// work discarded. A hedge is an attempt, not an arrival — request
+// conservation never sees it.
+type hedgeOp struct {
+	primary *call // nil once the primary failed
+	hedge   *call // nil until issued, and again once the hedge failed
+	timer   *des.Event
+	issued  bool
+	done    bool // a side won, or the edge moved on (retry/failure)
+}
+
+// maybeHedge arms the hedge timer for a freshly issued primary attempt.
+// Pinned edges cannot hedge (there is no "different instance"), nor can
+// single-instance deployments.
+func (s *Sim) maybeHedge(now des.Time, c *call, pinned bool, nInstances int) {
+	h := c.pr.pol.Hedge
+	if h == nil || pinned || nInstances < 2 {
+		return
+	}
+	delay, ok := s.hedgeDelay(c.st.treeIdx, c.nodeID, h)
+	if !ok {
+		return
+	}
+	op := &hedgeOp{primary: c}
+	c.op = op
+	op.timer = s.eng.At(now+delay, func(t des.Time) { s.onHedgeTimer(t, op) })
+}
+
+// hedgeDelay resolves the wait before the backup attempt: the observed
+// per-edge latency quantile once the estimator is warm, else the fixed
+// fallback delay; jitter comes from the dedicated hedge RNG stream so
+// hedging never perturbs service-time draws.
+func (s *Sim) hedgeDelay(treeIdx, nodeID int, h *fault.HedgeSpec) (des.Time, bool) {
+	d := h.Delay
+	if h.Quantile > 0 {
+		if est := s.edgeLat[[2]int{treeIdx, nodeID}]; est != nil &&
+			est.Count() >= uint64(h.MinSamplesOrDefault()) {
+			d = des.Time(est.Value())
+		}
+	}
+	if d <= 0 {
+		return 0, false
+	}
+	if h.Jitter > 0 {
+		d = des.Time(float64(d) * (1 + h.Jitter*(2*s.hedgeRNG.Float64()-1)))
+	}
+	if d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// edgeLatency returns the per-edge streaming quantile estimator, creating
+// it on first use.
+func (s *Sim) edgeLatency(treeIdx, nodeID int, q float64) *stats.P2Quantile {
+	key := [2]int{treeIdx, nodeID}
+	est := s.edgeLat[key]
+	if est == nil {
+		est = stats.NewP2Quantile(q)
+		s.edgeLat[key] = est
+	}
+	return est
+}
+
+// onHedgeTimer fires when the primary has been outstanding for the hedge
+// delay: issue one backup attempt to a different healthy instance.
+func (s *Sim) onHedgeTimer(now des.Time, op *hedgeOp) {
+	if op.done || op.primary == nil {
+		return
+	}
+	c := op.primary
+	req, st := c.req, c.st
+	if req.Failed || req.Done() {
+		return
+	}
+	node := &st.tree.Nodes[c.nodeID]
+	if c.pr.brk != nil && !c.pr.brk.Allow(now) {
+		return // the edge is failing fast; don't add hedge load
+	}
+	dep := s.deployments[node.Service]
+	in := s.pickAvoiding(dep, c.inst)
+	if in == nil {
+		return // no distinct healthy instance to race against
+	}
+	op.issued = true
+	j := s.newNodeJob(req, st, c.nodeID, c.conn, dep)
+	h := &call{
+		req: req, st: st, nodeID: c.nodeID, conn: c.conn,
+		srcMachine: c.srcMachine, attempt: c.attempt, pr: c.pr,
+		j: j, start: now, inst: in, isHedge: true, op: op,
+	}
+	op.hedge = h
+	s.calls[j.ID] = h
+	s.trackCall(st, j.ID, h)
+	if c.pr.pol.Timeout > 0 {
+		h.timeout = s.eng.At(now+c.pr.pol.Timeout, func(t des.Time) { s.onAttemptTimeout(t, j) })
+	}
+	s.hedgesN++
+	s.errCount(node.Service).Hedges++
+	s.deliver(now, j, in, c.srcMachine)
+}
+
+// pickAvoiding selects a healthy instance other than avoid, scanning
+// round-robin from the deployment's rotating cursor. Nil when no distinct
+// healthy instance exists.
+func (s *Sim) pickAvoiding(dep *Deployment, avoid *service.Instance) *service.Instance {
+	n := len(dep.Instances)
+	if n < 2 {
+		return nil
+	}
+	start := dep.rr % n
+	dep.rr++
+	for i := 0; i < n; i++ {
+		in := dep.Instances[(start+i)%n]
+		if in != avoid && !in.Down() {
+			return in
+		}
+	}
+	return nil
+}
+
+// settleHedge resolves a hedge race in favor of the winning call: the
+// timer is disarmed and the loser, if still racing, is abandoned.
+func (s *Sim) settleHedge(now des.Time, winner *call) {
+	op := winner.op
+	if op == nil || op.done {
+		return
+	}
+	op.done = true
+	if op.timer != nil && !op.issued {
+		s.eng.Cancel(op.timer)
+	}
+	loser := op.hedge
+	if winner.isHedge {
+		s.hedgeWins++
+		loser = op.primary
+	}
+	if loser != nil && loser != winner {
+		s.abandonCall(loser)
+	}
+}
+
+// abandonCall kills a racing attempt that lost: its timeout is cancelled,
+// its job marked canceled — discarded unserved at dequeue, or counted as
+// wasted work if already on a core.
+func (s *Sim) abandonCall(c *call) {
+	if c.timeout != nil {
+		s.eng.Cancel(c.timeout)
+	}
+	delete(s.calls, c.j.ID)
+	untrackCall(c.st, c.j.ID)
+	c.j.Outcome = job.OutcomeCanceled
+}
+
+// failCall routes one failed attempt (timeout, shed, drop) through the
+// hedge state machine: a failed hedge is absorbed while the primary still
+// races; a failed primary promotes a live hedge to sole attempt; only
+// when no side is left does the edge fall back to retry-or-fail. The
+// caller has already removed c from the live-call index and fed the
+// breaker.
+func (s *Sim) failCall(now des.Time, c *call, out job.Outcome) {
+	svc := c.st.tree.Nodes[c.nodeID].Service
+	if op := c.op; op != nil && !op.done {
+		if c.isHedge {
+			op.hedge = nil
+			if op.primary != nil {
+				s.countError(svc, out) // absorbed: the primary still races
+				return
+			}
+		} else {
+			op.primary = nil
+			if op.hedge != nil {
+				s.countError(svc, out) // the hedge is promoted and races on
+				return
+			}
+			if op.timer != nil && !op.issued {
+				s.eng.Cancel(op.timer) // no backup is coming
+			}
+		}
+		op.done = true
+	}
+	s.retryOrFail(now, c.req, c.st, c.nodeID, c.conn, c.srcMachine, c.attempt, c.pr, out)
+}

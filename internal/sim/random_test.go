@@ -113,12 +113,35 @@ func withRandomFaults(t *testing.T, s *Sim, seed int64) {
 				Cooldown: des.Time(5+r.Intn(20)) * des.Millisecond,
 			}
 		}
+		switch r.Intn(3) {
+		case 0:
+			p.Hedge = &fault.HedgeSpec{
+				Delay:  des.Time(1+r.Intn(5)) * des.Millisecond,
+				Jitter: 0.3,
+			}
+		case 1:
+			p.Hedge = &fault.HedgeSpec{Quantile: 0.9, MinSamples: 8}
+		}
 		if err := s.SetServicePolicy(svc, p); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := s.SetMaxQueue("root", 64+r.Intn(64)); err != nil {
 		t.Fatal(err)
+	}
+	if r.Intn(2) == 0 {
+		kinds := []fault.QueueKind{fault.QueueCoDel, fault.QueueLIFO, fault.QueueCoDelLIFO}
+		if err := s.SetQueueDiscipline("root", fault.QueueDiscipline{
+			Kind:   kinds[r.Intn(len(kinds))],
+			Target: des.Time(1+r.Intn(4)) * des.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Intn(2) == 0 {
+		cfg := s.Client()
+		cfg.Budget = dist.NewUniform(float64(5*des.Millisecond), float64(50*des.Millisecond))
+		s.SetClient(cfg)
 	}
 	kill := des.Time(50+r.Intn(100)) * des.Millisecond
 	crash := des.Time(120+r.Intn(80)) * des.Millisecond
@@ -138,9 +161,10 @@ func withRandomFaults(t *testing.T, s *Sim, seed int64) {
 // reportFingerprint flattens everything a Report asserts about a run into
 // one comparable string.
 func reportFingerprint(rep *Report) string {
-	fp := fmt.Sprintf("arr=%d comp=%d to=%d shed=%d drop=%d brk=%d retry=%d inflight=%d mean=%v p50=%v p99=%v",
+	fp := fmt.Sprintf("arr=%d comp=%d to=%d shed=%d drop=%d ddl=%d brk=%d retry=%d hedge=%d/%d cancel=%d waste=%d inflight=%d mean=%v p50=%v p99=%v",
 		rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped,
-		rep.BreakerFastFails, rep.Retries, rep.InFlight,
+		rep.DeadlineExpired, rep.BreakerFastFails, rep.Retries,
+		rep.HedgesIssued, rep.HedgeWins, rep.CanceledWork, rep.WastedWork, rep.InFlight,
 		rep.Latency.Mean(), rep.Latency.P50(), rep.Latency.P99())
 	svcs := make([]string, 0, len(rep.Errors))
 	for svc := range rep.Errors {
@@ -151,7 +175,8 @@ func reportFingerprint(rep *Report) string {
 		fp += fmt.Sprintf(" %s=%+v", svc, *rep.Errors[svc])
 	}
 	for _, ir := range rep.Instances {
-		fp += fmt.Sprintf(" %s:%d/%d/%d", ir.Name, ir.Completed, ir.Shed, ir.Dropped)
+		fp += fmt.Sprintf(" %s:%d/%d/%d/%d/%d",
+			ir.Name, ir.Completed, ir.Shed, ir.Dropped, ir.Canceled, ir.Wasted)
 	}
 	return fp
 }
@@ -169,7 +194,8 @@ func TestRandomFaultsDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
-			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped + uint64(rep.InFlight)
+			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
+				rep.DeadlineExpired + uint64(rep.InFlight)
 			if rep.Arrivals != total {
 				t.Fatalf("seed %d: conservation: arrivals %d != %d", seed, rep.Arrivals, total)
 			}
@@ -177,6 +203,86 @@ func TestRandomFaultsDeterministic(t *testing.T) {
 		}
 		if a, b := run(), run(); a != b {
 			t.Fatalf("seed %d: reports differ\n a: %s\n b: %s", seed, a, b)
+		}
+	}
+}
+
+// withRandomOverload installs only the overload-control features — tight
+// budgets, hedging on every fan-out edge, and a queue discipline — with
+// no outages, so a post-horizon drain must settle every request.
+func withRandomOverload(t *testing.T, s *Sim, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed ^ 0x0ced))
+	mids := len(s.Deployments()) - 2
+	for i := 0; i < mids; i++ {
+		p := fault.Policy{
+			Timeout:     des.Time(5+r.Intn(20)) * des.Millisecond,
+			MaxRetries:  1,
+			BackoffBase: des.Millisecond,
+		}
+		if r.Intn(2) == 0 {
+			p.Hedge = &fault.HedgeSpec{Delay: des.Time(1+r.Intn(3)) * des.Millisecond}
+		} else {
+			p.Hedge = &fault.HedgeSpec{Quantile: 0.75, MinSamples: 8, Jitter: 0.5}
+		}
+		if err := s.SetServicePolicy(fmt.Sprintf("mid%d", i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kinds := []fault.QueueKind{fault.QueueCoDel, fault.QueueLIFO, fault.QueueCoDelLIFO}
+	if err := s.SetQueueDiscipline("join", fault.QueueDiscipline{
+		Kind:   kinds[r.Intn(len(kinds))],
+		Target: des.Time(1+r.Intn(3)) * des.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Client()
+	cfg.Budget = dist.NewUniform(float64(2*des.Millisecond), float64(20*des.Millisecond))
+	s.SetClient(cfg)
+}
+
+// TestRandomOverloadTopologiesDrain: with deadlines expiring mid-tree,
+// hedges racing, and disciplines shedding, draining the engine past the
+// horizon must leak no request, netproc delivery, pool token, or queued
+// job — i.e. every cancellation path cleans up after itself.
+func TestRandomOverloadTopologiesDrain(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		s := buildRandomTopology(t, seed)
+		withRandomOverload(t, s, seed)
+		rep, err := s.Run(0, 300*des.Millisecond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Completions == 0 {
+			t.Fatalf("seed %d: no completions", seed)
+		}
+		total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
+			rep.DeadlineExpired + uint64(rep.InFlight)
+		if rep.Arrivals != total {
+			t.Fatalf("seed %d: conservation: arrivals %d != %d", seed, rep.Arrivals, total)
+		}
+		s.Engine().Run() // drain
+		if n := len(s.inflight); n != 0 {
+			t.Fatalf("seed %d: %d requests leaked", seed, n)
+		}
+		if n := len(s.pending); n != 0 {
+			t.Fatalf("seed %d: %d netproc deliveries leaked", seed, n)
+		}
+		if n := len(s.calls); n != 0 {
+			t.Fatalf("seed %d: %d tracked calls leaked", seed, n)
+		}
+		for name, p := range s.pools {
+			if p.inUse() != 0 || len(p.waiters) != 0 {
+				t.Fatalf("seed %d: pool %s leaked (%d in use, %d waiters)",
+					seed, name, p.inUse(), len(p.waiters))
+			}
+		}
+		for _, dep := range s.Deployments() {
+			for _, in := range dep.Instances {
+				if in.InFlight() != 0 || in.QueueLen() != 0 {
+					t.Fatalf("seed %d: instance %s retains work", seed, in.Name)
+				}
+			}
 		}
 	}
 }

@@ -40,6 +40,15 @@ type call struct {
 	attempt    int
 	pr         *policyRuntime
 	timeout    *des.Event
+
+	// Overload-control state: the attempt's job (for cancellation), its
+	// issue time and target instance (for hedge placement and latency
+	// observation), and the hedge race it participates in, if any.
+	j       *job.Job
+	start   des.Time
+	inst    *service.Instance
+	isHedge bool
+	op      *hedgeOp
 }
 
 // ErrorCounts breaks down failed call attempts against one target service.
@@ -55,6 +64,8 @@ type ErrorCounts struct {
 	BreakerOpen uint64
 	// Retries counts policy-driven attempt re-issues.
 	Retries uint64
+	// Hedges counts backup attempts issued by the hedging policy.
+	Hedges uint64
 }
 
 // SetServicePolicy guards every topology edge calling into service svc with
@@ -70,6 +81,9 @@ func (s *Sim) SetServicePolicy(svc string, p fault.Policy) error {
 	}
 	s.svcPolicies[svc] = newPolicyRuntime(p)
 	s.hasPolicies = true
+	if p.Hedge != nil {
+		s.hasHedge = true
+	}
 	return nil
 }
 
@@ -91,6 +105,9 @@ func (s *Sim) SetNodePolicy(tree string, nodeID int, p fault.Policy) error {
 		}
 		s.nodePolicies[[2]int{ti, nodeID}] = newPolicyRuntime(p)
 		s.hasPolicies = true
+		if p.Hedge != nil {
+			s.hasHedge = true
+		}
 		return nil
 	}
 	return fmt.Errorf("sim: node policy references unknown tree %q", tree)
@@ -129,6 +146,13 @@ func (s *Sim) startAttempt(now des.Time, req *job.Request, st *reqState, nodeID,
 	if req.Failed || req.Done() {
 		return
 	}
+	if req.Expired(now) {
+		// Defensive: the deadline event is the source of truth and fires
+		// before same-instant dispatches, but a continuation resumed from
+		// inside another event can land exactly on the deadline.
+		s.failRequest(now, req, job.OutcomeDeadline)
+		return
+	}
 	node := &st.tree.Nodes[nodeID]
 	if pr.brk != nil && !pr.brk.Allow(now) {
 		s.countError(node.Service, job.OutcomeBreakerOpen)
@@ -149,11 +173,14 @@ func (s *Sim) startAttempt(now des.Time, req *job.Request, st *reqState, nodeID,
 	c := &call{
 		req: req, st: st, nodeID: nodeID, conn: conn,
 		srcMachine: srcMachine, attempt: attempt, pr: pr,
+		j: j, start: now, inst: in,
 	}
 	s.calls[j.ID] = c
+	s.trackCall(st, j.ID, c)
 	if pr.pol.Timeout > 0 {
 		c.timeout = s.eng.At(now+pr.pol.Timeout, func(t des.Time) { s.onAttemptTimeout(t, j) })
 	}
+	s.maybeHedge(now, c, node.Instance >= 0, len(dep.Instances))
 	s.deliver(now, j, in, srcMachine)
 }
 
@@ -166,6 +193,7 @@ func (s *Sim) onAttemptTimeout(now des.Time, j *job.Job) {
 		return // the attempt settled first
 	}
 	delete(s.calls, j.ID)
+	untrackCall(c.st, j.ID)
 	j.Outcome = job.OutcomeTimeout
 	if c.pr.brk != nil {
 		c.pr.brk.Record(now, true)
@@ -173,7 +201,7 @@ func (s *Sim) onAttemptTimeout(now des.Time, j *job.Job) {
 	if c.req.Failed || c.req.Done() {
 		return
 	}
-	s.retryOrFail(now, c.req, c.st, c.nodeID, c.conn, c.srcMachine, c.attempt, c.pr, job.OutcomeTimeout)
+	s.failCall(now, c, job.OutcomeTimeout)
 }
 
 // retryOrFail re-issues a failed attempt after exponential backoff, or
@@ -186,24 +214,34 @@ func (s *Sim) retryOrFail(now des.Time, req *job.Request, st *reqState, nodeID, 
 		s.retriesN++
 		s.errCount(svc).Retries++
 		delay := pr.pol.Backoff(attempt+1, s.retryRNG)
-		s.eng.At(now+delay, func(t des.Time) {
+		ev := s.eng.At(now+delay, func(t des.Time) {
 			s.startAttempt(t, req, st, nodeID, conn, srcMachine, attempt+1, pr)
 		})
+		if s.overloadOn {
+			// Indexed so an expiring deadline can cancel the pending retry.
+			st.retries = append(st.retries, ev)
+		}
 		return
 	}
 	s.failRequest(now, req, out)
 }
 
 // settleCall closes a live attempt whose job completed in time: cancel the
-// timeout and feed the breaker a success.
+// timeout, feed the breaker a success, record the observed edge latency
+// for quantile-based hedging, and resolve any hedge race in its favor.
 func (s *Sim) settleCall(now des.Time, c *call, jID job.ID) {
 	if c.timeout != nil {
 		s.eng.Cancel(c.timeout)
 	}
 	delete(s.calls, jID)
+	untrackCall(c.st, jID)
 	if c.pr.brk != nil {
 		c.pr.brk.Record(now, false)
 	}
+	if h := c.pr.pol.Hedge; h != nil && h.Quantile > 0 {
+		s.edgeLatency(c.st.treeIdx, c.nodeID, h.Quantile).Add(float64(now - c.start))
+	}
+	s.settleHedge(now, c)
 }
 
 // failAttemptOrRequest propagates one dead job upstream: a policy-guarded
@@ -211,7 +249,9 @@ func (s *Sim) settleCall(now des.Time, c *call, jID job.ID) {
 // already-abandoned attempts (edge timeout fired) or finished requests are
 // discarded silently — their edge has moved on.
 func (s *Sim) failAttemptOrRequest(now des.Time, j *job.Job, out job.Outcome) {
-	abandoned := j.Outcome == job.OutcomeTimeout
+	// An attempt already abandoned by its edge (timeout fired, hedge race
+	// lost) must never overwrite its outcome or touch the live request.
+	abandoned := j.Outcome != job.OutcomeOK
 	if !abandoned {
 		j.Outcome = out
 	}
@@ -224,10 +264,11 @@ func (s *Sim) failAttemptOrRequest(now des.Time, j *job.Job, out job.Outcome) {
 			s.eng.Cancel(c.timeout)
 		}
 		delete(s.calls, j.ID)
+		untrackCall(c.st, j.ID)
 		if c.pr.brk != nil {
 			c.pr.brk.Record(now, true)
 		}
-		s.retryOrFail(now, req, c.st, c.nodeID, c.conn, c.srcMachine, c.attempt, c.pr, out)
+		s.failCall(now, c, out)
 		return
 	}
 	if st, ok := s.inflight[req.ID]; ok {
@@ -284,7 +325,11 @@ func (s *Sim) failRequest(now des.Time, req *job.Request, out job.Outcome) {
 	}
 	req.Failed = true
 	req.Outcome = out
+	st := s.inflight[req.ID]
 	delete(s.inflight, req.ID)
+	if s.overloadOn {
+		s.cleanupRequest(st)
+	}
 	for _, name := range s.poolOrder {
 		s.pools[name].releaseAll(now, req)
 	}
@@ -298,6 +343,8 @@ func (s *Sim) failRequest(now des.Time, req *job.Request, out job.Outcome) {
 		case job.OutcomeBreakerOpen:
 			s.shedReqs++
 			s.breakerFast++
+		case job.OutcomeDeadline:
+			s.deadlineReqs++
 		default:
 			s.droppedReqs++
 		}

@@ -16,10 +16,11 @@ import (
 // in exactly one bucket or is still in flight at the horizon.
 func conserve(t *testing.T, rep *Report) {
 	t.Helper()
-	got := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped + uint64(rep.InFlight)
+	got := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
+		rep.DeadlineExpired + uint64(rep.InFlight)
 	if rep.Arrivals != got {
-		t.Fatalf("conservation violated: arrivals %d != completions %d + timeouts %d + shed %d + dropped %d + inflight %d",
-			rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped, rep.InFlight)
+		t.Fatalf("conservation violated: arrivals %d != completions %d + timeouts %d + shed %d + dropped %d + deadline %d + inflight %d",
+			rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped, rep.DeadlineExpired, rep.InFlight)
 	}
 }
 

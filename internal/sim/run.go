@@ -22,6 +22,7 @@ func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
 	}
 	s.warmupEnd = warmup
 	horizon := warmup + duration
+	s.installOverload()
 
 	if s.clientCfg.ClosedUsers > 0 {
 		s.closedLoop = workload.NewClosedLoop(s.eng, s.clientRNG, s.clientCfg.ClosedUsers, s.onArrival)
@@ -68,8 +69,17 @@ func (s *Sim) admit(now des.Time, attempt int) {
 	if now >= s.warmupEnd {
 		s.arrivals++
 	}
+	if s.clientCfg.Budget != nil {
+		if b := s.clientCfg.Budget.Sample(s.budgetRNG); b > 0 {
+			req.Deadline = now + des.FromNanos(b)
+			st.deadlineEv = s.eng.At(req.Deadline, func(t des.Time) { s.onDeadline(t, req) })
+		}
+	}
 	if s.clientCfg.Timeout > 0 {
-		s.eng.At(now+s.clientCfg.Timeout, func(t des.Time) { s.onTimeout(t, req) })
+		ev := s.eng.At(now+s.clientCfg.Timeout, func(t des.Time) { s.onTimeout(t, req) })
+		if s.overloadOn {
+			st.clientTO = ev
+		}
 	}
 	s.enterNode(now, req, st, tree.Root, req.Conn, "")
 }
@@ -134,6 +144,13 @@ func (s *Sim) acquireConns(now des.Time, req *job.Request, names []string, conn 
 func (s *Sim) dispatchNode(now des.Time, req *job.Request, st *reqState, nodeID, conn int, srcMachine string) {
 	if req.Failed || req.Done() {
 		return // the request ended while this dispatch waited (conn pool)
+	}
+	if req.Expired(now) {
+		// Defensive: a conn-pool grant resumed inside another event can
+		// land exactly on the deadline instant, ahead of the deadline
+		// event's own bookkeeping path.
+		s.failRequest(now, req, job.OutcomeDeadline)
+		return
 	}
 	node := &st.tree.Nodes[nodeID]
 	if s.hasPolicies {
@@ -338,6 +355,10 @@ func (s *Sim) finalizeLeaf(now des.Time, j *job.Job) {
 		return
 	}
 	req.Finish = now
+	if s.overloadOn {
+		// Disarm the completed request's deadline and timeout events.
+		s.cleanupRequest(s.inflight[req.ID])
+	}
 	delete(s.inflight, req.ID)
 	if !req.TimedOut {
 		// Delivered throughput and latency samples belong to the window
@@ -380,10 +401,18 @@ type InstanceReport struct {
 	Cores       int
 	Utilization float64
 	Completed   uint64
-	// Shed counts arrivals this instance rejected via MaxQueue; Dropped
-	// counts jobs it lost to kills.
-	Shed      uint64
-	Dropped   uint64
+	// Shed counts arrivals this instance rejected via MaxQueue plus jobs
+	// its CoDel discipline shed at dequeue; Dropped counts jobs it lost
+	// to kills.
+	Shed    uint64
+	Dropped uint64
+	// Canceled counts entry jobs discarded unserved because their request
+	// had already terminated; Wasted counts jobs served to completion
+	// whose result was discarded (the caller had stopped waiting). High
+	// Wasted with low Canceled means cancellation arrives too late to
+	// save work.
+	Canceled  uint64
+	Wasted    uint64
 	QueueLen  int
 	Residence *stats.LatencyHist
 }
@@ -406,15 +435,30 @@ type Report struct {
 	// fails (the BreakerFastFails subset).
 	Shed uint64
 	// Dropped counts requests that lost work to a crashed machine or
-	// killed instance with nothing left to retry. Together the four
+	// killed instance with nothing left to retry. Together the five
 	// outcome buckets conserve requests:
-	// Arrivals == Completions + Timeouts + Shed + Dropped (+ InFlight).
+	// Arrivals == Completions + Timeouts + Shed + Dropped +
+	// DeadlineExpired (+ InFlight).
 	Dropped uint64
+	// DeadlineExpired counts requests whose end-to-end budget ran out
+	// before completion; their remaining subtree was short-circuited.
+	DeadlineExpired uint64
 	// BreakerFastFails is the subset of Shed failed by open breakers.
 	BreakerFastFails uint64
 	// Retries counts resilience-policy attempt re-issues across all edges
 	// (not client retries, which appear as fresh Arrivals).
 	Retries uint64
+	// HedgesIssued counts backup attempts issued by per-edge hedging
+	// policies; HedgeWins is the subset that beat their primary. Hedges
+	// are attempts, not arrivals — they never enter the conservation
+	// identity.
+	HedgesIssued uint64
+	HedgeWins    uint64
+	// CanceledWork and WastedWork aggregate the per-instance Canceled and
+	// Wasted counters: jobs discarded unserved vs. jobs whose completed
+	// service was thrown away.
+	CanceledWork uint64
+	WastedWork   uint64
 	// Errors breaks down failed call attempts by target service.
 	Errors map[string]*ErrorCounts
 	// OfferedQPS and GoodputQPS are arrival/delivery rates over the
@@ -450,8 +494,11 @@ func (s *Sim) report(horizon des.Time) *Report {
 		Shed:        s.shedReqs,
 		Dropped:     s.droppedReqs,
 
+		DeadlineExpired:  s.deadlineReqs,
 		BreakerFastFails: s.breakerFast,
 		Retries:          s.retriesN,
+		HedgesIssued:     s.hedgesN,
+		HedgeWins:        s.hedgeWins,
 		Errors:           s.errCounts,
 
 		Latency: s.latency,
@@ -472,6 +519,8 @@ func (s *Sim) report(horizon des.Time) *Report {
 	for _, dep := range s.Deployments() {
 		for _, in := range dep.Instances {
 			r.Instances = append(r.Instances, instanceReport(in, dep.Name, horizon))
+			r.CanceledWork += in.CanceledEarly()
+			r.WastedWork += in.WastedWork()
 		}
 	}
 	for _, m := range s.cluster.Machines() {
@@ -492,6 +541,8 @@ func instanceReport(in *service.Instance, svc string, horizon des.Time) Instance
 		Completed:   in.Completed(),
 		Shed:        in.Shed(),
 		Dropped:     in.Dropped(),
+		Canceled:    in.CanceledEarly(),
+		Wasted:      in.WastedWork(),
 		QueueLen:    in.QueueLen(),
 		Residence:   in.Residence().Snapshot(),
 	}

@@ -88,6 +88,15 @@ type ClientConfig struct {
 	// (requires Timeout > 0). Retries are fresh load: a saturated
 	// system with retries degrades faster, the classic retry storm.
 	MaxRetries int
+	// Budget samples each request's end-to-end deadline budget in ns
+	// (nil: no deadlines). The request carries the absolute deadline
+	// through its whole subtree; expiry short-circuits remaining work —
+	// queued-not-started jobs are cancelled, pending retry and hedge
+	// timers removed from the event heap, and the request counted in
+	// Report.DeadlineExpired. Unlike Timeout (client patience, server
+	// work runs on abandoned), an expired budget actively reclaims
+	// capacity. Samples are drawn from a dedicated RNG stream.
+	Budget dist.Sampler
 }
 
 // Options configures a simulation run.
@@ -132,21 +141,34 @@ type Sim struct {
 	edgeExtra    map[string]des.Time // injected per-delivery latency by service
 	retryRNG     *rng.Source
 
+	// Overload control: deadline budgets, hedged requests, adaptive
+	// admission. overloadOn (resolved at Run) gates all per-request
+	// tracking so runs without these features pay nothing.
+	hasHedge      bool
+	hasDiscipline bool
+	overloadOn    bool
+	hedgeRNG      *rng.Source
+	budgetRNG     *rng.Source
+	edgeLat       map[[2]int]*stats.P2Quantile // [tree,node] → latency estimator
+
 	// Measurement. completions/timeouts/shedReqs/droppedReqs are the
 	// arrival-gated outcome buckets of the conservation identity;
 	// windowDone counts deliveries by completion time and feeds goodput.
-	warmupEnd   des.Time
-	arrivals    uint64
-	completions uint64
-	windowDone  uint64
-	timeouts    uint64
-	shedReqs    uint64
-	droppedReqs uint64
-	breakerFast uint64
-	retriesN    uint64
-	errCounts   map[string]*ErrorCounts
-	latency     *stats.LatencyHist
-	perTier     map[string]*stats.LatencyHist
+	warmupEnd    des.Time
+	arrivals     uint64
+	completions  uint64
+	windowDone   uint64
+	timeouts     uint64
+	shedReqs     uint64
+	droppedReqs  uint64
+	deadlineReqs uint64
+	breakerFast  uint64
+	retriesN     uint64
+	hedgesN      uint64
+	hedgeWins    uint64
+	errCounts    map[string]*ErrorCounts
+	latency      *stats.LatencyHist
+	perTier      map[string]*stats.LatencyHist
 
 	// OnRequestDone observes every completed request (after or during
 	// warmup), e.g. for the power manager's windowed tail tracker.
@@ -164,6 +186,14 @@ type reqState struct {
 	arrived  []int    // per-node parent-completion counts
 	at       des.Time // the request's arrival instant
 	timedOut bool     // client gave up; server work continues abandoned
+
+	// Overload-control bookkeeping (only maintained when a budget,
+	// hedge, or discipline is configured): everything cleanupRequest
+	// must cancel when the request terminates.
+	deadlineEv *des.Event
+	clientTO   *des.Event
+	retries    []*des.Event     // pending retry timers
+	calls      map[job.ID]*call // live policy-guarded attempts
 }
 
 // delivery is a job waiting to exit the network service.
@@ -191,6 +221,9 @@ func New(opts Options) *Sim {
 		calls:        make(map[job.ID]*call),
 		edgeExtra:    make(map[string]des.Time),
 		retryRNG:     split.Stream("retry"),
+		hedgeRNG:     split.Stream("hedge"),
+		budgetRNG:    split.Stream("budget"),
+		edgeLat:      make(map[[2]int]*stats.P2Quantile),
 		errCounts:    make(map[string]*ErrorCounts),
 		latency:      stats.NewLatencyHist(),
 		perTier:      make(map[string]*stats.LatencyHist),
@@ -263,6 +296,7 @@ func (s *Sim) Deploy(bp *service.Blueprint, lb Policy, placements ...Placement) 
 		}
 		in.OnJobDone = s.handleJobDone
 		in.OnJobDrop = s.handleJobDrop
+		in.OnJobShed = s.handleJobShed
 		dep.Instances = append(dep.Instances, in)
 	}
 	s.deployments[bp.Name] = dep

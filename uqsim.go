@@ -280,6 +280,23 @@ type ResiliencePolicy = fault.Policy
 // BreakerSpec configures a ResiliencePolicy's circuit breaker.
 type BreakerSpec = fault.BreakerSpec
 
+// HedgeSpec configures a ResiliencePolicy's hedged (backup) requests:
+// after a fixed delay or an observed latency quantile, a second attempt
+// races on a different healthy instance and the first response wins.
+type HedgeSpec = fault.HedgeSpec
+
+// QueueDiscipline selects a service's per-instance entry-queue overload
+// behavior beyond plain FIFO; install with Sim.SetQueueDiscipline.
+type QueueDiscipline = fault.QueueDiscipline
+
+// Queue discipline kinds.
+const (
+	QueueFIFO      = fault.QueueFIFO
+	QueueCoDel     = fault.QueueCoDel
+	QueueLIFO      = fault.QueueLIFO
+	QueueCoDelLIFO = fault.QueueCoDelLIFO
+)
+
 // ErrorCounts breaks down failed call attempts per target service (see
 // Report.Errors).
 type ErrorCounts = sim.ErrorCounts
