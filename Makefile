@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-throughput examples
+.PHONY: check vet staticcheck build test race bench bench-throughput examples
 
 # check is the tier-1 gate: everything CI runs.
-check: vet build test race
+check: vet staticcheck build test race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when installed (CI always installs it); locally:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping" ; \
+	fi
 
 build:
 	$(GO) build ./...

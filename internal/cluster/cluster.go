@@ -153,6 +153,21 @@ func (m *Machine) nominalMHz() float64 {
 	return 0
 }
 
+// Release returns an allocation's cores to the machine — the inverse of
+// Allocate, used when a control plane retires a replica or replaces a
+// dead one. Releasing an allocation the machine does not hold panics: it
+// indicates a double free.
+func (m *Machine) Release(a *Allocation) {
+	for i, held := range m.allocs {
+		if held == a {
+			m.allocs = append(m.allocs[:i], m.allocs[i+1:]...)
+			m.freeCores += a.Cores
+			return
+		}
+	}
+	panic(fmt.Sprintf("cluster: release of unknown allocation %q on %s", a.Owner, m.Name))
+}
+
 // Allocations reports all live allocations on the machine.
 func (m *Machine) Allocations() []*Allocation { return m.allocs }
 

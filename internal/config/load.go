@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"uqsim/internal/cluster"
+	"uqsim/internal/control"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
 	"uqsim/internal/fault"
@@ -24,6 +25,9 @@ type Setup struct {
 	Sim      *sim.Sim
 	Warmup   des.Time
 	Duration des.Time
+	// Plane is the attached self-healing control plane; nil unless the
+	// config directory had a control.json.
+	Plane *control.Plane
 }
 
 // Run executes the configured window.
@@ -31,20 +35,27 @@ func (s *Setup) Run() (*sim.Report, error) { return s.Sim.Run(s.Warmup, s.Durati
 
 // LoadDir reads machines.json, service.json, graph.json, path.json, and
 // client.json from dir and assembles the simulation. An optional faults.json
-// adds resilience policies and a fault-injection plan.
+// adds resilience policies and a fault-injection plan; an optional
+// control.json attaches the self-healing control plane.
 func LoadDir(dir string) (*Setup, error) {
 	docs, err := readBaseDocs(dir)
 	if err != nil {
 		return nil, err
 	}
+	var setup *Setup
 	faults, err := os.ReadFile(filepath.Join(dir, "faults.json"))
-	if os.IsNotExist(err) {
-		return Assemble(docs[0], docs[1], docs[2], docs[3], docs[4])
+	switch {
+	case os.IsNotExist(err):
+		setup, err = Assemble(docs[0], docs[1], docs[2], docs[3], docs[4])
+	case err != nil:
+		return nil, fmt.Errorf("config: reading faults.json: %w", err)
+	default:
+		setup, err = Assemble(docs[0], docs[1], docs[2], docs[3], docs[4], faults)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("config: reading faults.json: %w", err)
+		return nil, err
 	}
-	return Assemble(docs[0], docs[1], docs[2], docs[3], docs[4], faults)
+	return applyControlFile(dir, setup)
 }
 
 // LoadDirWithFaults is LoadDir with an explicit faults document replacing
@@ -59,7 +70,29 @@ func LoadDirWithFaults(dir, faultsPath string) (*Setup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("config: reading %s: %w", faultsPath, err)
 	}
-	return Assemble(docs[0], docs[1], docs[2], docs[3], docs[4], faults)
+	setup, err := Assemble(docs[0], docs[1], docs[2], docs[3], docs[4], faults)
+	if err != nil {
+		return nil, err
+	}
+	return applyControlFile(dir, setup)
+}
+
+// applyControlFile attaches dir/control.json to an assembled setup when
+// the file exists.
+func applyControlFile(dir string, setup *Setup) (*Setup, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "control.json"))
+	if os.IsNotExist(err) {
+		return setup, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("config: reading control.json: %w", err)
+	}
+	plane, err := ApplyControl(setup.Sim, data)
+	if err != nil {
+		return nil, err
+	}
+	setup.Plane = plane
+	return setup, nil
 }
 
 // readBaseDocs reads the five required config documents from dir in
@@ -171,7 +204,7 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 			for name := range blueprints {
 				declared = append(declared, name)
 			}
-			return nil, unknownName("graph.json", fmt.Sprintf("deployments[%d].service", i), d.Service, declared)
+			return nil, unknownName("graph.json", fmt.Sprintf("deployments[%d].service", i), "service", d.Service, declared)
 		}
 		var lb sim.Policy
 		switch strings.ToLower(d.LB) {
@@ -385,7 +418,7 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 				return fmt.Errorf("config: faults.json policy %d: node %d needs a tree", i, *ps.Node)
 			}
 			if !known(ps.Service) {
-				return unknownName("faults.json", fmt.Sprintf("policies[%d].service", i), ps.Service, deployed)
+				return unknownName("faults.json", fmt.Sprintf("policies[%d].service", i), "service", ps.Service, deployed)
 			}
 			if err := s.SetServicePolicy(ps.Service, p); err != nil {
 				return fmt.Errorf("config: faults.json policy %d: %w", i, err)
@@ -396,7 +429,7 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 	}
 	for i, sh := range ff.Shedding {
 		if !known(sh.Service) {
-			return unknownName("faults.json", fmt.Sprintf("shedding[%d].service", i), sh.Service, deployed)
+			return unknownName("faults.json", fmt.Sprintf("shedding[%d].service", i), "service", sh.Service, deployed)
 		}
 		if err := s.SetMaxQueue(sh.Service, sh.MaxQueue); err != nil {
 			return fmt.Errorf("config: faults.json shedding %d: %w", i, err)
@@ -404,7 +437,7 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 	}
 	for i, qs := range ff.Queues {
 		if !known(qs.Service) {
-			return unknownName("faults.json", fmt.Sprintf("queues[%d].service", i), qs.Service, deployed)
+			return unknownName("faults.json", fmt.Sprintf("queues[%d].service", i), "service", qs.Service, deployed)
 		}
 		var kind fault.QueueKind
 		switch strings.ToLower(qs.Kind) {
@@ -437,7 +470,7 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 			return fmt.Errorf("config: faults.json event %d: unknown kind %q", i, es.Kind)
 		}
 		if es.Service != "" && !known(es.Service) {
-			return unknownName("faults.json", fmt.Sprintf("events[%d].service", i), es.Service, deployed)
+			return unknownName("faults.json", fmt.Sprintf("events[%d].service", i), "service", es.Service, deployed)
 		}
 		inst := -1
 		if es.Instance != nil {

@@ -261,3 +261,57 @@ type FaultEventSpec struct {
 	ExtraMs  float64 `json:"extra_ms,omitempty"`
 	UntilS   float64 `json:"until_s,omitempty"`
 }
+
+// ControlFile is the optional control.json schema: the self-healing
+// control plane. Omitted sections disable the corresponding controller
+// (failover additionally requires a heartbeat detector).
+type ControlFile struct {
+	// Services restricts the plane to these deployments (default: all).
+	Services  []string        `json:"services,omitempty"`
+	Heartbeat *HeartbeatSpec  `json:"heartbeat,omitempty"`
+	Ejection  *EjectionSpec   `json:"ejection,omitempty"`
+	Failover  *FailoverSpec   `json:"failover,omitempty"`
+	Autoscale []AutoscaleSpec `json:"autoscale,omitempty"`
+}
+
+// HeartbeatSpec tunes the phi-accrual failure detector.
+type HeartbeatSpec struct {
+	PeriodMs        float64 `json:"period_ms,omitempty"`
+	Jitter          float64 `json:"jitter,omitempty"`
+	CheckIntervalMs float64 `json:"check_interval_ms,omitempty"`
+	PhiThreshold    float64 `json:"phi_threshold,omitempty"`
+	MinSamples      int     `json:"min_samples,omitempty"`
+}
+
+// EjectionSpec tunes the outlier ejector.
+type EjectionSpec struct {
+	IntervalMs         float64 `json:"interval_ms,omitempty"`
+	FailureRatio       float64 `json:"failure_ratio,omitempty"`
+	LatencyFactor      float64 `json:"latency_factor,omitempty"`
+	Quantile           float64 `json:"quantile,omitempty"`
+	MinRequests        int     `json:"min_requests,omitempty"`
+	MinHealthyFraction float64 `json:"min_healthy_fraction,omitempty"`
+	ProbationMs        float64 `json:"probation_ms,omitempty"`
+}
+
+// FailoverSpec tunes dead-instance replacement.
+type FailoverSpec struct {
+	RestartDelayMs float64  `json:"restart_delay_ms,omitempty"`
+	Machines       []string `json:"machines,omitempty"`
+}
+
+// AutoscaleSpec is one service's reactive scaling law. Exactly one of
+// target_utilization and target_queue must be set.
+type AutoscaleSpec struct {
+	Service           string   `json:"service"`
+	Min               int      `json:"min,omitempty"`
+	Max               int      `json:"max"`
+	TargetUtilization float64  `json:"target_utilization,omitempty"`
+	TargetQueue       float64  `json:"target_queue,omitempty"`
+	IntervalMs        float64  `json:"interval_ms,omitempty"`
+	UpCooldownMs      float64  `json:"up_cooldown_ms,omitempty"`
+	DownCooldownMs    float64  `json:"down_cooldown_ms,omitempty"`
+	Tolerance         float64  `json:"tolerance,omitempty"`
+	Cores             int      `json:"cores,omitempty"`
+	Machines          []string `json:"machines,omitempty"`
+}

@@ -7,17 +7,17 @@ import (
 )
 
 // unknownName builds the error for a config document referencing a name
-// that doesn't exist: it names the file, the offending key, the bad
-// value, and — when one is plausibly a typo away — the closest valid
-// name.
-func unknownName(file, key, got string, valid []string) error {
+// that doesn't exist: it names the file, the offending key, the kind of
+// name (noun — "service", "machine"), the bad value, and — when one is
+// plausibly a typo away — the closest valid name.
+func unknownName(file, key, noun, got string, valid []string) error {
 	if s := closest(got, valid); s != "" {
-		return fmt.Errorf("config: %s: %s: unknown service %q (did you mean %q?)", file, key, got, s)
+		return fmt.Errorf("config: %s: %s: unknown %s %q (did you mean %q?)", file, key, noun, got, s)
 	}
 	sorted := append([]string(nil), valid...)
 	sort.Strings(sorted)
-	return fmt.Errorf("config: %s: %s: unknown service %q (deployed: %s)",
-		file, key, got, strings.Join(sorted, ", "))
+	return fmt.Errorf("config: %s: %s: unknown %s %q (declared: %s)",
+		file, key, noun, got, strings.Join(sorted, ", "))
 }
 
 // closest returns the valid name nearest to got by edit distance, or ""

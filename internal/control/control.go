@@ -1,0 +1,544 @@
+// Package control is a discrete-event self-healing control plane for a
+// simulation: it closes the detect→decide→act loop that the data-plane
+// resilience machinery (retries, breakers, deadlines, hedges) deliberately
+// leaves open. Four cooperating controllers run as ordinary DES events:
+//
+//   - a failure detector driving per-instance heartbeats through a
+//     phi-accrual suspicion score, so crash detection has realistic lag
+//     instead of instant omniscience;
+//   - an outlier ejector tracking per-instance success rates and latency
+//     quantiles (streaming P² estimators), removing gray-failed instances
+//     from load balancing with bounded eviction and probation-based
+//     reinstatement;
+//   - a failover orchestrator replacing detected-dead instances with fresh
+//     replicas on machines with free cores after a restart delay;
+//   - a reactive autoscaler following a target-utilization or queue-depth
+//     control law with scale-up/down cooldowns, bounded by cluster
+//     capacity.
+//
+// Every decision is deterministic under the simulation seed: the plane's
+// only randomness (heartbeat jitter) comes from dedicated RNG streams, so
+// attaching it never perturbs service-time or load-balancing draws.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"uqsim/internal/des"
+	"uqsim/internal/monitor"
+	"uqsim/internal/rng"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/stats"
+)
+
+// DetectorConfig tunes the heartbeat failure detector.
+type DetectorConfig struct {
+	// Period is the heartbeat emission period (default 20ms).
+	Period des.Time
+	// Jitter spreads each interval uniformly by ±Jitter·Period (default
+	// 0.1), drawn from a dedicated per-instance RNG stream.
+	Jitter float64
+	// CheckInterval is the suspicion-evaluation cadence (default Period).
+	CheckInterval des.Time
+	// PhiThreshold is the phi-accrual suspicion level that declares an
+	// instance dead (default 8 — the classic "one in 10⁸" operating
+	// point).
+	PhiThreshold float64
+	// MinSamples is how many observed intervals the detector wants before
+	// trusting its own mean over the configured period (default 3).
+	MinSamples int
+}
+
+func (c *DetectorConfig) withDefaults() *DetectorConfig {
+	out := *c
+	if out.Period <= 0 {
+		out.Period = 20 * des.Millisecond
+	}
+	if out.Jitter <= 0 {
+		out.Jitter = 0.1
+	}
+	if out.CheckInterval <= 0 {
+		out.CheckInterval = out.Period
+	}
+	if out.PhiThreshold <= 0 {
+		out.PhiThreshold = 8
+	}
+	if out.MinSamples <= 0 {
+		out.MinSamples = 3
+	}
+	return &out
+}
+
+// EjectionConfig tunes the outlier ejector.
+type EjectionConfig struct {
+	// Interval is the evaluation window: per-instance success/failure
+	// counts and latency quantiles are evaluated and reset on this cadence
+	// (default 100ms).
+	Interval des.Time
+	// FailureRatio ejects an instance whose windowed failure fraction
+	// reaches it (default 0.5).
+	FailureRatio float64
+	// LatencyFactor ejects an instance whose windowed latency quantile
+	// exceeds this multiple of the deployment's (lower) median quantile
+	// (default 1.5).
+	LatencyFactor float64
+	// Quantile is the tracked latency quantile (default 0.9).
+	Quantile float64
+	// MinRequests is the minimum windowed observation count before either
+	// rule applies to an instance (default 20).
+	MinRequests int
+	// MinHealthyFraction bounds eviction: ejection never shrinks the
+	// healthy set below ceil(fraction · replicas), and never below one
+	// instance (default 0.5).
+	MinHealthyFraction float64
+	// Probation is how long an ejected instance sits out before
+	// reinstatement with a clean slate (default 500ms). A still-degraded
+	// instance is re-ejected one window later.
+	Probation des.Time
+}
+
+func (c *EjectionConfig) withDefaults() *EjectionConfig {
+	out := *c
+	if out.Interval <= 0 {
+		out.Interval = 100 * des.Millisecond
+	}
+	if out.FailureRatio <= 0 {
+		out.FailureRatio = 0.5
+	}
+	if out.LatencyFactor <= 0 {
+		out.LatencyFactor = 1.5
+	}
+	if out.Quantile <= 0 {
+		out.Quantile = 0.9
+	}
+	if out.MinRequests <= 0 {
+		out.MinRequests = 20
+	}
+	if out.MinHealthyFraction <= 0 {
+		out.MinHealthyFraction = 0.5
+	}
+	if out.Probation <= 0 {
+		out.Probation = 500 * des.Millisecond
+	}
+	return &out
+}
+
+// FailoverConfig tunes dead-instance replacement. Requires a Detector.
+type FailoverConfig struct {
+	// RestartDelay is the lag between declaring an instance dead and its
+	// replacement admitting traffic — scheduling plus cold start (default
+	// 100ms). While no machine has capacity the attempt repeats on this
+	// cadence.
+	RestartDelay des.Time
+	// Machines optionally restricts replacement placement to this
+	// allowlist (default: any machine in the cluster).
+	Machines []string
+}
+
+func (c *FailoverConfig) withDefaults() *FailoverConfig {
+	out := *c
+	if out.RestartDelay <= 0 {
+		out.RestartDelay = 100 * des.Millisecond
+	}
+	return &out
+}
+
+// AutoscaleConfig is one service's reactive scaling law. Exactly one of
+// TargetUtilization and TargetQueue must be set.
+type AutoscaleConfig struct {
+	// Service names the scaled deployment.
+	Service string
+	// Min and Max bound the replica count (Min ≥ 1, Max ≥ Min).
+	Min, Max int
+	// TargetUtilization drives replicas toward this windowed mean core
+	// occupancy in (0,1) — the HPA law desired = ceil(current·observed/target).
+	TargetUtilization float64
+	// TargetQueue drives replicas toward this mean queue depth per
+	// replica (> 0).
+	TargetQueue float64
+	// Interval is the decision cadence (default 100ms).
+	Interval des.Time
+	// UpCooldown and DownCooldown suppress repeat actions after a scale-up
+	// (default 2·Interval) and scale-down (default 4·Interval).
+	UpCooldown   des.Time
+	DownCooldown des.Time
+	// Tolerance is the deadband around the target inside which no action
+	// is taken (default 0.2, i.e. ±20%).
+	Tolerance float64
+	// Cores per added replica (default: same as the first instance).
+	Cores int
+	// Machines optionally restricts placement of new replicas.
+	Machines []string
+}
+
+func (c *AutoscaleConfig) withDefaults() *AutoscaleConfig {
+	out := *c
+	if out.Min <= 0 {
+		out.Min = 1
+	}
+	if out.Interval <= 0 {
+		out.Interval = 100 * des.Millisecond
+	}
+	if out.UpCooldown <= 0 {
+		out.UpCooldown = 2 * out.Interval
+	}
+	if out.DownCooldown <= 0 {
+		out.DownCooldown = 4 * out.Interval
+	}
+	if out.Tolerance <= 0 {
+		out.Tolerance = 0.2
+	}
+	return &out
+}
+
+// Config assembles the control plane. Nil sections disable the
+// corresponding controller.
+type Config struct {
+	// Services restricts the plane to these deployments (default: every
+	// deployment in the simulation).
+	Services  []string
+	Detector  *DetectorConfig
+	Ejection  *EjectionConfig
+	Failover  *FailoverConfig
+	Autoscale []AutoscaleConfig
+}
+
+// Stats counts control-plane actions; it extends the determinism
+// fingerprint over the plane's behaviour.
+type Stats struct {
+	// Detections counts instances declared dead by the phi detector;
+	// Recoveries counts declared-dead instances whose heartbeats resumed
+	// before (or without) replacement.
+	Detections uint64
+	Recoveries uint64
+	// DetectionLagTotal accumulates (detection time − actual kill time)
+	// across detections.
+	DetectionLagTotal des.Time
+	// Failovers counts replacement replicas brought up; FailoverStalls
+	// counts placement attempts deferred for lack of free cores.
+	Failovers      uint64
+	FailoverStalls uint64
+	// Ejections and Reinstatements count outlier-ejector actions.
+	Ejections      uint64
+	Reinstatements uint64
+	// ScaleUps/ScaleDowns count autoscaler replica additions and
+	// retirements; ScaleBlocked counts scale-ups skipped for lack of
+	// cluster capacity.
+	ScaleUps     uint64
+	ScaleDowns   uint64
+	ScaleBlocked uint64
+}
+
+// MeanDetectionLag reports the average gap between an instance dying and
+// the detector noticing.
+func (st *Stats) MeanDetectionLag() des.Time {
+	if st.Detections == 0 {
+		return 0
+	}
+	return st.DetectionLagTotal / des.Time(st.Detections)
+}
+
+// Fingerprint flattens the counters into a comparable string for
+// determinism tests.
+func (st *Stats) Fingerprint() string {
+	return fmt.Sprintf("det=%d rec=%d lag=%d fo=%d stall=%d ej=%d rein=%d up=%d down=%d blocked=%d",
+		st.Detections, st.Recoveries, st.DetectionLagTotal, st.Failovers, st.FailoverStalls,
+		st.Ejections, st.Reinstatements, st.ScaleUps, st.ScaleDowns, st.ScaleBlocked)
+}
+
+// Plane is one attached control plane.
+type Plane struct {
+	s   *sim.Sim
+	eng *des.Engine
+	cfg Config
+
+	managed    []*managedDeployment
+	byInstance map[string]*instanceTrack
+	stats      Stats
+	stopped    bool
+}
+
+// managedDeployment is the plane's view of one deployment.
+type managedDeployment struct {
+	dep    *sim.Deployment
+	tracks []*instanceTrack
+	scale  *autoscaleState // nil unless autoscaled
+}
+
+// instanceTrack is the plane's per-instance state: detector history,
+// ejection window, and autoscaler busy-time cursor.
+type instanceTrack struct {
+	md *managedDeployment
+	in *service.Instance
+	hb *rng.Source
+
+	// Failure detector (Welford over observed heartbeat intervals).
+	lastBeat des.Time
+	beats    uint64
+	meanInt  float64
+	m2       float64
+	dead     bool
+	replaced bool // a failover replica superseded this instance
+
+	// Ejection window, reset every evaluation interval.
+	succ uint64
+	fail uint64
+	lat  *stats.P2Quantile
+
+	// Autoscaler busy-time cursor and last windowed delta.
+	prevBusy   des.Time
+	windowBusy des.Time
+}
+
+// Attach wires a control plane into the simulation and schedules its
+// event loops. Call after deployments and topology exist and before Run.
+// The plane keeps acting until the engine stops or Stop is called;
+// conservation tests draining the engine after a run must call Stop first,
+// or the periodic loops keep the event heap occupied forever.
+func Attach(s *sim.Sim, cfg Config) (*Plane, error) {
+	if cfg.Failover != nil && cfg.Detector == nil {
+		return nil, fmt.Errorf("control: failover requires a detector")
+	}
+	if cfg.Detector == nil && cfg.Ejection == nil && len(cfg.Autoscale) == 0 {
+		return nil, fmt.Errorf("control: empty config — enable a detector, ejection, or autoscaling")
+	}
+	if cfg.Detector != nil {
+		cfg.Detector = cfg.Detector.withDefaults()
+	}
+	if cfg.Ejection != nil {
+		e := cfg.Ejection.withDefaults()
+		if e.FailureRatio > 1 {
+			return nil, fmt.Errorf("control: ejection failure ratio %.2f > 1", e.FailureRatio)
+		}
+		if e.MinHealthyFraction > 1 {
+			return nil, fmt.Errorf("control: min healthy fraction %.2f > 1", e.MinHealthyFraction)
+		}
+		if e.Quantile >= 1 {
+			return nil, fmt.Errorf("control: ejection quantile %.2f must be in (0,1)", e.Quantile)
+		}
+		cfg.Ejection = e
+	}
+	if cfg.Failover != nil {
+		f := cfg.Failover.withDefaults()
+		for _, m := range f.Machines {
+			if _, ok := s.Cluster().Machine(m); !ok {
+				return nil, fmt.Errorf("control: failover references unknown machine %q", m)
+			}
+		}
+		cfg.Failover = f
+	}
+
+	p := &Plane{s: s, eng: s.Engine(), cfg: cfg, byInstance: make(map[string]*instanceTrack)}
+
+	// Resolve the managed deployments in deterministic order.
+	deps := s.Deployments()
+	if len(cfg.Services) > 0 {
+		deps = deps[:0:0]
+		for _, name := range cfg.Services {
+			dep, ok := s.Deployment(name)
+			if !ok {
+				return nil, fmt.Errorf("control: unknown service %q", name)
+			}
+			deps = append(deps, dep)
+		}
+	}
+	byName := make(map[string]*managedDeployment, len(deps))
+	for _, dep := range deps {
+		md := &managedDeployment{dep: dep}
+		for _, in := range dep.Instances {
+			p.registerInstance(md, in)
+		}
+		p.managed = append(p.managed, md)
+		byName[dep.Name] = md
+	}
+
+	// Validate and arm the autoscalers.
+	pinned := pinnedServices(s)
+	seen := make(map[string]bool, len(cfg.Autoscale))
+	for i := range cfg.Autoscale {
+		ac := cfg.Autoscale[i].withDefaults()
+		md, ok := byName[ac.Service]
+		if !ok {
+			return nil, fmt.Errorf("control: autoscale references unmanaged service %q", ac.Service)
+		}
+		if seen[ac.Service] {
+			return nil, fmt.Errorf("control: duplicate autoscale entry for %q", ac.Service)
+		}
+		seen[ac.Service] = true
+		if pinned[ac.Service] {
+			return nil, fmt.Errorf("control: cannot autoscale %q — the topology pins it to specific instances", ac.Service)
+		}
+		if (ac.TargetUtilization > 0) == (ac.TargetQueue > 0) {
+			return nil, fmt.Errorf("control: autoscale %q needs exactly one of target utilization and target queue", ac.Service)
+		}
+		if ac.TargetUtilization < 0 || ac.TargetUtilization >= 1 {
+			return nil, fmt.Errorf("control: autoscale %q target utilization %.2f must be in (0,1)", ac.Service, ac.TargetUtilization)
+		}
+		if ac.Max < ac.Min {
+			return nil, fmt.Errorf("control: autoscale %q max %d below min %d", ac.Service, ac.Max, ac.Min)
+		}
+		for _, m := range ac.Machines {
+			if _, ok := s.Cluster().Machine(m); !ok {
+				return nil, fmt.Errorf("control: autoscale %q references unknown machine %q", ac.Service, m)
+			}
+		}
+		md.scale = &autoscaleState{cfg: ac}
+	}
+
+	// Arm the loops. Order is deterministic: heartbeats were armed in
+	// registerInstance; then one detector check loop, one ejector loop per
+	// deployment, one autoscale loop per scaled deployment.
+	if cfg.Detector != nil {
+		p.eng.After(cfg.Detector.CheckInterval, p.checkSuspicions)
+	}
+	if cfg.Ejection != nil {
+		for _, md := range p.managed {
+			md := md
+			p.eng.After(cfg.Ejection.Interval, func(now des.Time) { p.evaluateEjections(now, md) })
+		}
+	}
+	for _, md := range p.managed {
+		if md.scale != nil {
+			md := md
+			p.eng.After(md.scale.cfg.Interval, func(now des.Time) { p.evaluateScale(now, md) })
+		}
+	}
+	return p, nil
+}
+
+// pinnedServices lists services some topology node pins to a fixed
+// instance — membership changes would invalidate the pin.
+func pinnedServices(s *sim.Sim) map[string]bool {
+	out := make(map[string]bool)
+	topo := s.Topology()
+	if topo == nil {
+		return out
+	}
+	for ti := range topo.Trees {
+		for ni := range topo.Trees[ti].Nodes {
+			n := &topo.Trees[ti].Nodes[ni]
+			if n.Instance >= 0 {
+				out[n.Service] = true
+			}
+		}
+	}
+	return out
+}
+
+// registerInstance starts tracking one instance: detector state, ejection
+// window, and — when a detector is configured — its heartbeat emitter.
+func (p *Plane) registerInstance(md *managedDeployment, in *service.Instance) *instanceTrack {
+	tr := &instanceTrack{md: md, in: in}
+	if p.cfg.Ejection != nil {
+		tr.lat = stats.NewP2Quantile(p.cfg.Ejection.Quantile)
+	}
+	md.tracks = append(md.tracks, tr)
+	p.byInstance[in.Name] = tr
+	if p.cfg.Detector != nil {
+		tr.hb = p.s.Stream("control", "hb", in.Name)
+		tr.lastBeat = p.eng.Now()
+		p.scheduleBeat(tr)
+	}
+	return tr
+}
+
+// Stop freezes the plane: every periodic loop exits at its next firing and
+// no further actions are taken. Call before draining the engine in tests.
+func (p *Plane) Stop() { p.stopped = true }
+
+// Stats exposes the action counters.
+func (p *Plane) Stats() *Stats { return &p.stats }
+
+// ObserveCall feeds one data-plane call outcome into the ejection window
+// of the serving instance. Wire it as sim.Sim.OnCallResult — Attach does
+// not install it implicitly so callers can compose observers.
+func (p *Plane) ObserveCall(now des.Time, instance string, ok bool, latency des.Time) {
+	tr, found := p.byInstance[instance]
+	if !found {
+		return
+	}
+	if ok {
+		tr.succ++
+		if tr.lat != nil {
+			tr.lat.Add(float64(latency))
+		}
+	} else {
+		tr.fail++
+	}
+}
+
+// RegisterGauges surfaces per-deployment health state on a monitor:
+// <service>.replicas (non-retired instances), <service>.healthy (in the
+// load-balancing rotation), and <service>.ejected. Call before the
+// monitor starts.
+func (p *Plane) RegisterGauges(m *monitor.Monitor) {
+	for _, md := range p.managed {
+		dep := md.dep
+		m.WatchGauge(dep.Name+".replicas", func(des.Time) float64 { return float64(dep.ReplicaCount()) })
+		m.WatchGauge(dep.Name+".healthy", func(des.Time) float64 { return float64(len(dep.Healthy())) })
+		m.WatchGauge(dep.Name+".ejected", func(des.Time) float64 { return float64(dep.EjectedCount()) })
+	}
+}
+
+// placeReplica picks the machine for a new replica: among the allowed
+// machines (default all) that are not suspect (hosting a known-down
+// instance) and have the cores free, the one with the most free cores,
+// ties broken by registration order. Nil when none fits.
+func (p *Plane) placeReplica(allowed []string, cores int, exclude string) (string, bool) {
+	var bestName string
+	bestFree := -1
+	consider := func(name string) {
+		if name == exclude {
+			return
+		}
+		m, ok := p.s.Cluster().Machine(name)
+		if !ok || m.FreeCores() < cores || p.machineSuspect(name) {
+			return
+		}
+		if m.FreeCores() > bestFree {
+			bestName, bestFree = name, m.FreeCores()
+		}
+	}
+	if len(allowed) > 0 {
+		for _, name := range allowed {
+			consider(name)
+		}
+	} else {
+		for _, m := range p.s.Cluster().Machines() {
+			consider(m.Name)
+		}
+	}
+	return bestName, bestFree >= 0
+}
+
+// machineSuspect reports whether every live tracked instance on the
+// machine is down — the plane's proxy for a crashed node (a machine crash
+// takes all its instances with it; a single instance kill does not damn a
+// machine whose other instances still beat). Replacements never land on a
+// suspect machine.
+func (p *Plane) machineSuspect(machine string) bool {
+	seen := false
+	for _, md := range p.managed {
+		for _, tr := range md.tracks {
+			if tr.replaced || md.dep.Retired(tr.in) || tr.in.Alloc.Machine.Name != machine {
+				continue
+			}
+			seen = true
+			if !tr.in.Down() {
+				return false
+			}
+		}
+	}
+	return seen
+}
+
+// ceilFrac is ceil(f·n) clamped to ≥ 1.
+func ceilFrac(f float64, n int) int {
+	c := int(math.Ceil(f * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -313,3 +313,44 @@ func TestExtCacheSmoke(t *testing.T) {
 		prev = hit
 	}
 }
+
+func TestSelfHealingSmoke(t *testing.T) {
+	tb := smoke(t, "selfhealing")
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows %d, want 7", len(tb.Rows))
+	}
+	leakCol := len(tb.Columns) - 1
+	cells := map[string][]string{}
+	for _, r := range tb.Rows {
+		if r[leakCol] != "0" {
+			t.Fatalf("%s/%s leaked %s requests", r[0], r[1], r[leakCol])
+		}
+		cells[r[0]+"/"+r[1]] = r
+	}
+	// (a) the baseline never regains 90% goodput; failover does, fast.
+	if got := cells["a:instance-crash/no-control"][4]; got != "-" {
+		t.Fatalf("baseline recovered (mttr %s) without a control plane", got)
+	}
+	mttr, err := strconv.ParseFloat(cells["a:instance-crash/detect+failover"][4], 64)
+	if err != nil || mttr <= 0 || mttr > 500 {
+		t.Fatalf("failover mttr %q, want bounded positive ms", cells["a:instance-crash/detect+failover"][4])
+	}
+	if !strings.Contains(cells["a:instance-crash/detect+failover"][5], "fo=1") {
+		t.Fatalf("failover actions %q", cells["a:instance-crash/detect+failover"][5])
+	}
+	// (b) ejection must cut the gray-failure p99.
+	baseP99, _ := strconv.ParseFloat(cells["b:gray-failure/no-control"][3], 64)
+	ejP99, _ := strconv.ParseFloat(cells["b:gray-failure/outlier-ejection"][3], 64)
+	if ejP99 <= 0 || ejP99 >= baseP99 {
+		t.Fatalf("ejection p99 %.3fms did not improve on baseline %.3fms", ejP99, baseP99)
+	}
+	// (c) the autoscaler must act on the load step.
+	if !strings.Contains(cells["c:load-step/autoscale-max-3"][5], "up=") ||
+		strings.Contains(cells["c:load-step/autoscale-max-3"][5], "up=0") {
+		t.Fatalf("autoscale actions %q", cells["c:load-step/autoscale-max-3"][5])
+	}
+	// (d) identical rerun.
+	if got := cells["d:determinism/failover-rerun"][5]; got != "stable" {
+		t.Fatalf("determinism verdict %q", got)
+	}
+}

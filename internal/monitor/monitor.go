@@ -80,6 +80,8 @@ type Monitor struct {
 	interval des.Time
 	targets  []Target
 	series   []*Series
+	gaugeFns []func(now des.Time) float64
+	gauges   []*stats.TimeSeries
 	started  bool
 	samples  int
 }
@@ -120,6 +122,25 @@ func (m *Monitor) Watch(name string, t Target) *Series {
 	return s
 }
 
+// WatchGauge registers a free-form gauge sampled on the monitor cadence —
+// the hook control planes use to surface healthy/ejected/replica counts
+// without the monitor depending on them. Must be called before Start.
+func (m *Monitor) WatchGauge(name string, fn func(now des.Time) float64) *stats.TimeSeries {
+	if m.started {
+		panic("monitor: WatchGauge after Start")
+	}
+	if fn == nil {
+		panic("monitor: WatchGauge needs a sampling function")
+	}
+	ts := stats.NewTimeSeries(name)
+	m.gaugeFns = append(m.gaugeFns, fn)
+	m.gauges = append(m.gauges, ts)
+	return ts
+}
+
+// Gauges returns the registered gauge series in WatchGauge order.
+func (m *Monitor) Gauges() []*stats.TimeSeries { return m.gauges }
+
 // Start schedules the first sample one interval from now.
 func (m *Monitor) Start() {
 	m.started = true
@@ -148,6 +169,9 @@ func (m *Monitor) sample(now des.Time) {
 			s.Canceled.Record(now, float64(wt.CanceledEarly()))
 			s.Wasted.Record(now, float64(wt.WastedWork()))
 		}
+	}
+	for i, fn := range m.gaugeFns {
+		m.gauges[i].Record(now, fn(now))
 	}
 	m.eng.After(m.interval, m.sample)
 }
@@ -190,6 +214,9 @@ func (m *Monitor) CSV() string {
 			fmt.Fprintf(&b, ",%s_canceled,%s_wasted", s.Name, s.Name)
 		}
 	}
+	for _, g := range m.gauges {
+		fmt.Fprintf(&b, ",%s", g.Name)
+	}
 	b.WriteByte('\n')
 	if len(m.series) == 0 {
 		return b.String()
@@ -223,6 +250,13 @@ func (m *Monitor) CSV() string {
 				if s.Canceled != nil {
 					b.WriteString(",,")
 				}
+			}
+		}
+		for _, g := range m.gauges {
+			if i < g.Len() {
+				fmt.Fprintf(&b, ",%g", g.Points()[i].V)
+			} else {
+				b.WriteString(",")
 			}
 		}
 		b.WriteByte('\n')

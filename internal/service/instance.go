@@ -33,8 +33,11 @@ type Instance struct {
 	// Fault state: down marks a killed instance; epoch invalidates
 	// completion events scheduled before the kill (their callbacks see a
 	// stale epoch and report the job dropped instead of completed).
-	down  bool
-	epoch uint64
+	// downSince stamps the kill instant so failure detectors can measure
+	// their detection lag against ground truth.
+	down      bool
+	downSince des.Time
+	epoch     uint64
 
 	// MaxQueue, when positive, sheds arrivals once QueueLen reaches it —
 	// saturation then degrades gracefully (bounded queueing delay, fast
@@ -516,6 +519,7 @@ func (in *Instance) Kill(now des.Time) []*job.Job {
 		return nil
 	}
 	in.down = true
+	in.downSince = now
 	in.epoch++
 	in.setBusy(now, 0)
 	var lost []*job.Job
@@ -558,6 +562,10 @@ func (in *Instance) Restart(now des.Time) {
 
 // Down reports whether the instance is currently killed.
 func (in *Instance) Down() bool { return in.down }
+
+// DownSince reports when the instance was last killed (meaningful only
+// while Down). Failure detectors use it to compute detection lag.
+func (in *Instance) DownSince() des.Time { return in.downSince }
 
 // dropBatch accounts jobs lost to a kill and notifies the sim layer.
 func (in *Instance) dropBatch(now des.Time, batch []*job.Job) {
@@ -706,4 +714,12 @@ func (in *Instance) Utilization(now des.Time) float64 {
 	}
 	acc := in.busyNsAcc + float64(in.busyCores)*float64(now-in.lastChange)
 	return acc / (float64(in.Alloc.Cores) * float64(now))
+}
+
+// BusyTime reports accumulated busy core-time up to virtual time now.
+// Deltas between two calls give windowed utilization — the signal
+// reactive autoscalers act on, where the cumulative mean of Utilization
+// would lag the present by the whole run.
+func (in *Instance) BusyTime(now des.Time) des.Time {
+	return des.Time(in.busyNsAcc + float64(in.busyCores)*float64(now-in.lastChange))
 }

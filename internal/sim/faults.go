@@ -61,9 +61,9 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 			}
 			if in.Down() {
 				in.Restart(now)
-				dep.down--
 			}
 		}
+		dep.refreshHealthy()
 	case fault.CrashMachine:
 		// Deterministic deployment order matters: kill order decides the
 		// order drops propagate and retries get scheduled.
@@ -81,11 +81,15 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 		}
 	case fault.RecoverMachine:
 		for _, dep := range s.Deployments() {
+			touched := false
 			for _, in := range dep.Instances {
 				if in.Alloc.Machine.Name == ev.Machine && in.Down() {
 					in.Restart(now)
-					dep.down--
+					touched = true
 				}
+			}
+			if touched {
+				dep.refreshHealthy()
 			}
 		}
 		if np, ok := s.netproc[ev.Machine]; ok {
@@ -121,8 +125,9 @@ func (s *Sim) killInstance(now des.Time, dep *Deployment, in *service.Instance) 
 	if in.Down() {
 		return
 	}
-	dep.down++
-	for _, j := range in.Kill(now) {
+	lost := in.Kill(now)
+	dep.refreshHealthy()
+	for _, j := range lost {
 		s.handleJobDrop(now, j)
 	}
 }

@@ -48,7 +48,7 @@ func (s *Sim) installOverload() {
 	if !s.overloadOn {
 		return
 	}
-	isCanceled := func(j *job.Job) bool {
+	s.isCanceledFn = func(j *job.Job) bool {
 		if j.Outcome != job.OutcomeOK {
 			return true // abandoned attempt or lost hedge race
 		}
@@ -57,7 +57,7 @@ func (s *Sim) installOverload() {
 	}
 	for _, dep := range s.Deployments() {
 		for _, in := range dep.Instances {
-			in.IsCanceled = isCanceled
+			in.IsCanceled = s.isCanceledFn
 		}
 	}
 }
@@ -245,18 +245,19 @@ func (s *Sim) onHedgeTimer(now des.Time, op *hedgeOp) {
 }
 
 // pickAvoiding selects a healthy instance other than avoid, scanning
-// round-robin from the deployment's rotating cursor. Nil when no distinct
-// healthy instance exists.
+// round-robin from the deployment's rotating cursor over the maintained
+// healthy set (ejected and retired instances never receive hedges). Nil
+// when no distinct healthy instance exists.
 func (s *Sim) pickAvoiding(dep *Deployment, avoid *service.Instance) *service.Instance {
-	n := len(dep.Instances)
-	if n < 2 {
+	n := len(dep.healthy)
+	if n < 1 || (n == 1 && dep.healthy[0] == avoid) {
 		return nil
 	}
 	start := dep.rr % n
 	dep.rr++
 	for i := 0; i < n; i++ {
-		in := dep.Instances[(start+i)%n]
-		if in != avoid && !in.Down() {
+		in := dep.healthy[(start+i)%n]
+		if in != avoid {
 			return in
 		}
 	}

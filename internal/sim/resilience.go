@@ -195,6 +195,7 @@ func (s *Sim) onAttemptTimeout(now des.Time, j *job.Job) {
 	delete(s.calls, j.ID)
 	untrackCall(c.st, j.ID)
 	j.Outcome = job.OutcomeTimeout
+	s.observeCall(now, c.inst.Name, false, c.pr.pol.Timeout)
 	if c.pr.brk != nil {
 		c.pr.brk.Record(now, true)
 	}
@@ -235,6 +236,7 @@ func (s *Sim) settleCall(now des.Time, c *call, jID job.ID) {
 	}
 	delete(s.calls, jID)
 	untrackCall(c.st, jID)
+	s.observeCall(now, c.inst.Name, true, now-c.start)
 	if c.pr.brk != nil {
 		c.pr.brk.Record(now, false)
 	}
@@ -254,6 +256,9 @@ func (s *Sim) failAttemptOrRequest(now des.Time, j *job.Job, out job.Outcome) {
 	abandoned := j.Outcome != job.OutcomeOK
 	if !abandoned {
 		j.Outcome = out
+		// One failure observation per live attempt: abandoned attempts
+		// already reported theirs at the abandonment instant.
+		s.observeCall(now, j.Instance, false, 0)
 	}
 	req := j.Req
 	if req == nil || req.Failed || req.Done() || abandoned {

@@ -263,11 +263,18 @@ func (s *Sim) handleNetDone(now des.Time, j *job.Job) {
 // handleJobDone fires when a microservice instance completes a job's
 // service-local path: release tokens, fan out to children, finish leaves.
 func (s *Sim) handleJobDone(now des.Time, j *job.Job) {
+	settled := false
 	if len(s.calls) > 0 {
 		if c, ok := s.calls[j.ID]; ok {
 			// A live policy-guarded attempt finished in time.
 			s.settleCall(now, c, j.ID)
+			settled = true
 		}
+	}
+	if !settled && j.Outcome == job.OutcomeOK {
+		// Bare-edge success: report the instance's residence time (a
+		// settled call already reported its edge-level latency).
+		s.observeCall(now, j.Instance, true, now-j.Enqueued)
 	}
 	st, ok := s.inflight[j.Req.ID]
 	if !ok {
@@ -546,6 +553,39 @@ func instanceReport(in *service.Instance, svc string, horizon des.Time) Instance
 		QueueLen:    in.QueueLen(),
 		Residence:   in.Residence().Snapshot(),
 	}
+}
+
+// VerifyDrained reports an error when live request state remains after the
+// engine has fully drained: in-flight requests, pending network
+// deliveries, live call attempts, held connection-pool tokens, or queued
+// instance work. Conservation tests run the engine dry and then assert
+// nothing leaked.
+func (s *Sim) VerifyDrained() error {
+	if n := len(s.inflight); n > 0 {
+		return fmt.Errorf("sim: %d requests still in flight after drain", n)
+	}
+	if n := len(s.pending); n > 0 {
+		return fmt.Errorf("sim: %d deliveries still pending after drain", n)
+	}
+	if n := len(s.calls); n > 0 {
+		return fmt.Errorf("sim: %d live call attempts after drain", n)
+	}
+	for _, name := range s.poolOrder {
+		if n := s.pools[name].inUse(); n > 0 {
+			return fmt.Errorf("sim: pool %q still holds %d tokens after drain", name, n)
+		}
+	}
+	for _, dep := range s.Deployments() {
+		for _, in := range dep.Instances {
+			if got := in.InFlight(); got != 0 {
+				return fmt.Errorf("sim: instance %s reports %d in flight after drain", in.Name, got)
+			}
+			if got := in.QueueLen(); got != 0 {
+				return fmt.Errorf("sim: instance %s still queues %d jobs after drain", in.Name, got)
+			}
+		}
+	}
+	return nil
 }
 
 // connPool is the runtime of a graph.ConnPool: a FIFO token dispenser whose

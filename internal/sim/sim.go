@@ -19,6 +19,7 @@ import (
 	"uqsim/internal/cluster"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/job"
 	"uqsim/internal/rng"
@@ -147,6 +148,7 @@ type Sim struct {
 	hasHedge      bool
 	hasDiscipline bool
 	overloadOn    bool
+	isCanceledFn  func(j *job.Job) bool // installed on every instance while overloadOn
 	hedgeRNG      *rng.Source
 	budgetRNG     *rng.Source
 	edgeLat       map[[2]int]*stats.P2Quantile // [tree,node] → latency estimator
@@ -177,6 +179,21 @@ type Sim struct {
 	// service name of the node it executed — the hook the tracer uses
 	// to build per-request waterfalls.
 	OnJobDone func(now des.Time, j *job.Job, service string)
+	// OnCallResult observes the outcome of every dispatched call against
+	// the instance that served (or lost) it: ok with the observed latency
+	// on success, !ok for timeouts, sheds, and drops. Control planes feed
+	// their per-instance success-rate and latency-quantile trackers from
+	// it; nil costs the dispatch path nothing.
+	OnCallResult func(now des.Time, instance string, ok bool, latency des.Time)
+}
+
+// observeCall reports one call outcome to an attached observer. Calls
+// that never reached an instance (no healthy instance to pick) carry no
+// instance name and are skipped — there is nobody to blame.
+func (s *Sim) observeCall(now des.Time, instance string, ok bool, latency des.Time) {
+	if s.OnCallResult != nil && instance != "" {
+		s.OnCallResult(now, instance, ok, latency)
+	}
 }
 
 // reqState tracks one in-flight request's progress through its tree.
@@ -246,6 +263,25 @@ func (s *Sim) AddMachine(name string, cores int, freq cluster.FreqSpec) *cluster
 	return m
 }
 
+// instanceState is a deployment's control-plane view of one instance.
+// It is orthogonal to the instance's own fault state (Down): an instance
+// can be up yet ejected (gray failure), or down yet still active (the
+// fault has not been acted on).
+type instanceState uint8
+
+const (
+	// instActive: in the load-balancing rotation whenever the instance
+	// itself is up.
+	instActive instanceState = iota
+	// instEjected: removed from load balancing by outlier detection;
+	// in-flight work still completes. Reinstatement restores instActive.
+	instEjected
+	// instRetired: permanently removed (replaced after failover, or
+	// scaled down). A retired instance never rejoins the rotation, even
+	// if a fault-plan restart brings the process back up.
+	instRetired
+)
+
 // Deployment is a named group of instances of one blueprint.
 type Deployment struct {
 	Name      string
@@ -258,9 +294,105 @@ type Deployment struct {
 	pathChoice *dist.Choice
 	pathRNG    *rng.Source
 
-	// down counts currently-killed instances; while zero, instance picking
-	// takes the fault-oblivious fast path.
-	down int
+	// healthy is the live load-balancing set — instances that are up,
+	// active, and not ejected/retired — kept in Instances order. It is
+	// rebuilt only on the rare membership events (kill, restart, eject,
+	// reinstate, retire, replica add), so the per-dispatch picking path
+	// never allocates.
+	healthy []*service.Instance
+	state   []instanceState
+}
+
+// refreshHealthy rebuilds the load-balancing set after a membership
+// event. O(instances), but membership events are orders of magnitude
+// rarer than dispatches.
+func (d *Deployment) refreshHealthy() {
+	d.healthy = d.healthy[:0]
+	for i, in := range d.Instances {
+		if d.state[i] == instActive && !in.Down() {
+			d.healthy = append(d.healthy, in)
+		}
+	}
+}
+
+// Healthy reports the instances currently in the load-balancing
+// rotation, in deployment order. The returned slice is live: callers
+// must not mutate or retain it across events.
+func (d *Deployment) Healthy() []*service.Instance { return d.healthy }
+
+func (d *Deployment) indexOf(in *service.Instance) int {
+	for i, have := range d.Instances {
+		if have == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eject removes an active instance from load balancing (outlier
+// ejection). In-flight work on it still completes; only new picks skip
+// it. Reports whether the state changed.
+func (d *Deployment) Eject(in *service.Instance) bool {
+	i := d.indexOf(in)
+	if i < 0 || d.state[i] != instActive {
+		return false
+	}
+	d.state[i] = instEjected
+	d.refreshHealthy()
+	return true
+}
+
+// Reinstate returns an ejected instance to load balancing (probation
+// ended). Reports whether the state changed.
+func (d *Deployment) Reinstate(in *service.Instance) bool {
+	i := d.indexOf(in)
+	if i < 0 || d.state[i] != instEjected {
+		return false
+	}
+	d.state[i] = instActive
+	d.refreshHealthy()
+	return true
+}
+
+// Retire permanently removes an instance from load balancing (replaced
+// after failover, or scaled down). Reports whether the state changed.
+func (d *Deployment) Retire(in *service.Instance) bool {
+	i := d.indexOf(in)
+	if i < 0 || d.state[i] == instRetired {
+		return false
+	}
+	d.state[i] = instRetired
+	d.refreshHealthy()
+	return true
+}
+
+// Retired reports whether the instance has been permanently removed.
+func (d *Deployment) Retired(in *service.Instance) bool {
+	i := d.indexOf(in)
+	return i >= 0 && d.state[i] == instRetired
+}
+
+// EjectedCount reports instances currently ejected by outlier detection.
+func (d *Deployment) EjectedCount() int {
+	n := 0
+	for _, st := range d.state {
+		if st == instEjected {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaCount reports non-retired instances — the deployment's current
+// scale, regardless of momentary health.
+func (d *Deployment) ReplicaCount() int {
+	n := 0
+	for _, st := range d.state {
+		if st != instRetired {
+			n++
+		}
+	}
+	return n
 }
 
 // Deploy creates instances of bp on the given placements under the
@@ -298,11 +430,83 @@ func (s *Sim) Deploy(bp *service.Blueprint, lb Policy, placements ...Placement) 
 		in.OnJobDrop = s.handleJobDrop
 		in.OnJobShed = s.handleJobShed
 		dep.Instances = append(dep.Instances, in)
+		dep.state = append(dep.state, instActive)
 	}
+	dep.refreshHealthy()
 	s.deployments[bp.Name] = dep
 	s.depOrder = append(s.depOrder, bp.Name)
 	return dep, nil
 }
+
+// AddReplica deploys one more instance of an existing deployment onto the
+// named machine — the act half of failover and scale-up. The replica
+// inherits the deployment's shedding and admission configuration from its
+// first sibling and joins the load-balancing rotation immediately.
+func (s *Sim) AddReplica(svc, machine string, cores int) (*service.Instance, error) {
+	dep, ok := s.deployments[svc]
+	if !ok {
+		return nil, fmt.Errorf("sim: replica of undeployed service %q", svc)
+	}
+	m, ok := s.cluster.Machine(machine)
+	if !ok {
+		return nil, fmt.Errorf("sim: replica of %s references unknown machine %q", svc, machine)
+	}
+	name := fmt.Sprintf("%s-%d", svc, len(dep.Instances))
+	alloc, err := m.Allocate(name, cores)
+	if err != nil {
+		return nil, err
+	}
+	in, err := service.NewInstance(s.eng, dep.BP, name, alloc, s.split.Stream("instance", name))
+	if err != nil {
+		m.Release(alloc)
+		return nil, err
+	}
+	in.OnJobDone = s.handleJobDone
+	in.OnJobDrop = s.handleJobDrop
+	in.OnJobShed = s.handleJobShed
+	tmpl := dep.Instances[0]
+	in.MaxQueue = tmpl.MaxQueue
+	if d := tmpl.Discipline(); d.Kind != fault.QueueFIFO {
+		if err := in.SetDiscipline(d); err != nil {
+			m.Release(alloc)
+			return nil, err
+		}
+	}
+	if s.overloadOn {
+		in.IsCanceled = s.isCanceledFn
+	}
+	dep.Instances = append(dep.Instances, in)
+	dep.state = append(dep.state, instActive)
+	dep.refreshHealthy()
+	return in, nil
+}
+
+// RemoveReplica retires an instance and returns its cores to its machine.
+// The instance must already be drained (no queued or in-flight work): the
+// caller orchestrates the graceful drain, this performs the final
+// accounting.
+func (s *Sim) RemoveReplica(svc string, in *service.Instance) error {
+	dep, ok := s.deployments[svc]
+	if !ok {
+		return fmt.Errorf("sim: remove replica of undeployed service %q", svc)
+	}
+	if dep.indexOf(in) < 0 {
+		return fmt.Errorf("sim: %s has no instance %s", svc, in.Name)
+	}
+	if in.InFlight() != 0 || in.QueueLen() != 0 {
+		return fmt.Errorf("sim: removing %s with %d in flight, %d queued",
+			in.Name, in.InFlight(), in.QueueLen())
+	}
+	dep.Retire(in)
+	in.Alloc.Machine.Release(in.Alloc)
+	return nil
+}
+
+// Stream derives a labeled RNG stream from the simulation seed. Attached
+// controllers draw their randomness (heartbeat jitter, probe placement)
+// from dedicated streams so their presence never perturbs the service-time
+// or load-balancing draws.
+func (s *Sim) Stream(labels ...string) *rng.Source { return s.split.Stream(labels...) }
 
 // Deployment looks up a deployment by service name.
 func (s *Sim) Deployment(name string) (*Deployment, bool) {
@@ -319,65 +523,36 @@ func (s *Sim) Deployments() []*Deployment {
 	return out
 }
 
-// pick selects an instance according to the deployment's policy.
-func (d *Deployment) pick() *service.Instance {
-	switch d.LB {
-	case Random:
-		return d.Instances[d.rng.IntN(len(d.Instances))]
-	case LeastLoaded:
-		// Scan from a rotating start so ties spread across instances
-		// instead of always landing on the first one.
-		start := d.rr % len(d.Instances)
-		d.rr++
-		best := d.Instances[start]
-		bestLoad := best.InFlight()
-		for i := 1; i < len(d.Instances); i++ {
-			in := d.Instances[(start+i)%len(d.Instances)]
-			if l := in.InFlight(); l < bestLoad {
-				best, bestLoad = in, l
-			}
-		}
-		return best
-	default:
-		in := d.Instances[d.rr%len(d.Instances)]
-		d.rr++
-		return in
-	}
-}
-
-// pickHealthy selects an instance skipping killed ones; nil when every
-// instance is down. While nothing is down it is exactly pick(), so fault
-// support costs healthy runs one integer comparison.
+// pickHealthy selects an instance from the maintained healthy set — up,
+// not ejected, not retired — according to the deployment's policy; nil
+// when the set is empty. The set is rebuilt on membership events (kill,
+// restart, eject, reinstate, retire, replica add), so this path never
+// allocates.
 func (d *Deployment) pickHealthy() *service.Instance {
-	if d.down == 0 {
-		return d.pick()
-	}
-	healthy := make([]*service.Instance, 0, len(d.Instances))
-	for _, in := range d.Instances {
-		if !in.Down() {
-			healthy = append(healthy, in)
-		}
-	}
-	if len(healthy) == 0 {
+	healthy := d.healthy
+	n := len(healthy)
+	if n == 0 {
 		return nil
 	}
 	switch d.LB {
 	case Random:
-		return healthy[d.rng.IntN(len(healthy))]
+		return healthy[d.rng.IntN(n)]
 	case LeastLoaded:
-		start := d.rr % len(healthy)
+		// Scan from a rotating start so ties spread across instances
+		// instead of always landing on the first one.
+		start := d.rr % n
 		d.rr++
 		best := healthy[start]
 		bestLoad := best.InFlight()
-		for i := 1; i < len(healthy); i++ {
-			in := healthy[(start+i)%len(healthy)]
+		for i := 1; i < n; i++ {
+			in := healthy[(start+i)%n]
 			if l := in.InFlight(); l < bestLoad {
 				best, bestLoad = in, l
 			}
 		}
 		return best
 	default:
-		in := healthy[d.rr%len(healthy)]
+		in := healthy[d.rr%n]
 		d.rr++
 		return in
 	}
@@ -467,6 +642,11 @@ func (s *Sim) SetTopology(topo *graph.Topology) error {
 	s.treeChoice = dist.NewChoice(topo.Weights())
 	return nil
 }
+
+// Topology reports the installed inter-service topology (nil before
+// SetTopology). Control planes consult it to refuse managing services the
+// topology pins to specific instances.
+func (s *Sim) Topology() *graph.Topology { return s.topo }
 
 // Brancher decides at runtime which children of a branch node receive a
 // request (selecting among node.Children by ID). A cache model, for

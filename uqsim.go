@@ -34,6 +34,7 @@ import (
 	"uqsim/internal/cache"
 	"uqsim/internal/cluster"
 	"uqsim/internal/config"
+	"uqsim/internal/control"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
 	"uqsim/internal/fault"
@@ -199,7 +200,8 @@ type TimeSeries = stats.TimeSeries
 type ConfigSetup = config.Setup
 
 // LoadConfig reads machines.json, service.json, graph.json, path.json, and
-// client.json from dir (the paper's Table I inputs).
+// client.json from dir (the paper's Table I inputs), plus the optional
+// faults.json and control.json.
 func LoadConfig(dir string) (*ConfigSetup, error) { return config.LoadDir(dir) }
 
 // ---- prebuilt application models ----
@@ -338,6 +340,42 @@ func AttachTracer(s *Sim, t *Tracer) {
 	s.OnJobDone = t.OnJobDone
 	s.OnRequestDone = t.OnRequestDone
 }
+
+// ---- self-healing control plane ----
+
+// ControlPlane closes the detect→decide→act loop inside the simulation:
+// heartbeat failure detection, outlier ejection, failover, and reactive
+// autoscaling, all as ordinary simulation events.
+type ControlPlane = control.Plane
+
+// ControlConfig selects and parameterizes the control loops.
+type ControlConfig = control.Config
+
+// DetectorConfig parameterizes phi-accrual heartbeat failure detection.
+type DetectorConfig = control.DetectorConfig
+
+// EjectionConfig parameterizes per-instance outlier ejection.
+type EjectionConfig = control.EjectionConfig
+
+// FailoverConfig parameterizes replacement of detected-dead instances.
+type FailoverConfig = control.FailoverConfig
+
+// AutoscaleConfig parameterizes one service's reactive autoscaler.
+type AutoscaleConfig = control.AutoscaleConfig
+
+// ControlStats counts every action a control plane took.
+type ControlStats = control.Stats
+
+// AttachControl wires a control plane into a simulation before Run. With
+// ejection configured, also set s.OnCallResult = plane.ObserveCall (or use
+// WireEjection). Call plane.Stop() after Run to quiesce the control loops.
+func AttachControl(s *Sim, cfg ControlConfig) (*ControlPlane, error) {
+	return control.Attach(s, cfg)
+}
+
+// WireEjection points the simulation's call-result hook at the plane's
+// ejection observer, replacing any previously installed hook.
+func WireEjection(s *Sim, p *ControlPlane) { s.OnCallResult = p.ObserveCall }
 
 // ---- power management ----
 
