@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-throughput examples
+.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples
 
 # check is the tier-1 gate: everything CI runs.
 check: vet staticcheck build test race
@@ -26,9 +26,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs every experiment benchmark once at reduced scale.
-bench:
+# bench runs every experiment benchmark once at reduced scale, then the
+# engine microbenchmarks.
+bench: bench-engine
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# bench-engine records the DES scheduling and PDES dispatch benchmarks in
+# benchstat format. BENCH_engine.json is the committed trajectory point;
+# compare a working tree against it with
+#   benchstat BENCH_engine.json <(make -s bench-engine)
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkSharded' -benchmem \
+		./internal/des ./internal/pdes | tee BENCH_engine.json
 
 # bench-throughput tracks the simulator hot path (the "scalable" claim):
 # the policy variant must stay within a few percent of the base rate.

@@ -1,0 +1,45 @@
+package cluster
+
+// PartitionIndex splits n machines into k balanced contiguous shards and
+// returns the shard index of each machine position. Shard sizes differ by
+// at most one, earlier shards take the remainder, and the mapping depends
+// only on (n, k) — a parallel engine partitioning a cluster this way
+// assigns machines to logical processes identically on every run. k is
+// clamped to [1, n].
+func PartitionIndex(n, k int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]int, n)
+	base, rem := n/k, n%k
+	pos := 0
+	for shard := 0; shard < k; shard++ {
+		size := base
+		if shard < rem {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			out[pos] = shard
+			pos++
+		}
+	}
+	return out
+}
+
+// Partition maps each machine name to its shard per PartitionIndex, in
+// registration order. Model layers use it to place machine-local state
+// (service instances, queues) on the owning logical process.
+func (c *Cluster) Partition(k int) map[string]int {
+	idx := PartitionIndex(c.Size(), k)
+	out := make(map[string]int, c.Size())
+	for i, name := range c.order {
+		out[name] = idx[i]
+	}
+	return out
+}

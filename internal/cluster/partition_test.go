@@ -1,0 +1,59 @@
+package cluster
+
+import "testing"
+
+func TestPartitionIndexBalanced(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {10, 4}, {7, 3}, {5, 8}, {1000, 8}, {3, 0},
+	} {
+		idx := PartitionIndex(tc.n, tc.k)
+		if len(idx) != tc.n {
+			t.Fatalf("n=%d k=%d: %d entries", tc.n, tc.k, len(idx))
+		}
+		sizes := map[int]int{}
+		prev := 0
+		for i, s := range idx {
+			if s < prev {
+				t.Fatalf("n=%d k=%d: shard ids not nondecreasing at %d", tc.n, tc.k, i)
+			}
+			prev = s
+			sizes[s]++
+		}
+		min, max := tc.n, 0
+		for _, sz := range sizes {
+			if sz < min {
+				min = sz
+			}
+			if sz > max {
+				max = sz
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d k=%d: shard sizes differ by %d", tc.n, tc.k, max-min)
+		}
+		want := tc.k
+		if want < 1 {
+			want = 1
+		}
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(sizes) != want {
+			t.Fatalf("n=%d k=%d: %d shards, want %d", tc.n, tc.k, len(sizes), want)
+		}
+	}
+}
+
+func TestClusterPartitionFollowsRegistrationOrder(t *testing.T) {
+	c := NewCluster()
+	names := []string{"c", "a", "b", "d"}
+	for _, n := range names {
+		if err := c.Add(NewMachine(n, 2, FreqSpec{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Partition(2)
+	if got["c"] != 0 || got["a"] != 0 || got["b"] != 1 || got["d"] != 1 {
+		t.Fatalf("partition %v does not follow registration order", got)
+	}
+}

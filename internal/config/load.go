@@ -14,6 +14,7 @@ import (
 	"uqsim/internal/dist"
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
+	"uqsim/internal/pdes"
 	"uqsim/internal/queueing"
 	"uqsim/internal/service"
 	"uqsim/internal/sim"
@@ -110,11 +111,16 @@ func readBaseDocs(dir string) ([5][]byte, error) {
 }
 
 // decodeStrict unmarshals one config document, rejecting unknown JSON keys
-// so typos fail loudly ("json: unknown field ...") instead of being ignored.
+// so typos fail loudly instead of being ignored. When the unknown key is
+// an edit distance away from a real field anywhere in the document's
+// schema, the error suggests it.
 func decodeStrict(name string, data []byte, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		if got, ok := unknownFieldOf(err); ok {
+			return unknownName(name, "", "field", got, jsonFieldNames(v))
+		}
 		return fmt.Errorf("config: %s: %w", name, err)
 	}
 	if dec.More() {
@@ -163,7 +169,11 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	if cf.DurationS <= 0 {
 		return nil, fmt.Errorf("config: client.json needs a positive duration_s")
 	}
-	s := sim.New(sim.Options{Seed: cf.Seed})
+	eng, err := buildEngine(mf.Engine)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(sim.Options{Seed: cf.Seed, Engine: eng})
 
 	// Machines.
 	if len(mf.Machines) == 0 {
@@ -354,6 +364,27 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 		Warmup:   des.FromSeconds(cf.WarmupS),
 		Duration: des.FromSeconds(cf.DurationS),
 	}, nil
+}
+
+// buildEngine resolves machines.json's optional engine section. Nil (or
+// workers ≤ 1) keeps Sim's default sequential engine; workers ≥ 2
+// selects the parallel engine, whose coordinator executes the same
+// deterministic event order.
+func buildEngine(es *EngineSpec) (des.Runner, error) {
+	if es == nil {
+		return nil, nil
+	}
+	if es.Workers < 0 {
+		return nil, fmt.Errorf("config: machines.json: engine.workers must be non-negative, got %d", es.Workers)
+	}
+	const maxWorkers = 1024
+	if es.Workers > maxWorkers {
+		return nil, fmt.Errorf("config: machines.json: engine.workers %d exceeds the limit of %d", es.Workers, maxWorkers)
+	}
+	if es.Workers <= 1 {
+		return nil, nil
+	}
+	return pdes.New(pdes.Options{LPs: 1, Workers: es.Workers, Lookahead: des.Millisecond}), nil
 }
 
 // faultKinds maps faults.json kind names to fault.Kind values (the inverse

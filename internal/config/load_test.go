@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"uqsim/internal/des"
@@ -51,6 +52,14 @@ func TestLoadDirMissingFile(t *testing.T) {
 // assembles.
 func mutate(t *testing.T, which string, fn func(map[string]any)) error {
 	t.Helper()
+	_, err := mutateSetup(t, map[string]func(map[string]any){which: fn})
+	return err
+}
+
+// mutateSetup is mutate for several docs at once, returning the Setup so
+// tests can run it.
+func mutateSetup(t *testing.T, muts map[string]func(map[string]any)) (*Setup, error) {
+	t.Helper()
 	docs := map[string][]byte{}
 	for _, name := range []string{"machines.json", "service.json", "graph.json", "path.json", "client.json"} {
 		b, err := os.ReadFile(filepath.Join(cfgDir, name))
@@ -59,19 +68,20 @@ func mutate(t *testing.T, which string, fn func(map[string]any)) error {
 		}
 		docs[name] = b
 	}
-	var m map[string]any
-	if err := json.Unmarshal(docs[which], &m); err != nil {
-		t.Fatal(err)
+	for which, fn := range muts {
+		var m map[string]any
+		if err := json.Unmarshal(docs[which], &m); err != nil {
+			t.Fatal(err)
+		}
+		fn(m)
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[which] = b
 	}
-	fn(m)
-	b, err := json.Marshal(m)
-	if err != nil {
-		t.Fatal(err)
-	}
-	docs[which] = b
-	_, err = Assemble(docs["machines.json"], docs["service.json"], docs["graph.json"],
+	return Assemble(docs["machines.json"], docs["service.json"], docs["graph.json"],
 		docs["path.json"], docs["client.json"])
-	return err
 }
 
 func TestAssembleErrors(t *testing.T) {
@@ -218,5 +228,86 @@ func TestClientTimeoutValidation(t *testing.T) {
 		m["max_retries"] = 2
 	}); err != nil {
 		t.Fatalf("valid timeout config rejected: %v", err)
+	}
+}
+
+// TestEngineWorkersEquivalence: an "engine" section selecting the
+// parallel backend must assemble, run, and reproduce the sequential
+// engine's results exactly — same seed, same trace.
+func TestEngineWorkersEquivalence(t *testing.T) {
+	run := func(workers int) (uint64, des.Time) {
+		setup, err := mutateSetup(t, map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				if workers > 0 {
+					m["engine"] = map[string]any{"workers": workers}
+				}
+			},
+			"client.json": func(m map[string]any) {
+				m["duration_s"] = 0.05
+				m["warmup_s"] = 0.0
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := setup.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Completions == 0 {
+			t.Fatal("no completions")
+		}
+		return rep.Completions, rep.Latency.P99()
+	}
+	seqN, seqP99 := run(0)
+	for _, workers := range []int{1, 4} {
+		if n, p99 := run(workers); n != seqN || p99 != seqP99 {
+			t.Fatalf("workers=%d diverged: %d completions p99=%v, sequential %d p99=%v",
+				workers, n, p99, seqN, seqP99)
+		}
+	}
+}
+
+func TestEngineWorkersValidation(t *testing.T) {
+	for _, c := range []struct {
+		name    string
+		workers float64
+	}{
+		{"negative", -1},
+		{"excessive", 2000},
+	} {
+		err := mutate(t, "machines.json", func(m map[string]any) {
+			m["engine"] = map[string]any{"workers": c.workers}
+		})
+		if err == nil {
+			t.Errorf("%s workers should fail", c.name)
+		}
+	}
+}
+
+// TestUnknownFieldSuggestion: a typo'd key anywhere in a document should
+// name the offending field and suggest the nearest schema field.
+func TestUnknownFieldSuggestion(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(map[string]any)
+		want string
+	}{
+		{"nested engine field", func(m map[string]any) {
+			m["engine"] = map[string]any{"workerz": 2}
+		}, `did you mean "workers"`},
+		{"top-level field", func(m map[string]any) {
+			m["machinez"] = []any{}
+		}, `did you mean "machines"`},
+	}
+	for _, c := range cases {
+		err := mutate(t, "machines.json", c.fn)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.want)
+		}
 	}
 }

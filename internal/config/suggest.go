@@ -2,22 +2,84 @@ package config
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 )
 
 // unknownName builds the error for a config document referencing a name
-// that doesn't exist: it names the file, the offending key, the kind of
-// name (noun — "service", "machine"), the bad value, and — when one is
-// plausibly a typo away — the closest valid name.
+// that doesn't exist: it names the file, the offending key (optional),
+// the kind of name (noun — "service", "machine", "field"), the bad
+// value, and — when one is plausibly a typo away — the closest valid
+// name.
 func unknownName(file, key, noun, got string, valid []string) error {
+	at := file
+	if key != "" {
+		at = file + ": " + key
+	}
 	if s := closest(got, valid); s != "" {
-		return fmt.Errorf("config: %s: %s: unknown %s %q (did you mean %q?)", file, key, noun, got, s)
+		return fmt.Errorf("config: %s: unknown %s %q (did you mean %q?)", at, noun, got, s)
 	}
 	sorted := append([]string(nil), valid...)
 	sort.Strings(sorted)
-	return fmt.Errorf("config: %s: %s: unknown %s %q (declared: %s)",
-		file, key, noun, got, strings.Join(sorted, ", "))
+	return fmt.Errorf("config: %s: unknown %s %q (declared: %s)",
+		at, noun, got, strings.Join(sorted, ", "))
+}
+
+// unknownFieldOf extracts the field name from encoding/json's
+// DisallowUnknownFields error ('json: unknown field "X"'). The message
+// is the only channel the decoder offers for this.
+func unknownFieldOf(err error) (string, bool) {
+	msg := err.Error()
+	const marker = `unknown field "`
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(marker):]
+	j := strings.LastIndex(rest, `"`)
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// jsonFieldNames collects every JSON field name reachable from v's type,
+// recursing through structs, pointers, slices, arrays, and map values,
+// so a typo'd key nested anywhere in a document gets a suggestion drawn
+// from the whole schema.
+func jsonFieldNames(v any) []string {
+	seen := make(map[reflect.Type]bool)
+	var names []string
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		switch t.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array, reflect.Map:
+			walk(t.Elem())
+		case reflect.Struct:
+			if seen[t] {
+				return
+			}
+			seen[t] = true
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+				switch name {
+				case "-":
+					continue
+				case "":
+					name = f.Name
+				}
+				names = append(names, name)
+				walk(f.Type)
+			}
+		}
+	}
+	walk(reflect.TypeOf(v))
+	return names
 }
 
 // closest returns the valid name nearest to got by edit distance, or ""

@@ -251,7 +251,7 @@ func (st *Stats) Fingerprint() string {
 // Plane is one attached control plane.
 type Plane struct {
 	s   *sim.Sim
-	eng *des.Engine
+	eng des.Scheduler
 	cfg Config
 
 	managed    []*managedDeployment

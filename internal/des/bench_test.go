@@ -1,0 +1,49 @@
+package des
+
+import "testing"
+
+// BenchmarkEngineAt is the "before" case for the event-freelist work:
+// every scheduled event allocates a fresh handle because the caller may
+// retain it for cancellation.
+func BenchmarkEngineAt(b *testing.B) {
+	e := New()
+	hop := func(now Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Microsecond, hop)
+		e.Step()
+	}
+}
+
+// BenchmarkEnginePost is the "after" case: fire-and-forget events are
+// recycled through the queue's freelist, so the steady-state loop runs
+// allocation-free.
+func BenchmarkEnginePost(b *testing.B) {
+	e := New()
+	hop := func(now Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Post(e.Now()+Microsecond, hop)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineChain measures a self-rescheduling event chain, the
+// shape of service stage pumps and open-loop arrival generators.
+func BenchmarkEngineChain(b *testing.B) {
+	e := New()
+	n := 0
+	var hop Callback
+	hop = func(now Time) {
+		n++
+		if n < b.N {
+			e.Post(now+Microsecond, hop)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Post(0, hop)
+	e.Run()
+}

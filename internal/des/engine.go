@@ -1,9 +1,6 @@
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Callback is the body of a scheduled event. It receives the virtual time at
 // which the event fires (always equal to Engine.Now at that instant).
@@ -18,6 +15,7 @@ type Event struct {
 	seq      uint64
 	index    int // heap index; -1 once popped
 	canceled bool
+	pooled   bool // fire-and-forget: recycled after firing, no live handle
 	fn       Callback
 }
 
@@ -26,6 +24,10 @@ func (e *Event) At() Time { return e.at }
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
+
+// Fn reports the event's callback. It exists for engines executing
+// popped events; model code has no business calling it.
+func (e *Event) Fn() Callback { return e.fn }
 
 type eventHeap []*Event
 
@@ -61,12 +63,13 @@ func (h *eventHeap) Pop() any {
 // all scheduling must happen from event callbacks or before Run.
 type Engine struct {
 	now       Time
-	seq       uint64
-	events    eventHeap
+	q         EventQueue
 	stopped   bool
 	processed uint64
 	canceled  uint64
 }
+
+var _ Runner = (*Engine)(nil)
 
 // New returns an engine with the clock at zero and an empty event queue.
 func New() *Engine {
@@ -77,7 +80,7 @@ func New() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of live events currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.Len() }
 
 // Processed reports how many events have fired since construction.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -86,16 +89,8 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // panics: it indicates a causality bug in a model, never a recoverable
 // condition.
 func (e *Engine) At(t Time, fn Callback) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
-	}
-	if fn == nil {
-		panic("des: nil event callback")
-	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.check(t, fn)
+	return e.q.Schedule(t, fn, false)
 }
 
 // After schedules fn to run d after the current virtual time. Negative
@@ -107,15 +102,28 @@ func (e *Engine) After(d Time, fn Callback) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// Post schedules fn at absolute time t fire-and-forget. No handle is
+// returned and the event's storage is recycled after it fires, so hot
+// paths that never cancel (service stage completions, generator arrivals)
+// do not allocate in steady state.
+func (e *Engine) Post(t Time, fn Callback) {
+	e.check(t, fn)
+	e.q.Schedule(t, fn, true)
+}
+
+func (e *Engine) check(t Time, fn Callback) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("des: nil event callback")
+	}
+}
+
 // Cancel prevents ev from firing and removes its heap entry. Cancelling an
 // already-fired or already-cancelled event is a harmless no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
-		return
-	}
-	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
+	if e.q.Remove(ev) {
 		e.canceled++
 	}
 }
@@ -123,17 +131,19 @@ func (e *Engine) Cancel(ev *Event) {
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty or the engine has been stopped.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn(e.now)
-		return true
+	if e.stopped {
+		return false
 	}
-	return false
+	ev := e.q.Pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.at
+	e.processed++
+	fn := ev.fn
+	e.q.Recycle(ev)
+	fn(e.now)
+	return true
 }
 
 // Run fires events until the queue drains or Stop is called.
@@ -146,7 +156,7 @@ func (e *Engine) Run() {
 // to the deadline. Events scheduled beyond the deadline remain pending.
 func (e *Engine) RunUntil(deadline Time) {
 	for !e.stopped {
-		next, ok := e.peek()
+		next, ok := e.q.Peek()
 		if !ok || next > deadline {
 			break
 		}
@@ -157,20 +167,8 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// peek reports the timestamp of the earliest live event.
-func (e *Engine) peek() (Time, bool) {
-	for len(e.events) > 0 {
-		if e.events[0].canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0].at, true
-	}
-	return 0, false
-}
-
 // NextEventTime reports the firing time of the earliest live pending event.
-func (e *Engine) NextEventTime() (Time, bool) { return e.peek() }
+func (e *Engine) NextEventTime() (Time, bool) { return e.q.Peek() }
 
 // Stop halts Run/RunUntil after the current event completes. Further Step
 // calls report false until Resume.

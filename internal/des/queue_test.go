@@ -1,0 +1,117 @@
+package des
+
+import "testing"
+
+func TestEventQueueOrderAndRecycle(t *testing.T) {
+	var q EventQueue
+	var got []int
+	rec := func(i int) Callback { return func(Time) { got = append(got, i) } }
+
+	q.Schedule(30, rec(2), true)
+	q.Schedule(10, rec(0), true)
+	q.Schedule(10, rec(1), true) // same time: scheduling order breaks the tie
+	q.Schedule(40, rec(3), false)
+
+	var prev Time
+	for {
+		ev := q.Pop()
+		if ev == nil {
+			break
+		}
+		if ev.At() < prev {
+			t.Fatalf("events out of order: %v after %v", ev.At(), prev)
+		}
+		prev = ev.At()
+		ev.fn(ev.At())
+		q.Recycle(ev)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fire order %v, want 0..3", got)
+		}
+	}
+	if len(q.free) != 3 {
+		t.Fatalf("freelist has %d events, want 3 (non-pooled event must not be recycled)", len(q.free))
+	}
+
+	// Re-scheduling must reuse freelist storage.
+	before := len(q.free)
+	q.Schedule(50, rec(4), true)
+	if len(q.free) != before-1 {
+		t.Fatalf("Schedule did not draw from freelist: %d -> %d", before, len(q.free))
+	}
+}
+
+func TestEventQueuePopBefore(t *testing.T) {
+	var q EventQueue
+	fn := func(Time) {}
+	q.Schedule(10, fn, true)
+	q.Schedule(20, fn, true)
+	q.Schedule(30, fn, true)
+
+	if ev := q.PopBefore(10); ev != nil {
+		t.Fatalf("PopBefore(10) returned event at %v, want nil (end is exclusive)", ev.At())
+	}
+	ev := q.PopBefore(25)
+	if ev == nil || ev.At() != 10 {
+		t.Fatalf("PopBefore(25) = %v, want event at 10", ev)
+	}
+	q.Recycle(ev)
+	ev = q.PopBefore(25)
+	if ev == nil || ev.At() != 20 {
+		t.Fatalf("PopBefore(25) = %v, want event at 20", ev)
+	}
+	q.Recycle(ev)
+	if ev := q.PopBefore(25); ev != nil {
+		t.Fatalf("PopBefore(25) = event at %v, want nil", ev.At())
+	}
+	if n := q.Len(); n != 1 {
+		t.Fatalf("queue has %d events, want 1", n)
+	}
+}
+
+func TestEventQueueRemove(t *testing.T) {
+	var q EventQueue
+	fired := false
+	ev := q.Schedule(10, func(Time) { fired = true }, false)
+	q.Schedule(20, func(Time) {}, true)
+
+	if !q.Remove(ev) {
+		t.Fatal("Remove reported false for a queued event")
+	}
+	if q.Remove(ev) {
+		t.Fatal("second Remove reported true")
+	}
+	if at, ok := q.Peek(); !ok || at != 20 {
+		t.Fatalf("Peek = %v,%v, want 20,true", at, ok)
+	}
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		ev.fn(ev.At())
+		q.Recycle(ev)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEnginePostDoesNotAllocateInSteadyState(t *testing.T) {
+	e := New()
+	var hop Callback
+	n := 0
+	hop = func(now Time) {
+		n++
+		if n < 1000 {
+			e.Post(now+Microsecond, hop)
+		}
+	}
+	e.Post(0, hop)
+	// Warm the freelist with the first events, then measure.
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Post(e.Now()+2*Microsecond, func(Time) {})
+		e.Step()
+		e.Step()
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state Post allocates %.1f objects/op, want 0", allocs)
+	}
+}

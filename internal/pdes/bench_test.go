@@ -1,0 +1,42 @@
+package pdes
+
+import (
+	"fmt"
+	"testing"
+
+	"uqsim/internal/des"
+)
+
+// benchSharded drives the sharded fan-out model for a fixed virtual
+// duration per iteration and reports virtual events per wall second —
+// the simulator-throughput number the scalability experiment tracks.
+func benchSharded(b *testing.B, machines, workers int) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		sc, err := NewShardedCluster(ShardedClusterConfig{
+			Seed:     1,
+			Machines: machines,
+			Fanout:   8,
+			QPS:      20000,
+			LPs:      machines,
+			Workers:  workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := sc.Run(20 * des.Millisecond)
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkShardedDispatch(b *testing.B) {
+	for _, machines := range []int{16, 64} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("m%d/w%d", machines, workers), func(b *testing.B) {
+				benchSharded(b, machines, workers)
+			})
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package pdes
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"uqsim/internal/des"
+)
+
+// ringModel is a synthetic multi-LP workload: every LP runs a local
+// event chain with pseudo-random gaps and, at random intervals, sends a
+// token to its ring neighbour with a delay at or above the lookahead.
+// Each LP folds every event it fires into a running hash, so the
+// combined trace is sensitive to both event times and tie-break order.
+type ringModel struct {
+	hashes []uint64
+	fired  []uint64
+}
+
+func buildRing(e *Engine, seed uint64, chains int, la des.Time) *ringModel {
+	m := &ringModel{hashes: make([]uint64, e.LPs()), fired: make([]uint64, e.LPs())}
+	n := e.LPs()
+	for lp := 0; lp < n; lp++ {
+		p := e.Proc(lp)
+		r := rand.New(rand.NewPCG(seed, uint64(lp)))
+		lp := lp
+		var step des.Callback
+		step = func(now des.Time) {
+			m.hashes[lp] = m.hashes[lp]*1099511628211 + uint64(now) + 1
+			m.fired[lp]++
+			if r.IntN(4) == 0 {
+				dst := (lp + 1) % n
+				jitter := des.Time(r.Int64N(int64(la)))
+				p.Send(dst, la+jitter, func(at des.Time) {
+					m.hashes[dst] = m.hashes[dst]*31 + uint64(at)
+					m.fired[dst]++
+				})
+			}
+			p.Post(now+des.Time(1+r.Int64N(int64(la))), step)
+		}
+		for c := 0; c < chains; c++ {
+			p.Post(des.Time(r.Int64N(int64(la))), step)
+		}
+	}
+	return m
+}
+
+func (m *ringModel) fingerprint() string {
+	var b strings.Builder
+	for i := range m.hashes {
+		fmt.Fprintf(&b, "%d:%x:%d;", i, m.hashes[i], m.fired[i])
+	}
+	return b.String()
+}
+
+func TestWorkerCountDoesNotChangeTrace(t *testing.T) {
+	const la = 50 * des.Microsecond
+	run := func(workers int) (string, uint64) {
+		e := New(Options{LPs: 8, Workers: workers, Lookahead: la})
+		m := buildRing(e, 42, 3, la)
+		e.RunUntil(des.FromSeconds(0.05))
+		return m.fingerprint(), e.Processed()
+	}
+	base, events := run(1)
+	if events == 0 {
+		t.Fatal("model fired no events")
+	}
+	for _, w := range []int{2, 4, 8} {
+		if fp, n := run(w); fp != base || n != events {
+			t.Fatalf("workers=%d diverged: %d events vs %d\n got %s\nwant %s", w, n, events, fp, base)
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	const la = 50 * des.Microsecond
+	run := func(seed uint64) string {
+		e := New(Options{LPs: 8, Workers: 4, Lookahead: la})
+		m := buildRing(e, seed, 3, la)
+		e.RunUntil(des.FromSeconds(0.02))
+		return m.fingerprint()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical traces; fingerprint is not discriminating")
+	}
+}
+
+// TestCoordinatorMatchesSequentialEngine runs an identical single-LP
+// model on des.Engine and on a pdes coordinator and requires the exact
+// same event trace, clock, and counts — the property that lets Sim run
+// on either engine interchangeably.
+func TestCoordinatorMatchesSequentialEngine(t *testing.T) {
+	build := func(s des.Scheduler) *[]string {
+		trace := &[]string{}
+		r := rand.New(rand.NewPCG(7, 9))
+		var step des.Callback
+		n := 0
+		step = func(now des.Time) {
+			*trace = append(*trace, fmt.Sprintf("%d@%v", n, now))
+			n++
+			if n < 500 {
+				if n%3 == 0 {
+					ev := s.At(now+des.Microsecond, func(des.Time) { *trace = append(*trace, "victim") })
+					s.Cancel(ev)
+				}
+				s.Post(now+des.Time(r.Int64N(1000)), step)
+				s.After(des.Time(r.Int64N(1000)), step)
+			}
+		}
+		s.Post(0, step)
+		return trace
+	}
+
+	seq := des.New()
+	seqTrace := build(seq)
+	seq.Run()
+
+	par := New(Options{LPs: 1, Workers: 4})
+	parTrace := build(par)
+	par.Run()
+
+	if len(*seqTrace) != len(*parTrace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(*seqTrace), len(*parTrace))
+	}
+	for i := range *seqTrace {
+		if (*seqTrace)[i] != (*parTrace)[i] {
+			t.Fatalf("trace diverges at %d: %q vs %q", i, (*seqTrace)[i], (*parTrace)[i])
+		}
+	}
+	if seq.Now() != par.Now() || seq.Processed() != par.Processed() {
+		t.Fatalf("engine state diverges: now %v/%v processed %d/%d",
+			seq.Now(), par.Now(), seq.Processed(), par.Processed())
+	}
+}
+
+func TestRunUntilAdvancesAllClocks(t *testing.T) {
+	e := New(Options{LPs: 3, Workers: 2, Lookahead: des.Microsecond})
+	e.Proc(2).Post(5*des.Microsecond, func(des.Time) {})
+	deadline := des.FromSeconds(0.001)
+	e.RunUntil(deadline)
+	for i := 0; i < e.LPs(); i++ {
+		if now := e.Proc(i).Now(); now != deadline {
+			t.Fatalf("LP %d clock %v, want %v", i, now, deadline)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending after drain", e.Pending())
+	}
+}
+
+func TestRunUntilLeavesFutureEventsPending(t *testing.T) {
+	e := New(Options{LPs: 2, Workers: 2, Lookahead: des.Microsecond})
+	fired := false
+	e.Proc(1).Post(des.FromSeconds(1), func(des.Time) { fired = true })
+	e.RunUntil(des.FromSeconds(0.5))
+	if fired {
+		t.Fatal("event beyond the deadline fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(des.FromSeconds(2))
+	if !fired {
+		t.Fatal("event did not fire after deadline passed it")
+	}
+}
+
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	e := New(Options{LPs: 2, Workers: 1, Lookahead: des.Millisecond})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-LP send below lookahead did not panic")
+		}
+	}()
+	e.Proc(0).Send(1, des.Microsecond, func(des.Time) {})
+}
+
+func TestSetupTimeSendsDeliver(t *testing.T) {
+	e := New(Options{LPs: 2, Workers: 2, Lookahead: des.Microsecond})
+	got := des.Time(-1)
+	e.Proc(0).Send(1, 3*des.Microsecond, func(now des.Time) { got = now })
+	e.Run()
+	if got != 3*des.Microsecond {
+		t.Fatalf("setup-time send fired at %v, want 3µs", got)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New(Options{LPs: 1, Workers: 1})
+	count := 0
+	var step des.Callback
+	step = func(now des.Time) {
+		count++
+		if count == 10 {
+			e.Stop()
+		}
+		e.Post(now+des.Microsecond, step)
+	}
+	e.Post(0, step)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("ran %d events, want 10", count)
+	}
+	if e.Stopped() != true {
+		t.Fatal("engine not stopped")
+	}
+	e.Resume()
+	e.RunUntil(des.FromSeconds(0.000020))
+	if count <= 10 {
+		t.Fatal("engine did not resume")
+	}
+}

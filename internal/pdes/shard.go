@@ -1,0 +1,305 @@
+package pdes
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/job"
+	"uqsim/internal/rng"
+	"uqsim/internal/service"
+	"uqsim/internal/stats"
+	"uqsim/internal/workload"
+)
+
+// ShardedClusterConfig describes a tail-at-scale fan-out cluster whose
+// machines are partitioned across the engine's logical processes. It is
+// the LP-decomposable counterpart of apps.TailAtScale: a root on LP 0
+// fans each request out to leaf servers that live on machine LPs, and
+// every cross-machine leg pays the wire latency — which is exactly the
+// engine's lookahead, so machine LPs advance in parallel.
+type ShardedClusterConfig struct {
+	// Seed drives every random stream (client arrivals, leaf selection,
+	// service times). Same seed → identical results at any worker count.
+	Seed uint64
+	// Machines is the leaf server count. Required.
+	Machines int
+	// CoresPerMachine is each leaf's core allocation (default 4).
+	CoresPerMachine int
+	// Fanout is how many distinct leaves each request contacts
+	// (default: all of them, the paper's full fan-out; clamped to
+	// Machines).
+	Fanout int
+	// QPS is the open-loop Poisson arrival rate. Required.
+	QPS float64
+	// MeanServiceUs is the exponential per-leg service time mean in
+	// microseconds (default 1000).
+	MeanServiceUs float64
+	// SlowFraction marks the first ⌈SlowFraction·Machines⌉ leaves as
+	// stragglers whose mean is SlowFactor× larger.
+	SlowFraction float64
+	// SlowFactor is the straggler slowdown (default 10; used only when
+	// SlowFraction > 0).
+	SlowFactor float64
+	// WireLatency is the one-way cross-machine network delay, charged
+	// on every request and response leg. It doubles as the engine's
+	// lookahead (default 50µs).
+	WireLatency des.Time
+	// LPs is the number of machine shards (default: one per machine;
+	// clamped to [1, Machines]). The root and client always occupy
+	// their own LP 0.
+	LPs int
+	// Workers is the engine's worker goroutine count (default 1).
+	Workers int
+}
+
+func (cfg *ShardedClusterConfig) applyDefaults() error {
+	if cfg.Machines < 1 {
+		return fmt.Errorf("pdes: sharded cluster needs at least one machine")
+	}
+	if cfg.QPS <= 0 {
+		return fmt.Errorf("pdes: sharded cluster needs a positive QPS")
+	}
+	if cfg.CoresPerMachine < 1 {
+		cfg.CoresPerMachine = 4
+	}
+	if cfg.Fanout < 1 || cfg.Fanout > cfg.Machines {
+		cfg.Fanout = cfg.Machines
+	}
+	if cfg.MeanServiceUs <= 0 {
+		cfg.MeanServiceUs = 1000
+	}
+	if cfg.SlowFactor <= 0 {
+		cfg.SlowFactor = 10
+	}
+	if cfg.WireLatency <= 0 {
+		cfg.WireLatency = 50 * des.Microsecond
+	}
+	if cfg.LPs < 1 || cfg.LPs > cfg.Machines {
+		cfg.LPs = cfg.Machines
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return nil
+}
+
+// shardMachine is one leaf server pinned to a machine LP: a real
+// service.Instance plus the LP-local identity needed to route responses.
+// All of its state is touched only by its owning LP, so machine shards
+// run without locks.
+type shardMachine struct {
+	inst *service.Instance
+	proc *Proc
+	fac  *job.Factory
+	// pending maps the machine's in-flight job IDs to the root-side
+	// request they serve.
+	pending map[job.ID]uint64
+}
+
+// openReq tracks one fanned-out request at the root until its last leg
+// returns.
+type openReq struct {
+	remaining int
+	start     des.Time
+}
+
+// ShardedCluster is an assembled sharded fan-out simulation.
+type ShardedCluster struct {
+	cfg      ShardedClusterConfig
+	eng      *Engine
+	root     *Proc
+	cl       *cluster.Cluster
+	machines []*shardMachine
+	gen      *workload.OpenLoop
+	rootRNG  *rng.Source
+	scratch  []int // permutation buffer for leaf sampling
+
+	nextReq     uint64
+	open        map[uint64]*openReq
+	requests    uint64
+	completions uint64
+	legsIssued  uint64
+	legsDone    uint64
+	latency     *stats.LatencyHist
+}
+
+// NewShardedCluster builds the model: machines partitioned into cfg.LPs
+// shards via cluster.PartitionIndex, one leaf instance per machine with
+// its own random stream, a Poisson client on LP 0.
+func NewShardedCluster(cfg ShardedClusterConfig) (*ShardedCluster, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	eng := New(Options{LPs: cfg.LPs + 1, Workers: cfg.Workers, Lookahead: cfg.WireLatency})
+	split := rng.NewSplitter(cfg.Seed)
+	sc := &ShardedCluster{
+		cfg:     cfg,
+		eng:     eng,
+		root:    eng.Proc(0),
+		cl:      cluster.NewCluster(),
+		rootRNG: split.Stream("shard", "root"),
+		scratch: make([]int, cfg.Machines),
+		open:    make(map[uint64]*openReq),
+		latency: stats.NewLatencyHist(),
+	}
+	for i := range sc.scratch {
+		sc.scratch[i] = i
+	}
+
+	slow := int(math.Ceil(cfg.SlowFraction * float64(cfg.Machines)))
+	shardOf := cluster.PartitionIndex(cfg.Machines, cfg.LPs)
+	for i := 0; i < cfg.Machines; i++ {
+		name := fmt.Sprintf("leaf%d", i)
+		m := cluster.NewMachine(name, cfg.CoresPerMachine, cluster.FreqSpec{})
+		if err := sc.cl.Add(m); err != nil {
+			return nil, err
+		}
+		alloc, err := m.Allocate(name, cfg.CoresPerMachine)
+		if err != nil {
+			return nil, err
+		}
+		meanNs := cfg.MeanServiceUs * 1e3
+		if i < slow {
+			meanNs *= cfg.SlowFactor
+		}
+		bp := service.SingleStage(name, dist.NewExponential(meanNs))
+		proc := eng.Proc(1 + shardOf[i])
+		inst, err := service.NewInstance(proc, bp, name, alloc, split.Stream("shard", "machine", name))
+		if err != nil {
+			return nil, err
+		}
+		sm := &shardMachine{inst: inst, proc: proc, fac: job.NewFactory(), pending: make(map[job.ID]uint64)}
+		inst.OnJobDone = func(now des.Time, j *job.Job) {
+			id := sm.pending[j.ID]
+			delete(sm.pending, j.ID)
+			sm.proc.Send(0, sc.cfg.WireLatency, func(t des.Time) { sc.legDone(t, id) })
+		}
+		sc.machines = append(sc.machines, sm)
+	}
+
+	sc.gen = workload.NewOpenLoop(sc.root, split.Stream("shard", "client"),
+		workload.ConstantRate(cfg.QPS), sc.onArrival)
+	return sc, nil
+}
+
+// Engine exposes the underlying parallel engine (for event counts and
+// window stats).
+func (sc *ShardedCluster) Engine() *Engine { return sc.eng }
+
+// Cluster exposes the machine registry.
+func (sc *ShardedCluster) Cluster() *cluster.Cluster { return sc.cl }
+
+// onArrival runs on LP 0: pick Fanout distinct leaves and send each a
+// leg, one wire latency away.
+func (sc *ShardedCluster) onArrival(now des.Time) {
+	sc.nextReq++
+	id := sc.nextReq
+	sc.requests++
+	sc.open[id] = &openReq{remaining: sc.cfg.Fanout, start: now}
+	n := len(sc.machines)
+	for i := 0; i < sc.cfg.Fanout; i++ {
+		// Partial Fisher–Yates: scratch stays a permutation across
+		// calls, so no reset is needed and sampling stays uniform.
+		j := i + sc.rootRNG.IntN(n-i)
+		sc.scratch[i], sc.scratch[j] = sc.scratch[j], sc.scratch[i]
+		sm := sc.machines[sc.scratch[i]]
+		sc.legsIssued++
+		sc.root.Send(sm.proc.ID(), sc.cfg.WireLatency, func(t des.Time) {
+			leg := sm.fac.NewJob(nil)
+			sm.pending[leg.ID] = id
+			sm.inst.Enqueue(t, leg)
+		})
+	}
+}
+
+// legDone runs on LP 0 when one leg's response arrives.
+func (sc *ShardedCluster) legDone(now des.Time, id uint64) {
+	sc.legsDone++
+	req := sc.open[id]
+	if req == nil {
+		panic(fmt.Sprintf("pdes: response for unknown request %d", id))
+	}
+	req.remaining--
+	if req.remaining == 0 {
+		delete(sc.open, id)
+		sc.completions++
+		sc.latency.Record(now - req.start)
+	}
+}
+
+// Run drives the model for the given virtual duration, then drains all
+// in-flight legs, and reports. Run may be called once per cluster.
+func (sc *ShardedCluster) Run(duration des.Time) *ShardReport {
+	sc.gen.Start(0)
+	sc.eng.RunUntil(duration)
+	sc.gen.Stop()
+	sc.eng.Run() // drain in-flight legs; the generator is stopped
+	return sc.report()
+}
+
+// MachineStats is one leaf's post-run counters.
+type MachineStats struct {
+	Name      string
+	Completed uint64
+	Shed      uint64
+	InFlight  int
+	QueueLen  int
+}
+
+// ShardReport summarises a sharded run. Leaked must be zero after every
+// drain; the conservation identity is Requests == Completions + len(open)
+// and LegsIssued == LegsDone.
+type ShardReport struct {
+	Requests    uint64
+	Completions uint64
+	LegsIssued  uint64
+	LegsDone    uint64
+	Leaked      uint64
+	Events      uint64
+	Windows     uint64
+	Latency     *stats.LatencyHist
+	PerMachine  []MachineStats
+}
+
+func (sc *ShardedCluster) report() *ShardReport {
+	r := &ShardReport{
+		Requests:    sc.requests,
+		Completions: sc.completions,
+		LegsIssued:  sc.legsIssued,
+		LegsDone:    sc.legsDone,
+		Leaked:      uint64(len(sc.open)) + sc.legsIssued - sc.legsDone,
+		Events:      sc.eng.Processed(),
+		Windows:     sc.eng.Windows(),
+		Latency:     sc.latency,
+	}
+	for _, sm := range sc.machines {
+		r.PerMachine = append(r.PerMachine, MachineStats{
+			Name:      sm.inst.Name,
+			Completed: sm.inst.Completed(),
+			Shed:      sm.inst.Shed(),
+			InFlight:  sm.inst.InFlight(),
+			QueueLen:  sm.inst.QueueLen(),
+		})
+		r.Leaked += uint64(len(sm.pending))
+	}
+	return r
+}
+
+// Fingerprint flattens everything the report asserts about a run —
+// counts, per-machine counters, and the latency distribution — into one
+// comparable string. Two runs of the same seed must match exactly,
+// whatever the worker count.
+func (r *ShardReport) Fingerprint() string {
+	h := fnv.New64a()
+	for _, m := range r.PerMachine {
+		fmt.Fprintf(h, "%s:%d/%d/%d/%d;", m.Name, m.Completed, m.Shed, m.InFlight, m.QueueLen)
+	}
+	return fmt.Sprintf("req=%d comp=%d legs=%d/%d leak=%d ev=%d lat=%v/%v/%v/%v n=%d mach=%x",
+		r.Requests, r.Completions, r.LegsIssued, r.LegsDone, r.Leaked, r.Events,
+		r.Latency.Mean(), r.Latency.P50(), r.Latency.P99(), r.Latency.Max(),
+		r.Latency.Count(), h.Sum64())
+}

@@ -1,0 +1,123 @@
+package pdes
+
+import (
+	"testing"
+
+	"uqsim/internal/des"
+)
+
+// randomShardConfig derives a small but varied cluster from a seed:
+// uneven machine counts, partial fan-outs, stragglers, and LP counts
+// that don't divide the machine count.
+func randomShardConfig(seed uint64) ShardedClusterConfig {
+	return ShardedClusterConfig{
+		Seed:            seed,
+		Machines:        3 + int(seed%7),
+		CoresPerMachine: 1 + int(seed%3),
+		Fanout:          1 + int(seed%5),
+		QPS:             2000 + float64(seed%5)*1000,
+		MeanServiceUs:   300 + float64(seed%4)*200,
+		SlowFraction:    float64(seed%3) * 0.15,
+		WireLatency:     des.Time(20+seed%80) * des.Microsecond,
+		LPs:             1 + int(seed%4),
+	}
+}
+
+func runShard(t *testing.T, cfg ShardedClusterConfig, workers int) *ShardReport {
+	t.Helper()
+	cfg.Workers = workers
+	sc, err := NewShardedCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sc.Run(100 * des.Millisecond)
+	if rep.Requests == 0 || rep.Completions == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Leaked != 0 {
+		t.Fatalf("leaked %d after drain (cfg %+v)", rep.Leaked, cfg)
+	}
+	if rep.Requests != rep.Completions {
+		t.Fatalf("conservation: %d requests, %d completions after drain", rep.Requests, rep.Completions)
+	}
+	if rep.LegsIssued != rep.LegsDone {
+		t.Fatalf("conservation: %d legs issued, %d done after drain", rep.LegsIssued, rep.LegsDone)
+	}
+	if want := rep.Requests * uint64(cfgFanout(cfg)); rep.LegsIssued != want {
+		t.Fatalf("legs issued %d, want %d (requests×fanout)", rep.LegsIssued, want)
+	}
+	var perMachine uint64
+	for _, m := range rep.PerMachine {
+		perMachine += m.Completed
+	}
+	if perMachine != rep.LegsDone {
+		t.Fatalf("per-machine completions %d != legs done %d", perMachine, rep.LegsDone)
+	}
+	return rep
+}
+
+func cfgFanout(cfg ShardedClusterConfig) int {
+	if cfg.Fanout < 1 || cfg.Fanout > cfg.Machines {
+		return cfg.Machines
+	}
+	return cfg.Fanout
+}
+
+// TestShardedClusterEquivalence is the cross-engine equivalence suite
+// for the parallel model: randomized configurations run with 1, 2, and
+// 4 workers must emit identical determinism fingerprints, conserve
+// every request and leg, and leak nothing.
+func TestShardedClusterEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		cfg := randomShardConfig(seed)
+		base := runShard(t, cfg, 1).Fingerprint()
+		for _, workers := range []int{2, 4} {
+			if fp := runShard(t, cfg, workers).Fingerprint(); fp != base {
+				t.Fatalf("seed %d: workers=%d diverged\n w1: %s\n w%d: %s",
+					seed, workers, base, workers, fp)
+			}
+		}
+	}
+}
+
+// TestShardedClusterSeedSensitivity guards the fingerprint itself: a
+// different seed must produce a different trace, or the equivalence
+// suite would vacuously pass.
+func TestShardedClusterSeedSensitivity(t *testing.T) {
+	cfg1, cfg2 := randomShardConfig(3), randomShardConfig(3)
+	cfg2.Seed = 4
+	if runShard(t, cfg1, 2).Fingerprint() == runShard(t, cfg2, 2).Fingerprint() {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+// TestShardedClusterParallelWindows: a multi-LP run must actually use
+// bounded windows (not degenerate to one giant sequential window).
+func TestShardedClusterParallelWindows(t *testing.T) {
+	cfg := ShardedClusterConfig{Seed: 9, Machines: 8, QPS: 5000, Fanout: 4, LPs: 4}
+	sc, err := NewShardedCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sc.Run(50 * des.Millisecond)
+	if rep.Windows < 10 {
+		t.Fatalf("only %d windows for a 50ms multi-LP run", rep.Windows)
+	}
+	if sc.Engine().LPs() != 5 {
+		t.Fatalf("engine has %d LPs, want 5 (root + 4 shards)", sc.Engine().LPs())
+	}
+}
+
+// TestShardedClusterStragglersRaiseTail: the model must actually model
+// something — stragglers should push the tail latency up.
+func TestShardedClusterStragglersRaiseTail(t *testing.T) {
+	base := ShardedClusterConfig{Seed: 5, Machines: 10, QPS: 1000, Fanout: 10, MeanServiceUs: 200}
+	slow := base
+	slow.SlowFraction = 0.2
+	slow.SlowFactor = 20
+	fast := runShard(t, base, 2)
+	strag := runShard(t, slow, 2)
+	if strag.Latency.P99() <= fast.Latency.P99() {
+		t.Fatalf("stragglers did not raise p99: %v vs %v", strag.Latency.P99(), fast.Latency.P99())
+	}
+}

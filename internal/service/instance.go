@@ -19,7 +19,7 @@ type Instance struct {
 	Name  string
 	Alloc *cluster.Allocation
 
-	eng *des.Engine
+	eng des.Scheduler
 	r   *rng.Source
 
 	queues []queueing.Queue
@@ -92,7 +92,7 @@ type Instance struct {
 
 // NewInstance deploys bp as name on the given allocation and engine, with a
 // dedicated random stream. The blueprint must validate.
-func NewInstance(eng *des.Engine, bp *Blueprint, name string, alloc *cluster.Allocation, r *rng.Source) (*Instance, error) {
+func NewInstance(eng des.Scheduler, bp *Blueprint, name string, alloc *cluster.Allocation, r *rng.Source) (*Instance, error) {
 	if err := bp.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,7 +185,7 @@ func (in *Instance) schedulePump(now des.Time) {
 		return
 	}
 	in.pumpPending = true
-	in.eng.At(now, func(t des.Time) {
+	in.eng.Post(now, func(t des.Time) {
 		in.pumpPending = false
 		if in.BP.Model == ModelThreaded {
 			in.pumpThreaded(t)
@@ -371,7 +371,7 @@ func (in *Instance) startCPUBatch(now des.Time, stage int, batch []*job.Job) {
 	in.setBusy(now, in.busyCores+1)
 	dur := in.sampleCost(stage, batch, false)
 	epoch := in.epoch
-	in.eng.At(now+dur, func(t des.Time) {
+	in.eng.Post(now+dur, func(t des.Time) {
 		if in.epoch != epoch {
 			// The instance was killed mid-stage: the work is lost.
 			in.dropBatch(t, batch)
@@ -388,7 +388,7 @@ func (in *Instance) startPoolStage(now des.Time, stage int, j *job.Job, pool *cl
 	in.noteWait(now, stage, []*job.Job{j})
 	dur := in.sampleCost(stage, []*job.Job{j}, true)
 	epoch := in.epoch
-	in.eng.At(now+dur, func(t des.Time) {
+	in.eng.Post(now+dur, func(t des.Time) {
 		// The pool unit is freed exactly once — here — whether or not
 		// the instance survived; a kill must never double-release it.
 		pool.Release()
@@ -440,7 +440,7 @@ func (in *Instance) runThreadedStage(now des.Time, j *job.Job) {
 		in.noteWait(now, stage, []*job.Job{j})
 		dur := in.sampleCost(stage, []*job.Job{j}, true)
 		epoch := in.epoch
-		in.eng.At(now+dur, func(t des.Time) {
+		in.eng.Post(now+dur, func(t des.Time) {
 			pool.Release()
 			if in.epoch != epoch {
 				in.dropBatch(t, []*job.Job{j})
@@ -464,7 +464,7 @@ func (in *Instance) runThreadedStage(now des.Time, j *job.Job) {
 		dur += in.BP.CtxSwitch
 	}
 	epoch := in.epoch
-	in.eng.At(now+dur, func(t des.Time) {
+	in.eng.Post(now+dur, func(t des.Time) {
 		if in.epoch != epoch {
 			in.dropBatch(t, []*job.Job{j})
 			return

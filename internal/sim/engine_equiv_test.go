@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"uqsim/internal/des"
+	"uqsim/internal/pdes"
+)
+
+// engineVariants returns fresh engines the full simulation must behave
+// identically on: the sequential engine and pdes coordinators with
+// different worker settings. Sim's model is a single logical process,
+// so it runs on LP 0 of the parallel engine; the guarantee under test
+// is that the coordinator executes the exact same (time, seq) event
+// order as des.Engine.
+func engineVariants() map[string]func() des.Runner {
+	return map[string]func() des.Runner{
+		"des":          func() des.Runner { return des.New() },
+		"pdes":         func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 1}) },
+		"pdes-workers": func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 4, Lookahead: des.Millisecond}) },
+	}
+}
+
+// TestCrossEngineFingerprintEquality: a same-seed run of a randomized
+// topology — including fault injection, retries, hedges, and breakers —
+// must produce an identical determinism fingerprint on every engine,
+// drain completely, and conserve requests.
+func TestCrossEngineFingerprintEquality(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		var baseline string
+		for _, name := range []string{"des", "pdes", "pdes-workers"} {
+			mk := engineVariants()[name]
+			s := buildRandomTopologyOn(t, seed, mk())
+			withRandomFaults(t, s, seed)
+			rep, err := s.Run(0, 250*des.Millisecond)
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, name, err)
+			}
+			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
+				rep.DeadlineExpired + uint64(rep.InFlight)
+			if rep.Arrivals != total {
+				t.Fatalf("seed %d on %s: conservation: arrivals %d != outcomes %d",
+					seed, name, rep.Arrivals, total)
+			}
+			fp := reportFingerprint(rep)
+			if name == "des" {
+				baseline = fp
+				continue
+			}
+			if fp != baseline {
+				t.Fatalf("seed %d: %s diverges from sequential engine\n des:  %s\n %s: %s",
+					seed, name, baseline, name, fp)
+			}
+		}
+	}
+}
+
+// TestCrossEngineDrain: after the horizon, a pdes-backed run must settle
+// every request with zero leaked state, exactly like the sequential one.
+func TestCrossEngineDrain(t *testing.T) {
+	for seed := int64(20); seed <= 25; seed++ {
+		s := buildRandomTopologyOn(t, seed, pdes.New(pdes.Options{LPs: 1, Workers: 2, Lookahead: des.Millisecond}))
+		withRandomOverload(t, s, seed)
+		rep, err := s.Run(0, 150*des.Millisecond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s.Engine().Run() // drain past the horizon; the generator is stopped
+		if err := s.VerifyDrained(); err != nil {
+			t.Fatalf("seed %d: leaked state on pdes engine: %v", seed, err)
+		}
+		if rep.Completions == 0 {
+			t.Fatalf("seed %d: no completions", seed)
+		}
+	}
+}

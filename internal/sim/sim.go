@@ -104,11 +104,17 @@ type ClientConfig struct {
 type Options struct {
 	// Seed drives all random streams.
 	Seed uint64
+	// Engine, when non-nil, supplies the event engine the simulation
+	// runs on (e.g. a pdes coordinator). Nil gets a fresh sequential
+	// des.Engine. Any engine must execute events in the same
+	// deterministic (time, seq) order — same-seed runs produce
+	// identical results on every conforming engine.
+	Engine des.Runner
 }
 
 // Sim is one assembled simulation.
 type Sim struct {
-	eng     *des.Engine
+	eng     des.Runner
 	split   *rng.Splitter
 	cluster *cluster.Cluster
 	fac     *job.Factory
@@ -222,8 +228,12 @@ type delivery struct {
 // New creates an empty simulation.
 func New(opts Options) *Sim {
 	split := rng.NewSplitter(opts.Seed)
+	eng := opts.Engine
+	if eng == nil {
+		eng = des.New()
+	}
 	return &Sim{
-		eng:          des.New(),
+		eng:          eng,
 		split:        split,
 		cluster:      cluster.NewCluster(),
 		fac:          job.NewFactory(),
@@ -249,7 +259,7 @@ func New(opts Options) *Sim {
 
 // Engine exposes the underlying event engine (read-mostly; used by the
 // power manager to schedule decision epochs and by tests).
-func (s *Sim) Engine() *des.Engine { return s.eng }
+func (s *Sim) Engine() des.Runner { return s.eng }
 
 // Cluster exposes the machine registry.
 func (s *Sim) Cluster() *cluster.Cluster { return s.cluster }

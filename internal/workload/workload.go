@@ -121,13 +121,13 @@ type OpenLoop struct {
 	// Proc selects the interarrival process (default Poisson).
 	Proc Process
 
-	eng     *des.Engine
+	eng     des.Scheduler
 	r       *rng.Source
 	stopped bool
 }
 
 // NewOpenLoop builds a generator on the engine with a dedicated stream.
-func NewOpenLoop(eng *des.Engine, r *rng.Source, pattern Pattern, emit func(now des.Time)) *OpenLoop {
+func NewOpenLoop(eng des.Scheduler, r *rng.Source, pattern Pattern, emit func(now des.Time)) *OpenLoop {
 	if pattern == nil || emit == nil {
 		panic("workload: open-loop generator needs a pattern and an emit callback")
 	}
@@ -147,7 +147,7 @@ func (g *OpenLoop) scheduleNext(from des.Time) {
 	rate := g.Pattern.RateAt(from)
 	if rate <= 0 {
 		// Idle period: poll again in 1ms of virtual time.
-		g.eng.At(from+des.Millisecond, func(t des.Time) {
+		g.eng.Post(from+des.Millisecond, func(t des.Time) {
 			if !g.stopped {
 				g.scheduleNext(t)
 			}
@@ -165,7 +165,7 @@ func (g *OpenLoop) scheduleNext(from des.Time) {
 	if gap < 1 {
 		gap = 1
 	}
-	g.eng.At(from+gap, func(t des.Time) {
+	g.eng.Post(from+gap, func(t des.Time) {
 		if g.stopped {
 			return
 		}
@@ -185,12 +185,12 @@ type ClosedLoop struct {
 
 	Users int
 
-	eng *des.Engine
+	eng des.Scheduler
 	r   *rng.Source
 }
 
 // NewClosedLoop builds a closed-loop generator with the given user count.
-func NewClosedLoop(eng *des.Engine, r *rng.Source, users int, emit func(now des.Time)) *ClosedLoop {
+func NewClosedLoop(eng des.Scheduler, r *rng.Source, users int, emit func(now des.Time)) *ClosedLoop {
 	if users < 1 {
 		panic("workload: closed loop needs at least one user")
 	}
@@ -203,7 +203,7 @@ func NewClosedLoop(eng *des.Engine, r *rng.Source, users int, emit func(now des.
 // Start issues each user's first request at virtual time at.
 func (g *ClosedLoop) Start(at des.Time) {
 	for i := 0; i < g.Users; i++ {
-		g.eng.At(at, func(t des.Time) { g.Emit(t) })
+		g.eng.Post(at, func(t des.Time) { g.Emit(t) })
 	}
 }
 
@@ -213,7 +213,7 @@ func (g *ClosedLoop) RequestDone(now des.Time) {
 	if g.Think != nil {
 		gap = des.FromNanos(g.Think(g.r))
 	}
-	g.eng.At(now+gap, func(t des.Time) { g.Emit(t) })
+	g.eng.Post(now+gap, func(t des.Time) { g.Emit(t) })
 }
 
 // Replay re-issues a recorded arrival timestamp trace.
@@ -221,12 +221,12 @@ type Replay struct {
 	// Emit receives each arrival. Required.
 	Emit func(now des.Time)
 
-	eng   *des.Engine
+	eng   des.Scheduler
 	trace []des.Time
 }
 
 // NewReplay builds a trace replayer; timestamps must be nondecreasing.
-func NewReplay(eng *des.Engine, trace []des.Time, emit func(now des.Time)) *Replay {
+func NewReplay(eng des.Scheduler, trace []des.Time, emit func(now des.Time)) *Replay {
 	if emit == nil {
 		panic("workload: replay needs an emit callback")
 	}
@@ -241,6 +241,6 @@ func NewReplay(eng *des.Engine, trace []des.Time, emit func(now des.Time)) *Repl
 // Start schedules every trace arrival.
 func (g *Replay) Start() {
 	for _, at := range g.trace {
-		g.eng.At(at, func(t des.Time) { g.Emit(t) })
+		g.eng.Post(at, func(t des.Time) { g.Emit(t) })
 	}
 }
