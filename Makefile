@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples
+.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples fuzz
 
 # check is the tier-1 gate: everything CI runs.
 check: vet staticcheck build test race
@@ -46,3 +46,12 @@ bench-throughput:
 
 examples:
 	$(GO) build ./examples/...
+
+# fuzz exercises every config-loader fuzz target for FUZZTIME each. CI runs
+# this as a short smoke; leave a target running longer locally with e.g.
+#   make fuzz FUZZTIME=5m
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/config -run xxx -fuzz FuzzMachines -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/config -run xxx -fuzz FuzzFaults -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/config -run xxx -fuzz FuzzControl -fuzztime $(FUZZTIME)

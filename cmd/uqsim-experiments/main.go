@@ -8,6 +8,11 @@
 //	uqsim-experiments fig8 table3
 //	uqsim-experiments -scale 0.2 all
 //	uqsim-experiments -csv -out results/ all
+//	uqsim-experiments -max-wall 10m all
+//
+// SIGINT/SIGTERM and the -max-wall watchdog stop the current simulation
+// cleanly: whatever the interrupted experiment produced is still printed
+// and written (marked partial), and the process exits nonzero.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"uqsim/internal/cli"
 	"uqsim/internal/experiments"
 )
 
@@ -26,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	out := flag.String("out", "", "also write one CSV file per experiment into this directory")
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, flush partial results, exit nonzero")
 	flag.Parse()
 
 	if *list {
@@ -42,13 +49,24 @@ func main() {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.Names()
 	}
+	wd := cli.StartWatchdog(*maxWall)
 	opts := experiments.Opts{Seed: *seed, Scale: *scale}
 	for _, id := range ids {
 		start := time.Now()
 		t, err := experiments.Run(id, opts)
 		if err != nil {
+			// An interrupted simulation can surface as an experiment error
+			// (e.g. an invariant over a half-run window); flush what ran
+			// and report the interruption rather than the symptom.
+			if wd.Interrupted() {
+				fmt.Fprintf(os.Stderr, "uqsim-experiments: interrupted (%s) during %s\n", wd.Reason(), id)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "uqsim-experiments: %s: %v\n", id, err)
 			os.Exit(1)
+		}
+		if wd.Interrupted() {
+			t.Note = appendNote(t.Note, "PARTIAL: "+wd.Reason())
 		}
 		if *csv {
 			fmt.Print(t.CSV())
@@ -58,15 +76,45 @@ func main() {
 			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 		if *out != "" {
-			if err := os.MkdirAll(*out, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "uqsim-experiments:", err)
-				os.Exit(1)
-			}
-			path := filepath.Join(*out, id+".csv")
-			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			if err := writeCSV(*out, id, t.CSV()); err != nil {
 				fmt.Fprintln(os.Stderr, "uqsim-experiments:", err)
 				os.Exit(1)
 			}
 		}
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "uqsim-experiments: interrupted (%s); %s is partial, later experiments skipped\n",
+				wd.Reason(), id)
+			os.Exit(1)
+		}
 	}
+}
+
+// writeCSV writes one experiment's CSV atomically: a temp file in the
+// target directory renamed into place, so a kill mid-write never leaves a
+// truncated results file.
+func writeCSV(dir, id, data string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, id+".csv.tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, id+".csv"))
+}
+
+func appendNote(note, extra string) string {
+	if note == "" {
+		return extra
+	}
+	return note + "; " + extra
 }

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	uqsim -config configs/twotier [-qps 30000] [-duration 2s] [-csv] [-faults faults.json]
+//	uqsim -config configs/twotier [-qps 30000] [-duration 2s] [-csv] [-faults faults.json] [-max-wall 30s]
+//
+// SIGINT/SIGTERM and the -max-wall watchdog stop the simulation cleanly:
+// the partial report up to the stopped virtual clock is still printed and
+// the process exits nonzero.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"uqsim/internal/cli"
 	"uqsim/internal/config"
 	"uqsim/internal/des"
 	"uqsim/internal/experiments"
@@ -27,6 +32,7 @@ func main() {
 	warmup := flag.Duration("warmup", 0, "override the warmup window (virtual time)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	faults := flag.String("faults", "", "faults.json with resilience policies and a fault plan (overrides <config>/faults.json)")
+	maxWall := flag.Duration("max-wall", 0, "stop the run after this much wall-clock time, flush partial results, exit nonzero")
 	flag.Parse()
 
 	if *cfgDir == "" {
@@ -34,8 +40,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	wd := cli.StartWatchdog(*maxWall)
 	if err := run(*cfgDir, *faults, *qps, *warmup, *duration, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "uqsim:", err)
+		os.Exit(1)
+	}
+	if wd.Interrupted() {
+		fmt.Fprintf(os.Stderr, "uqsim: interrupted (%s); results above are partial\n", wd.Reason())
 		os.Exit(1)
 	}
 }

@@ -46,7 +46,12 @@ func ApplyControl(s *sim.Sim, data []byte) (*control.Plane, error) {
 		return nil
 	}
 
-	cfg := control.Config{Services: cf.Services}
+	cfg := control.Config{Services: cf.Services, Vantage: cf.Vantage}
+	if cf.Vantage != "" {
+		if _, ok := s.Cluster().Machine(cf.Vantage); !ok {
+			return nil, unknownName("control.json", "vantage", "machine", cf.Vantage, machines)
+		}
+	}
 	for i, name := range cf.Services {
 		if !knownService(name) {
 			return nil, unknownName("control.json", fmt.Sprintf("services[%d]", i), "service", name, deployed)

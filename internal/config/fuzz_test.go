@@ -1,0 +1,79 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzBaseDocs loads the shipped two-tier documents once; fuzz targets
+// mutate one document at a time against this known-good base.
+func fuzzBaseDocs(f *testing.F) (machines, svc, graph, path, client []byte) {
+	f.Helper()
+	dir := filepath.Join("..", "..", "configs", "twotier")
+	read := func(name string) []byte {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	return read("machines.json"), read("service.json"), read("graph.json"),
+		read("path.json"), read("client.json")
+}
+
+// FuzzMachines feeds arbitrary bytes through the machines.json decoder and
+// the full assembly path. Assembly may reject the document, but it must
+// never panic.
+func FuzzMachines(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add(mach)
+	for _, name := range []string{"machines.json"} {
+		if b, err := os.ReadFile(filepath.Join("..", "..", "configs", "threetier", name)); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"machines":[{"name":"a","cores":2},{"name":"b","cores":2}],
+		"topology":{"domains":[{"name":"rack0","machines":["a","b"]}]}}`))
+	f.Add([]byte(`{"machines":[{"name":"a","cores":2,"pools":[{"name":"p","capacity":4}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Assemble(data, svc, graph, path, client)
+	})
+}
+
+// FuzzFaults feeds arbitrary bytes through the faults.json decoder,
+// including the network partition/link sections, against the shipped base
+// documents. Installation may reject the plan, but it must never panic.
+func FuzzFaults(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add([]byte(`{"events":[{"at_s":0.1,"kind":"crash_machine","machine":"frontend"},
+		{"at_s":0.2,"kind":"recover_machine","machine":"frontend"}]}`))
+	f.Add([]byte(`{"events":[{"at_s":0.1,"kind":"crash_domain","domain":"rack0","stagger_ms":5}]}`))
+	f.Add([]byte(`{"network":{
+		"partitions":[{"at_s":0.1,"until_s":0.3,"group_a":["frontend"],"group_b":["cache"],"one_way":true}],
+		"links":[{"at_s":0,"until_s":0.5,"src":"frontend","dst":"cache","drop":0.1,"dup":0.05}]}}`))
+	f.Add([]byte(`{"policies":[{"service":"nginx","timeout_ms":10,"max_retries":2,
+		"breaker":{"error_threshold":0.5,"window":16,"cooldown_ms":50}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Assemble(mach, svc, graph, path, client, data)
+	})
+}
+
+// FuzzControl feeds arbitrary bytes through the control.json decoder and
+// plane attachment on a freshly assembled simulation. Attachment may
+// reject the document, but it must never panic.
+func FuzzControl(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add([]byte(`{"services":["nginx"],"detector":{"period_ms":10},"failover":{"restart_delay_ms":50}}`))
+	f.Add([]byte(`{"vantage":"frontend","detector":{"period_ms":5,"phi_threshold":8}}`))
+	f.Add([]byte(`{"autoscale":[{"service":"nginx","min":1,"max":3,"target_utilization":0.6,"interval_ms":50}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		setup, err := Assemble(mach, svc, graph, path, client)
+		if err != nil {
+			t.Fatalf("base documents stopped assembling: %v", err)
+		}
+		if plane, err := ApplyControl(setup.Sim, data); err == nil && plane != nil {
+			plane.Stop()
+		}
+	})
+}

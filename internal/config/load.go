@@ -14,6 +14,7 @@ import (
 	"uqsim/internal/dist"
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
+	"uqsim/internal/netfault"
 	"uqsim/internal/pdes"
 	"uqsim/internal/queueing"
 	"uqsim/internal/service"
@@ -179,7 +180,15 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	if len(mf.Machines) == 0 {
 		return nil, fmt.Errorf("config: machines.json declares no machines")
 	}
+	seen := make(map[string]bool, len(mf.Machines))
 	for _, ms := range mf.Machines {
+		if ms.Name == "" {
+			return nil, fmt.Errorf("config: machines.json: machine without a name")
+		}
+		if seen[ms.Name] {
+			return nil, fmt.Errorf("config: machines.json: duplicate machine %q", ms.Name)
+		}
+		seen[ms.Name] = true
 		freq := cluster.FreqSpec{}
 		if ms.Freq != nil {
 			freq = cluster.FreqSpec{MinMHz: ms.Freq.MinMHz, MaxMHz: ms.Freq.MaxMHz, StepMHz: ms.Freq.StepMHz}
@@ -193,6 +202,26 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 				return nil, fmt.Errorf("config: machine %q pool %q needs positive capacity", ms.Name, p.Name)
 			}
 			m.AddPool(p.Name, p.Capacity)
+		}
+	}
+
+	// Failure domains (after machines so membership is checkable).
+	if mf.Topology != nil {
+		machineNames := make([]string, 0, len(mf.Machines))
+		for _, ms := range mf.Machines {
+			machineNames = append(machineNames, ms.Name)
+		}
+		domains := make([]netfault.Domain, 0, len(mf.Topology.Domains))
+		for i, d := range mf.Topology.Domains {
+			for j, name := range d.Machines {
+				if !seen[name] {
+					return nil, unknownName("machines.json", fmt.Sprintf("topology.domains[%d].machines[%d]", i, j), "machine", name, machineNames)
+				}
+			}
+			domains = append(domains, netfault.Domain{Name: d.Name, Machines: d.Machines})
+		}
+		if err := s.SetDomains(domains); err != nil {
+			return nil, fmt.Errorf("config: machines.json topology: %w", err)
 		}
 	}
 
@@ -392,6 +421,8 @@ func buildEngine(es *EngineSpec) (des.Runner, error) {
 var faultKinds = map[string]fault.Kind{
 	"crash_machine":    fault.CrashMachine,
 	"recover_machine":  fault.RecoverMachine,
+	"crash_domain":     fault.CrashDomain,
+	"recover_domain":   fault.RecoverDomain,
 	"kill_instance":    fault.KillInstance,
 	"restart_instance": fault.RestartInstance,
 	"degrade_freq":     fault.DegradeFreq,
@@ -491,7 +522,8 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 			return fmt.Errorf("config: faults.json queues %d: %w", i, err)
 		}
 	}
-	if len(ff.Events) == 0 {
+	nf := ff.Network
+	if len(ff.Events) == 0 && (nf == nil || len(nf.Partitions)+len(nf.Links) == 0) {
 		return nil
 	}
 	var plan fault.Plan
@@ -516,7 +548,63 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 			FreqMHz:  es.FreqMHz,
 			Extra:    ms(es.ExtraMs),
 			Until:    des.FromSeconds(es.UntilS),
+			Domain:   es.Domain,
+			Stagger:  ms(es.StaggerMs),
 		})
+	}
+	if nf != nil {
+		var machines []string
+		for _, m := range s.Cluster().Machines() {
+			machines = append(machines, m.Name)
+		}
+		checkMachine := func(key, name string) error {
+			if _, ok := s.Cluster().Machine(name); !ok {
+				return unknownName("faults.json", key, "machine", name, machines)
+			}
+			return nil
+		}
+		for i, ps := range nf.Partitions {
+			for _, group := range []struct {
+				key   string
+				names []string
+			}{{"group_a", ps.GroupA}, {"group_b", ps.GroupB}} {
+				for j, name := range group.names {
+					key := fmt.Sprintf("network.partitions[%d].%s[%d]", i, group.key, j)
+					if err := checkMachine(key, name); err != nil {
+						return err
+					}
+				}
+			}
+			plan.Events = append(plan.Events, fault.Event{
+				At:     des.FromSeconds(ps.AtS),
+				Kind:   fault.PartitionStart,
+				GroupA: ps.GroupA,
+				GroupB: ps.GroupB,
+				OneWay: ps.OneWay,
+				Until:  des.FromSeconds(ps.UntilS),
+			})
+		}
+		for i, ls := range nf.Links {
+			if ls.Src != "" {
+				if err := checkMachine(fmt.Sprintf("network.links[%d].src", i), ls.Src); err != nil {
+					return err
+				}
+			}
+			if ls.Dst != "" {
+				if err := checkMachine(fmt.Sprintf("network.links[%d].dst", i), ls.Dst); err != nil {
+					return err
+				}
+			}
+			plan.Events = append(plan.Events, fault.Event{
+				At:    des.FromSeconds(ls.AtS),
+				Kind:  fault.SetLink,
+				Src:   ls.Src,
+				Dst:   ls.Dst,
+				Drop:  ls.Drop,
+				Dup:   ls.Dup,
+				Until: des.FromSeconds(ls.UntilS),
+			})
+		}
 	}
 	if err := s.InstallFaults(plan); err != nil {
 		return fmt.Errorf("config: faults.json: %w", err)

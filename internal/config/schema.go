@@ -22,6 +22,22 @@ type MachinesFile struct {
 	Network *NetworkSpec `json:"network,omitempty"`
 	// Engine optionally selects the simulation engine backend.
 	Engine *EngineSpec `json:"engine,omitempty"`
+	// Topology optionally groups machines into failure domains (racks,
+	// power zones) for correlated fault injection.
+	Topology *TopologySpec `json:"topology,omitempty"`
+}
+
+// TopologySpec declares the cluster's failure domains.
+type TopologySpec struct {
+	Domains []DomainSpec `json:"domains"`
+}
+
+// DomainSpec is one named failure domain: a set of machines that share
+// fate under crash_domain / recover_domain fault events. Domains may
+// overlap (a machine can sit in both a rack and a power zone).
+type DomainSpec struct {
+	Name     string   `json:"name"`
+	Machines []string `json:"machines"`
 }
 
 // EngineSpec configures the event engine the assembled simulation runs
@@ -202,6 +218,39 @@ type FaultsFile struct {
 	Shedding []ShedSpec       `json:"shedding,omitempty"`
 	Queues   []QueueSpec      `json:"queues,omitempty"`
 	Events   []FaultEventSpec `json:"events,omitempty"`
+	// Network schedules network-level faults: partitions and gray links.
+	Network *NetFaultSpec `json:"network,omitempty"`
+}
+
+// NetFaultSpec is the faults.json network section: time-varying
+// partitions in the per-machine-pair reachability matrix plus lossy
+// (gray) links on cross-machine RPC edges.
+type NetFaultSpec struct {
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
+	Links      []LinkSpec      `json:"links,omitempty"`
+}
+
+// PartitionSpec cuts reachability between two machine groups from at_s
+// until until_s (0: never heals). One-way partitions cut only group_a →
+// group_b traffic, modelling asymmetric routing failures.
+type PartitionSpec struct {
+	AtS    float64  `json:"at_s"`
+	UntilS float64  `json:"until_s,omitempty"`
+	GroupA []string `json:"group_a"`
+	GroupB []string `json:"group_b"`
+	OneWay bool     `json:"one_way,omitempty"`
+}
+
+// LinkSpec degrades one directed machine pair (or, with src and dst both
+// empty, every cross-machine pair) with probabilistic message drop and
+// duplication from at_s until until_s (0: permanent).
+type LinkSpec struct {
+	AtS    float64 `json:"at_s"`
+	UntilS float64 `json:"until_s,omitempty"`
+	Src    string  `json:"src,omitempty"`
+	Dst    string  `json:"dst,omitempty"`
+	Drop   float64 `json:"drop,omitempty"`
+	Dup    float64 `json:"dup,omitempty"`
 }
 
 // EdgePolicySpec guards RPC edges with timeouts, backoff retries, and
@@ -258,8 +307,8 @@ type QueueSpec struct {
 }
 
 // FaultEventSpec schedules one fault action. Kind is one of crash_machine,
-// recover_machine, kill_instance, restart_instance, degrade_freq,
-// edge_latency.
+// recover_machine, crash_domain, recover_domain, kill_instance,
+// restart_instance, degrade_freq, edge_latency.
 type FaultEventSpec struct {
 	AtS     float64 `json:"at_s"`
 	Kind    string  `json:"kind"`
@@ -270,6 +319,11 @@ type FaultEventSpec struct {
 	FreqMHz  float64 `json:"freq_mhz,omitempty"`
 	ExtraMs  float64 `json:"extra_ms,omitempty"`
 	UntilS   float64 `json:"until_s,omitempty"`
+	// Domain names a machines.json topology domain for crash_domain /
+	// recover_domain; StaggerMs spaces the per-machine events within the
+	// burst.
+	Domain    string  `json:"domain,omitempty"`
+	StaggerMs float64 `json:"stagger_ms,omitempty"`
 }
 
 // ControlFile is the optional control.json schema: the self-healing
@@ -282,6 +336,9 @@ type ControlFile struct {
 	Ejection  *EjectionSpec   `json:"ejection,omitempty"`
 	Failover  *FailoverSpec   `json:"failover,omitempty"`
 	Autoscale []AutoscaleSpec `json:"autoscale,omitempty"`
+	// Vantage names the machine the plane observes from: heartbeats from
+	// machines partitioned away from it go unheard. Empty: omniscient.
+	Vantage string `json:"vantage,omitempty"`
 }
 
 // HeartbeatSpec tunes the phi-accrual failure detector.

@@ -58,6 +58,14 @@ func (p *Plane) evaluateScale(now des.Time, md *managedDeployment) {
 	if current == 0 {
 		return // nothing observable; failover's job, not the scaler's
 	}
+	if p.partitionBlind(md) {
+		// A live replica is unreachable from the vantage: its load is
+		// invisible, so any decision would be made against a partial
+		// view — and a scale-up would double-place capacity that is
+		// still serving behind the partition. Freeze until it heals.
+		p.stats.ScaleFrozen++
+		return
+	}
 
 	var observed, target float64
 	if ac.TargetUtilization > 0 {

@@ -203,6 +203,14 @@ type Config struct {
 	Ejection  *EjectionConfig
 	Failover  *FailoverConfig
 	Autoscale []AutoscaleConfig
+	// Vantage names the machine the plane observes the cluster from.
+	// With the network fault model active, heartbeats from machines
+	// unreachable toward the vantage are lost — live instances behind a
+	// partition are falsely suspected — and the plane neither places
+	// replicas on machines it cannot reach nor autoscales a deployment
+	// it only partially sees. Empty: an omniscient plane (prior
+	// behaviour, and the right model when no partitions are injected).
+	Vantage string
 }
 
 // Stats counts control-plane actions; it extends the determinism
@@ -229,6 +237,10 @@ type Stats struct {
 	ScaleUps     uint64
 	ScaleDowns   uint64
 	ScaleBlocked uint64
+	// ScaleFrozen counts autoscaler decisions skipped because a live
+	// instance was unreachable from the vantage: scaling on a partial
+	// view would double-place capacity that is still serving.
+	ScaleFrozen uint64
 }
 
 // MeanDetectionLag reports the average gap between an instance dying and
@@ -243,9 +255,9 @@ func (st *Stats) MeanDetectionLag() des.Time {
 // Fingerprint flattens the counters into a comparable string for
 // determinism tests.
 func (st *Stats) Fingerprint() string {
-	return fmt.Sprintf("det=%d rec=%d lag=%d fo=%d stall=%d ej=%d rein=%d up=%d down=%d blocked=%d",
+	return fmt.Sprintf("det=%d rec=%d lag=%d fo=%d stall=%d ej=%d rein=%d up=%d down=%d blocked=%d frozen=%d",
 		st.Detections, st.Recoveries, st.DetectionLagTotal, st.Failovers, st.FailoverStalls,
-		st.Ejections, st.Reinstatements, st.ScaleUps, st.ScaleDowns, st.ScaleBlocked)
+		st.Ejections, st.Reinstatements, st.ScaleUps, st.ScaleDowns, st.ScaleBlocked, st.ScaleFrozen)
 }
 
 // Plane is one attached control plane.
@@ -281,6 +293,10 @@ type instanceTrack struct {
 	m2       float64
 	dead     bool
 	replaced bool // a failover replica superseded this instance
+	// suspectEject marks an instance the detector pulled from the
+	// rotation while it was alive but silent (partitioned from the
+	// vantage); resumed beats reinstate it.
+	suspectEject bool
 
 	// Ejection window, reset every evaluation interval.
 	succ uint64
@@ -328,6 +344,11 @@ func Attach(s *sim.Sim, cfg Config) (*Plane, error) {
 			}
 		}
 		cfg.Failover = f
+	}
+	if cfg.Vantage != "" {
+		if _, ok := s.Cluster().Machine(cfg.Vantage); !ok {
+			return nil, fmt.Errorf("control: vantage references unknown machine %q", cfg.Vantage)
+		}
 	}
 
 	p := &Plane{s: s, eng: s.Engine(), cfg: cfg, byInstance: make(map[string]*instanceTrack)}
@@ -494,7 +515,7 @@ func (p *Plane) placeReplica(allowed []string, cores int, exclude string) (strin
 			return
 		}
 		m, ok := p.s.Cluster().Machine(name)
-		if !ok || m.FreeCores() < cores || p.machineSuspect(name) {
+		if !ok || m.FreeCores() < cores || p.machineSuspect(name) || !p.vantageReaches(name) {
 			return
 		}
 		if m.FreeCores() > bestFree {
@@ -532,6 +553,48 @@ func (p *Plane) machineSuspect(machine string) bool {
 		}
 	}
 	return seen
+}
+
+// vantageReaches reports whether the plane can currently reach machine
+// from its vantage — replicas are never placed through an open
+// partition. Omniscient planes (no vantage) reach everything.
+func (p *Plane) vantageReaches(machine string) bool {
+	if p.cfg.Vantage == "" || machine == p.cfg.Vantage {
+		return true
+	}
+	return p.s.Reachable(p.cfg.Vantage, machine)
+}
+
+// beatVisible reports whether tr's heartbeat currently reaches the
+// plane's vantage: a partition between the instance's machine and the
+// vantage silences a live instance — the false-suspicion case the
+// phi-accrual detector must weather.
+func (p *Plane) beatVisible(tr *instanceTrack) bool {
+	if p.cfg.Vantage == "" {
+		return true
+	}
+	m := tr.in.Alloc.Machine.Name
+	if m == p.cfg.Vantage {
+		return true
+	}
+	return p.s.Reachable(m, p.cfg.Vantage)
+}
+
+// partitionBlind reports whether the plane's view of md is currently
+// missing a live instance (up, but unreachable from the vantage).
+func (p *Plane) partitionBlind(md *managedDeployment) bool {
+	if p.cfg.Vantage == "" {
+		return false
+	}
+	for _, tr := range md.tracks {
+		if tr.replaced || md.dep.Retired(tr.in) || tr.in.Down() {
+			continue
+		}
+		if !p.beatVisible(tr) {
+			return true
+		}
+	}
+	return false
 }
 
 // ceilFrac is ceil(f·n) clamped to ≥ 1.

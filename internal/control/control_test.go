@@ -498,3 +498,66 @@ func TestControlPlaneDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionFalseSuspicion is the vantage regression: an instance that
+// is alive and serving but unreachable from the plane's vantage machine is
+// suspected and pulled from rotation, is NOT failed over (it is not down,
+// so replacing it would double-place the service), and is reinstated once
+// the partition heals and its heartbeats resume.
+func TestPartitionFalseSuspicion(t *testing.T) {
+	s := singleService(t, 11, sim.RoundRobin, 200, 2000, cluster.FreqSpec{},
+		sim.Placement{Machine: "m1", Cores: 2},
+		sim.Placement{Machine: "m2", Cores: 2})
+	s.AddMachine("m0", 2, cluster.FreqSpec{}) // the plane's vantage
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{{
+		At: 300 * des.Millisecond, Kind: fault.PartitionStart, Until: 600 * des.Millisecond,
+		GroupA: []string{"m0"}, GroupB: []string{"m1"},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := Attach(s, Config{
+		Vantage:  "m0",
+		Detector: &DetectorConfig{Period: 10 * des.Millisecond},
+		Failover: &FailoverConfig{RestartDelay: 50 * des.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, _ := s.Deployment("s")
+	var healthyDuring int
+	s.Engine().At(500*des.Millisecond, func(des.Time) { healthyDuring = len(dep.Healthy()) })
+	rep, err := s.Run(0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plane.Stats()
+	plane.Stop()
+	if st.Detections == 0 {
+		t.Fatalf("partition-silenced instance never suspected: %s", st.Fingerprint())
+	}
+	if st.Failovers != 0 {
+		t.Fatalf("live-but-unreachable instance was failed over (double-place): %s", st.Fingerprint())
+	}
+	if st.Recoveries == 0 {
+		t.Fatalf("resumed heartbeats never withdrew the suspicion: %s", st.Fingerprint())
+	}
+	if healthyDuring != 1 {
+		t.Fatalf("healthy replicas during partition = %d, want 1 (suspect ejected)", healthyDuring)
+	}
+	if n := len(dep.Healthy()); n != 2 {
+		t.Fatalf("healthy replicas after heal = %d, want 2 (suspect reinstated)", n)
+	}
+	if n := dep.ReplicaCount(); n != 2 {
+		t.Fatalf("replica count = %d, want 2 (no replacement placed)", n)
+	}
+	if l := leaked(rep); l != 0 {
+		t.Fatalf("leaked %d requests", l)
+	}
+	// The instance served traffic the whole time: the partition cut only
+	// the control plane's view, not the client's data path.
+	for _, ir := range rep.Instances {
+		if ir.Completed == 0 {
+			t.Fatalf("instance %s completed nothing", ir.Name)
+		}
+	}
+}

@@ -29,7 +29,11 @@ func (p *Plane) scheduleBeat(tr *instanceTrack) {
 		if p.stopped || tr.replaced || tr.md.dep.Retired(tr.in) {
 			return // emitter dies with its instance's tenure
 		}
-		if !tr.in.Down() {
+		// A beat is only heard when the instance is up AND its machine
+		// can reach the plane's vantage: a partition silences a live
+		// instance exactly like a crash does, which is the whole
+		// ambiguity failure detection lives with.
+		if !tr.in.Down() && p.beatVisible(tr) {
 			p.recordBeat(now, tr)
 		}
 		p.scheduleBeat(tr)
@@ -43,6 +47,12 @@ func (p *Plane) recordBeat(now des.Time, tr *instanceTrack) {
 	if tr.dead {
 		tr.dead = false
 		p.stats.Recoveries++
+		if tr.suspectEject {
+			// The instance was alive all along (partitioned, not
+			// crashed): resumed beats put it straight back in rotation.
+			tr.suspectEject = false
+			tr.md.dep.Reinstate(tr.in)
+		}
 	}
 	if iv := now - tr.lastBeat; iv > 0 {
 		tr.beats++
@@ -105,6 +115,12 @@ func (p *Plane) declareDead(now des.Time, tr *instanceTrack) {
 	p.stats.Detections++
 	if tr.in.Down() {
 		p.stats.DetectionLagTotal += now - tr.in.DownSince()
+	} else if tr.md.dep.Eject(tr.in) {
+		// Alive but silent — from the vantage it is indistinguishable
+		// from dead, so it leaves the rotation. Unlike a failover it is
+		// not replaced (the Down() guard there holds the double-place
+		// back); resumed beats reinstate it.
+		tr.suspectEject = true
 	}
 	if p.cfg.Failover != nil {
 		p.eng.After(p.cfg.Failover.RestartDelay, func(t des.Time) { p.failover(t, tr) })

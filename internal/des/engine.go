@@ -1,6 +1,9 @@
 package des
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Callback is the body of a scheduled event. It receives the virtual time at
 // which the event fires (always equal to Engine.Now at that instant).
@@ -62,9 +65,12 @@ func (h *eventHeap) Pop() any {
 // not usable; construct with New. Engines are not safe for concurrent use:
 // all scheduling must happen from event callbacks or before Run.
 type Engine struct {
-	now       Time
-	q         EventQueue
-	stopped   bool
+	now Time
+	q   EventQueue
+	// stopped is atomic so an external watchdog (signal handler, wall-clock
+	// guard) may call Stop while Run spins on another goroutine. Everything
+	// else on the engine remains single-threaded.
+	stopped   atomic.Bool
 	processed uint64
 	canceled  uint64
 }
@@ -131,7 +137,7 @@ func (e *Engine) Cancel(ev *Event) {
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty or the engine has been stopped.
 func (e *Engine) Step() bool {
-	if e.stopped {
+	if e.stopped.Load() {
 		return false
 	}
 	ev := e.q.Pop()
@@ -155,14 +161,14 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps ≤ deadline, then advances the clock
 // to the deadline. Events scheduled beyond the deadline remain pending.
 func (e *Engine) RunUntil(deadline Time) {
-	for !e.stopped {
+	for !e.stopped.Load() {
 		next, ok := e.q.Peek()
 		if !ok || next > deadline {
 			break
 		}
 		e.Step()
 	}
-	if e.now < deadline && !e.stopped {
+	if e.now < deadline && !e.stopped.Load() {
 		e.now = deadline
 	}
 }
@@ -172,10 +178,10 @@ func (e *Engine) NextEventTime() (Time, bool) { return e.q.Peek() }
 
 // Stop halts Run/RunUntil after the current event completes. Further Step
 // calls report false until Resume.
-func (e *Engine) Stop() { e.stopped = true }
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // Resume clears a Stop so the engine can run again.
-func (e *Engine) Resume() { e.stopped = false }
+func (e *Engine) Resume() { e.stopped.Store(false) }
 
 // Stopped reports whether the engine is currently stopped.
-func (e *Engine) Stopped() bool { return e.stopped }
+func (e *Engine) Stopped() bool { return e.stopped.Load() }

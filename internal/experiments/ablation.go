@@ -98,6 +98,9 @@ func AblationNoBlocking(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkConservation(rep); err != nil {
+			return nil, err
+		}
 		t.Add(c.label,
 			fmt.Sprintf("%d", overload),
 			fmt.Sprintf("%.3f", rep.Latency.P99().Millis()),
@@ -127,6 +130,9 @@ func AblationLBPolicies(o Opts) (*Table, error) {
 		dep.LB = c.policy
 		rep, err := s.Run(w, d)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkConservation(rep); err != nil {
 			return nil, err
 		}
 		t.Add(c.label,

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"uqsim/internal/sim"
+	"uqsim/internal/validate"
+)
+
+// leaked is the conservation residue of a run report: nonzero means
+// requests vanished from the accounting (arrivals != completions +
+// timeouts + deadline + shed + dropped + unreachable + in-flight).
+// It delegates to the shared validate helper so every experiment and
+// test asserts the same identity.
+func leaked(rep *sim.Report) int64 { return validate.Leaked(rep) }
+
+// checkConservation asserts the extended conservation identity on a run
+// report. Every experiment calls it on every report it produces, so a
+// leak anywhere fails the whole experiment loudly instead of printing a
+// quietly wrong table.
+func checkConservation(rep *sim.Report) error { return validate.Conservation(rep) }

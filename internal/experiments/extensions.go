@@ -47,6 +47,9 @@ func ExtTimeouts(o Opts) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := checkConservation(rep); err != nil {
+				return nil, err
+			}
 			rate := 0.0
 			attempts := rep.Completions + rep.Timeouts
 			if attempts > 0 {
@@ -89,6 +92,9 @@ func ExtEmergentCache(o Opts) (*Table, error) {
 		}
 		rep, err := s.Run(w, d)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkConservation(rep); err != nil {
 			return nil, err
 		}
 		mongoShare := 0.0

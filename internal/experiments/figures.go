@@ -157,6 +157,9 @@ func Fig14TailAtScale(o Opts) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := checkConservation(rep); err != nil {
+				return nil, err
+			}
 			cdf := analytic.MixtureExpCDF(slow, 1, 10) // ms units
 			ref := analytic.FanoutQuantileOfMax(n, 0.99, 0, 1000, cdf)
 			t.Add(
@@ -214,6 +217,9 @@ func Fig13BigHouse(o Opts) (*Table, error) {
 			}
 			rep, err := s.Run(w, d)
 			if err != nil {
+				return nil, err
+			}
+			if err := checkConservation(rep); err != nil {
 				return nil, err
 			}
 			t.Add(c.label, "uqsim",

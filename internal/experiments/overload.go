@@ -115,6 +115,9 @@ func Overload(o Opts) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := checkConservation(rep); err != nil {
+				return nil, err
+			}
 			t.Add(c.label,
 				fmt.Sprintf("%.2f", loadX),
 				fmt.Sprintf("%.0f", qps),

@@ -46,7 +46,11 @@ func Fig15Diurnal(o Opts) (*Table, error) {
 			counts[i]++
 		}
 	}
-	if _, err := s.Run(0, total); err != nil {
+	rep, err := s.Run(0, total)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkConservation(rep); err != nil {
 		return nil, err
 	}
 	for i := 0; i < nBuckets; i++ {
@@ -89,7 +93,11 @@ func powerRun(o Opts, interval des.Time, dur des.Time) (*power.Manager, error) {
 	}
 	s.OnRequestDone = mgr.Observe
 	mgr.Start()
-	if _, err := s.Run(0, dur); err != nil {
+	rep, err := s.Run(0, dur)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkConservation(rep); err != nil {
 		return nil, err
 	}
 	return mgr, nil

@@ -13,7 +13,7 @@ import (
 func ReportTables(rep *sim.Report) []*Table {
 	sum := NewTable("Run summary",
 		"offered_qps", "goodput_qps", "completions", "timeouts", "deadline", "shed", "dropped",
-		"retries", "hedges", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "in_flight")
+		"unreachable", "retries", "hedges", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "in_flight")
 	sum.Add(
 		fmt.Sprintf("%.0f", rep.OfferedQPS),
 		fmt.Sprintf("%.0f", rep.GoodputQPS),
@@ -22,6 +22,7 @@ func ReportTables(rep *sim.Report) []*Table {
 		fmt.Sprintf("%d", rep.DeadlineExpired),
 		fmt.Sprintf("%d", rep.Shed),
 		fmt.Sprintf("%d", rep.Dropped),
+		fmt.Sprintf("%d", rep.Unreachable),
 		fmt.Sprintf("%d", rep.Retries),
 		fmt.Sprintf("%d", rep.HedgesIssued),
 		fmt.Sprintf("%.3f", rep.Latency.Mean().Millis()),

@@ -40,15 +40,6 @@ func resilienceScenario(seed uint64, qps float64, machines []string, perMachine 
 	return s, nil
 }
 
-// leaked is the conservation residue: nonzero means requests vanished from
-// the accounting (arrivals != completions + timeouts + deadline + shed +
-// dropped + in-flight).
-func leaked(rep *sim.Report) int64 {
-	return int64(rep.Arrivals) -
-		int64(rep.Completions+rep.Timeouts+rep.DeadlineExpired+rep.Shed+rep.Dropped) -
-		int64(rep.InFlight)
-}
-
 // Resilience demonstrates the fault-injection subsystem end to end:
 // (a) an instance outage under retrying callers — immediate retries storm
 // the surviving instance while exponential backoff lets it drain;
@@ -113,6 +104,9 @@ func Resilience(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkConservation(rep); err != nil {
+			return nil, err
+		}
 		addRow("a:instance-outage", c.label, rep)
 	}
 
@@ -151,6 +145,9 @@ func Resilience(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkConservation(rep); err != nil {
+			return nil, err
+		}
 		addRow("b:machine-crash", c.label, rep)
 	}
 
@@ -175,6 +172,9 @@ func Resilience(o Opts) (*Table, error) {
 		}
 		rep, err := s.Run(w, d)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkConservation(rep); err != nil {
 			return nil, err
 		}
 		addRow("c:2x-overload", c.label, rep)

@@ -45,6 +45,9 @@ func Scalability(o Opts) (*Table, error) {
 			return nil, err
 		}
 		wall := time.Since(start)
+		if err := checkConservation(rep); err != nil {
+			return nil, err
+		}
 		events := s.Engine().Processed()
 		t.Add(
 			fmt.Sprintf("%d", n), "sim", "1",

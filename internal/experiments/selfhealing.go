@@ -163,6 +163,9 @@ func SelfHealing(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, 0, nil, err
 		}
+		if err := checkConservation(rep); err != nil {
+			return nil, 0, nil, err
+		}
 		var st *control.Stats
 		if plane != nil {
 			st = plane.Stats()
@@ -209,6 +212,9 @@ func SelfHealing(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if err := checkConservation(rep); err != nil {
+			return nil, nil, err
+		}
 		var st *control.Stats
 		if plane != nil {
 			st = plane.Stats()
@@ -251,6 +257,9 @@ func SelfHealing(o Opts) (*Table, error) {
 		}
 		rep, err := s.Run(w, d)
 		if err != nil {
+			return nil, nil, err
+		}
+		if err := checkConservation(rep); err != nil {
 			return nil, nil, err
 		}
 		var st *control.Stats

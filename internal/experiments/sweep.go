@@ -80,6 +80,9 @@ func sweep(o Opts, build builder, loads []float64, warmup, duration des.Time) ([
 		if err != nil {
 			return nil, fmt.Errorf("experiments: running at %v QPS: %w", qps, err)
 		}
+		if err := checkConservation(rep); err != nil {
+			return nil, fmt.Errorf("experiments: at %v QPS: %w", qps, err)
+		}
 		out = append(out, point{OfferedQPS: qps, Rep: rep})
 	}
 	return out, nil
@@ -123,6 +126,9 @@ func saturation(o Opts, build builder, overload float64) (float64, error) {
 	}
 	rep, err := s.Run(w, d)
 	if err != nil {
+		return 0, err
+	}
+	if err := checkConservation(rep); err != nil {
 		return 0, err
 	}
 	return rep.GoodputQPS, nil

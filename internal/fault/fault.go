@@ -41,6 +41,23 @@ const (
 	// service between At and Until (a slow dependency, a packet-loss
 	// episode on one link).
 	EdgeLatency
+	// CrashDomain crashes every machine in a failure domain (a rack
+	// losing its switch, a power feed tripping), staggered by Stagger
+	// between machines in declaration order.
+	CrashDomain
+	// RecoverDomain restarts every machine in a failure domain with the
+	// same stagger.
+	RecoverDomain
+	// PartitionStart severs network reachability between GroupA and
+	// GroupB (both directions, or GroupA→GroupB only when OneWay) from At
+	// until Until; Until 0 keeps the partition open for the rest of the
+	// run.
+	PartitionStart
+	// SetLink installs a gray link on the directed Src→Dst machine pair
+	// (or as the all-pairs default when both are empty): each message
+	// crossing it is independently dropped with probability Drop and
+	// duplicated with probability Dup. Until clears the link.
+	SetLink
 )
 
 // String names the kind as it appears in faults.json.
@@ -58,6 +75,14 @@ func (k Kind) String() string {
 		return "degrade_freq"
 	case EdgeLatency:
 		return "edge_latency"
+	case CrashDomain:
+		return "crash_domain"
+	case RecoverDomain:
+		return "recover_domain"
+	case PartitionStart:
+		return "partition"
+	case SetLink:
+		return "set_link"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -81,9 +106,27 @@ type Event struct {
 	FreqMHz float64
 	// Extra is the added per-delivery latency (EdgeLatency).
 	Extra des.Time
-	// Until ends a windowed fault (EdgeLatency); 0 means it lasts until
-	// the end of the run.
+	// Until ends a windowed fault (EdgeLatency, PartitionStart, SetLink);
+	// 0 means it lasts until the end of the run.
 	Until des.Time
+	// Domain names the target failure domain (CrashDomain, RecoverDomain).
+	Domain string
+	// Stagger spaces the per-machine actions of a domain event; 0 crashes
+	// or recovers the whole domain at one instant.
+	Stagger des.Time
+	// GroupA and GroupB are the two sides of a partition (PartitionStart).
+	GroupA []string
+	GroupB []string
+	// OneWay restricts a partition to the GroupA→GroupB direction —
+	// an asymmetric cut (GroupB still hears GroupA's messages' targets).
+	OneWay bool
+	// Src and Dst name the directed machine pair of a gray link
+	// (SetLink); both empty installs the all-pairs default.
+	Src string
+	Dst string
+	// Drop and Dup are the gray link's per-message probabilities (SetLink).
+	Drop float64
+	Dup  float64
 }
 
 // Validate checks an event's internal consistency.
@@ -116,6 +159,39 @@ func (e Event) Validate() error {
 		}
 		if e.Extra <= 0 {
 			return fmt.Errorf("fault: %s needs positive extra latency", e.Kind)
+		}
+		if e.Until != 0 && e.Until <= e.At {
+			return fmt.Errorf("fault: %s until %v not after at %v", e.Kind, e.Until, e.At)
+		}
+	case CrashDomain, RecoverDomain:
+		if e.Domain == "" {
+			return fmt.Errorf("fault: %s needs a domain", e.Kind)
+		}
+		if e.Stagger < 0 {
+			return fmt.Errorf("fault: %s stagger %v negative", e.Kind, e.Stagger)
+		}
+	case PartitionStart:
+		if len(e.GroupA) == 0 || len(e.GroupB) == 0 {
+			return fmt.Errorf("fault: %s needs machines on both sides", e.Kind)
+		}
+		if e.Until != 0 && e.Until <= e.At {
+			return fmt.Errorf("fault: %s until %v not after at %v", e.Kind, e.Until, e.At)
+		}
+	case SetLink:
+		if (e.Src == "") != (e.Dst == "") {
+			return fmt.Errorf("fault: %s needs both src and dst (or neither, for the default link)", e.Kind)
+		}
+		if e.Src != "" && e.Src == e.Dst {
+			return fmt.Errorf("fault: %s src and dst are both %q", e.Kind, e.Src)
+		}
+		if e.Drop < 0 || e.Drop > 1 {
+			return fmt.Errorf("fault: %s drop %v outside [0,1]", e.Kind, e.Drop)
+		}
+		if e.Dup < 0 || e.Dup > 1 {
+			return fmt.Errorf("fault: %s dup %v outside [0,1]", e.Kind, e.Dup)
+		}
+		if e.Drop == 0 && e.Dup == 0 {
+			return fmt.Errorf("fault: %s with zero drop and dup does nothing", e.Kind)
 		}
 		if e.Until != 0 && e.Until <= e.At {
 			return fmt.Errorf("fault: %s until %v not after at %v", e.Kind, e.Until, e.At)

@@ -44,6 +44,10 @@ const (
 	// attempt won; queued canceled work is discarded at dequeue without
 	// consuming server time. Job-level only — requests never end Canceled.
 	OutcomeCanceled
+	// OutcomeUnreachable marks an attempt failed fast because the
+	// network fault model severed the machine pair (a partition) or a
+	// gray link dropped the message before delivery.
+	OutcomeUnreachable
 )
 
 // String names the outcome.
@@ -63,6 +67,8 @@ func (o Outcome) String() string {
 		return "deadline"
 	case OutcomeCanceled:
 		return "canceled"
+	case OutcomeUnreachable:
+		return "unreachable"
 	}
 	return "unknown"
 }

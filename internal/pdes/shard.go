@@ -54,6 +54,22 @@ type ShardedClusterConfig struct {
 	LPs int
 	// Workers is the engine's worker goroutine count (default 1).
 	Workers int
+	// Partitions cuts root↔leaf connectivity over time windows. While a
+	// leaf is cut the root fails new legs to it fast (LegsUnreachable)
+	// and responses the leaf produces are lost on the wire (LegsLost);
+	// either way the affected request resolves as a Failure.
+	Partitions []ShardPartition
+}
+
+// ShardPartition severs the root↔machine link of one leaf from From
+// until Until (0: never heals). Overlapping windows on the same leaf
+// stack. The cut crosses LPs the same way traffic does — the root's view
+// flips at From/Until and the leaf's view flips one wire latency later —
+// so the schedule stays deterministic at any worker count.
+type ShardPartition struct {
+	Machine int
+	From    des.Time
+	Until   des.Time
 }
 
 func (cfg *ShardedClusterConfig) applyDefaults() error {
@@ -84,6 +100,17 @@ func (cfg *ShardedClusterConfig) applyDefaults() error {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
+	for i, p := range cfg.Partitions {
+		if p.Machine < 0 || p.Machine >= cfg.Machines {
+			return fmt.Errorf("pdes: partition %d: machine %d out of range [0,%d)", i, p.Machine, cfg.Machines)
+		}
+		if p.From < 0 {
+			return fmt.Errorf("pdes: partition %d: negative start %v", i, p.From)
+		}
+		if p.Until != 0 && p.Until <= p.From {
+			return fmt.Errorf("pdes: partition %d: until %v not after from %v", i, p.Until, p.From)
+		}
+	}
 	return nil
 }
 
@@ -98,6 +125,9 @@ type shardMachine struct {
 	// pending maps the machine's in-flight job IDs to the root-side
 	// request they serve.
 	pending map[job.ID]uint64
+	// cut counts open partitions on this leaf's link as the leaf sees
+	// them; responses produced while cut > 0 are lost on the wire.
+	cut int
 }
 
 // openReq tracks one fanned-out request at the root until its last leg
@@ -105,6 +135,9 @@ type shardMachine struct {
 type openReq struct {
 	remaining int
 	start     des.Time
+	// failed marks a request that lost at least one leg to a partition;
+	// it resolves as a Failure, not a Completion.
+	failed bool
 }
 
 // ShardedCluster is an assembled sharded fan-out simulation.
@@ -117,14 +150,20 @@ type ShardedCluster struct {
 	gen      *workload.OpenLoop
 	rootRNG  *rng.Source
 	scratch  []int // permutation buffer for leaf sampling
+	// rootCut counts open partitions per leaf as the root sees them; new
+	// legs to a cut leaf fail fast.
+	rootCut []int
 
-	nextReq     uint64
-	open        map[uint64]*openReq
-	requests    uint64
-	completions uint64
-	legsIssued  uint64
-	legsDone    uint64
-	latency     *stats.LatencyHist
+	nextReq         uint64
+	open            map[uint64]*openReq
+	requests        uint64
+	completions     uint64
+	failures        uint64
+	legsIssued      uint64
+	legsDone        uint64
+	legsUnreachable uint64
+	legsLost        uint64
+	latency         *stats.LatencyHist
 }
 
 // NewShardedCluster builds the model: machines partitioned into cfg.LPs
@@ -176,14 +215,49 @@ func NewShardedCluster(cfg ShardedClusterConfig) (*ShardedCluster, error) {
 		inst.OnJobDone = func(now des.Time, j *job.Job) {
 			id := sm.pending[j.ID]
 			delete(sm.pending, j.ID)
-			sm.proc.Send(0, sc.cfg.WireLatency, func(t des.Time) { sc.legDone(t, id) })
+			// A response produced behind a cut is lost on the wire; the
+			// message to the root then models the root's failure
+			// detection, so the leg still resolves deterministically.
+			lost := sm.cut > 0
+			sm.proc.Send(0, sc.cfg.WireLatency, func(t des.Time) { sc.legDone(t, id, lost) })
 		}
 		sc.machines = append(sc.machines, sm)
 	}
+	sc.rootCut = make([]int, cfg.Machines)
+	sc.installPartitions()
 
 	sc.gen = workload.NewOpenLoop(sc.root, split.Stream("shard", "client"),
 		workload.ConstantRate(cfg.QPS), sc.onArrival)
 	return sc, nil
+}
+
+// installPartitions schedules each partition's open and heal toggles.
+// The root's view flips at From/Until on LP 0; the leaf's view flips via
+// a cross-LP message that travels like any other traffic — issued one
+// wire latency early so it lands on the leaf at exactly the same virtual
+// times, whatever the worker count.
+func (sc *ShardedCluster) installPartitions() {
+	for _, p := range sc.cfg.Partitions {
+		sm := sc.machines[p.Machine]
+		machine := p.Machine
+		sc.atRootAndLeaf(p.From, sm, func(des.Time) { sc.rootCut[machine]++ }, func(des.Time) { sm.cut++ })
+		if p.Until > 0 {
+			sc.atRootAndLeaf(p.Until, sm, func(des.Time) { sc.rootCut[machine]-- }, func(des.Time) { sm.cut-- })
+		}
+	}
+}
+
+// atRootAndLeaf fires rootFn on LP 0 and leafFn on the leaf's LP at the
+// same virtual time t. The leaf-side toggle crosses LPs as a message
+// when the wire latency fits before t, and is pre-seeded at setup when
+// it does not (the cut predates any message that could announce it).
+func (sc *ShardedCluster) atRootAndLeaf(t des.Time, sm *shardMachine, rootFn, leafFn des.Callback) {
+	sc.root.At(t, rootFn)
+	if wire := sc.cfg.WireLatency; t >= wire {
+		sc.root.At(t-wire, func(des.Time) { sc.root.Send(sm.proc.ID(), wire, leafFn) })
+	} else {
+		sm.proc.At(t, leafFn)
+	}
 }
 
 // Engine exposes the underlying parallel engine (for event counts and
@@ -206,8 +280,16 @@ func (sc *ShardedCluster) onArrival(now des.Time) {
 		// calls, so no reset is needed and sampling stays uniform.
 		j := i + sc.rootRNG.IntN(n-i)
 		sc.scratch[i], sc.scratch[j] = sc.scratch[j], sc.scratch[i]
-		sm := sc.machines[sc.scratch[i]]
+		leaf := sc.scratch[i]
+		sm := sc.machines[leaf]
 		sc.legsIssued++
+		if sc.rootCut[leaf] > 0 {
+			// The root's view says the leaf is unreachable: fail the leg
+			// fast instead of launching a message into the void.
+			sc.legsUnreachable++
+			sc.resolveLeg(now, id, false)
+			continue
+		}
 		sc.root.Send(sm.proc.ID(), sc.cfg.WireLatency, func(t des.Time) {
 			leg := sm.fac.NewJob(nil)
 			sm.pending[leg.ID] = id
@@ -216,18 +298,36 @@ func (sc *ShardedCluster) onArrival(now des.Time) {
 	}
 }
 
-// legDone runs on LP 0 when one leg's response arrives.
-func (sc *ShardedCluster) legDone(now des.Time, id uint64) {
-	sc.legsDone++
+// legDone runs on LP 0 when one leg's response (or its loss notice)
+// arrives.
+func (sc *ShardedCluster) legDone(now des.Time, id uint64, lost bool) {
+	if lost {
+		sc.legsLost++
+	} else {
+		sc.legsDone++
+	}
+	sc.resolveLeg(now, id, !lost)
+}
+
+// resolveLeg retires one leg of an open request; the last leg settles
+// the request as a completion or, if any leg failed, a failure.
+func (sc *ShardedCluster) resolveLeg(now des.Time, id uint64, ok bool) {
 	req := sc.open[id]
 	if req == nil {
 		panic(fmt.Sprintf("pdes: response for unknown request %d", id))
 	}
+	if !ok {
+		req.failed = true
+	}
 	req.remaining--
 	if req.remaining == 0 {
 		delete(sc.open, id)
-		sc.completions++
-		sc.latency.Record(now - req.start)
+		if req.failed {
+			sc.failures++
+		} else {
+			sc.completions++
+			sc.latency.Record(now - req.start)
+		}
 	}
 }
 
@@ -251,30 +351,40 @@ type MachineStats struct {
 }
 
 // ShardReport summarises a sharded run. Leaked must be zero after every
-// drain; the conservation identity is Requests == Completions + len(open)
-// and LegsIssued == LegsDone.
+// drain; the conservation identities are Requests == Completions +
+// Failures + len(open) and LegsIssued == LegsDone + LegsUnreachable +
+// LegsLost.
 type ShardReport struct {
 	Requests    uint64
 	Completions uint64
-	LegsIssued  uint64
-	LegsDone    uint64
-	Leaked      uint64
-	Events      uint64
-	Windows     uint64
-	Latency     *stats.LatencyHist
-	PerMachine  []MachineStats
+	// Failures are requests that lost at least one leg to a partition.
+	Failures   uint64
+	LegsIssued uint64
+	LegsDone   uint64
+	// LegsUnreachable failed fast at the root against a cut leaf;
+	// LegsLost reached a leaf whose response was then lost in the cut.
+	LegsUnreachable uint64
+	LegsLost        uint64
+	Leaked          uint64
+	Events          uint64
+	Windows         uint64
+	Latency         *stats.LatencyHist
+	PerMachine      []MachineStats
 }
 
 func (sc *ShardedCluster) report() *ShardReport {
 	r := &ShardReport{
-		Requests:    sc.requests,
-		Completions: sc.completions,
-		LegsIssued:  sc.legsIssued,
-		LegsDone:    sc.legsDone,
-		Leaked:      uint64(len(sc.open)) + sc.legsIssued - sc.legsDone,
-		Events:      sc.eng.Processed(),
-		Windows:     sc.eng.Windows(),
-		Latency:     sc.latency,
+		Requests:        sc.requests,
+		Completions:     sc.completions,
+		Failures:        sc.failures,
+		LegsIssued:      sc.legsIssued,
+		LegsDone:        sc.legsDone,
+		LegsUnreachable: sc.legsUnreachable,
+		LegsLost:        sc.legsLost,
+		Leaked:          uint64(len(sc.open)) + sc.legsIssued - sc.legsDone - sc.legsUnreachable - sc.legsLost,
+		Events:          sc.eng.Processed(),
+		Windows:         sc.eng.Windows(),
+		Latency:         sc.latency,
 	}
 	for _, sm := range sc.machines {
 		r.PerMachine = append(r.PerMachine, MachineStats{
@@ -298,8 +408,9 @@ func (r *ShardReport) Fingerprint() string {
 	for _, m := range r.PerMachine {
 		fmt.Fprintf(h, "%s:%d/%d/%d/%d;", m.Name, m.Completed, m.Shed, m.InFlight, m.QueueLen)
 	}
-	return fmt.Sprintf("req=%d comp=%d legs=%d/%d leak=%d ev=%d lat=%v/%v/%v/%v n=%d mach=%x",
-		r.Requests, r.Completions, r.LegsIssued, r.LegsDone, r.Leaked, r.Events,
+	return fmt.Sprintf("req=%d comp=%d fail=%d legs=%d/%d unreach=%d lost=%d leak=%d ev=%d lat=%v/%v/%v/%v n=%d mach=%x",
+		r.Requests, r.Completions, r.Failures, r.LegsIssued, r.LegsDone,
+		r.LegsUnreachable, r.LegsLost, r.Leaked, r.Events,
 		r.Latency.Mean(), r.Latency.P50(), r.Latency.P99(), r.Latency.Max(),
 		r.Latency.Count(), h.Sum64())
 }

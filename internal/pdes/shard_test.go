@@ -10,7 +10,7 @@ import (
 // uneven machine counts, partial fan-outs, stragglers, and LP counts
 // that don't divide the machine count.
 func randomShardConfig(seed uint64) ShardedClusterConfig {
-	return ShardedClusterConfig{
+	cfg := ShardedClusterConfig{
 		Seed:            seed,
 		Machines:        3 + int(seed%7),
 		CoresPerMachine: 1 + int(seed%3),
@@ -21,6 +21,24 @@ func randomShardConfig(seed uint64) ShardedClusterConfig {
 		WireLatency:     des.Time(20+seed%80) * des.Microsecond,
 		LPs:             1 + int(seed%4),
 	}
+	// Roughly half the seeds cut one leaf mid-run and heal it; every
+	// third seed also leaves a second leaf cut from 70ms to the end.
+	// Partition toggles are LP-crossing events, so they must not disturb
+	// worker-count equivalence.
+	if seed%2 == 0 {
+		cfg.Partitions = append(cfg.Partitions, ShardPartition{
+			Machine: int(seed) % cfg.Machines,
+			From:    des.Time(10+seed%20) * des.Millisecond,
+			Until:   des.Time(40+seed%30) * des.Millisecond,
+		})
+	}
+	if seed%3 == 0 {
+		cfg.Partitions = append(cfg.Partitions, ShardPartition{
+			Machine: int(seed+1) % cfg.Machines,
+			From:    70 * des.Millisecond,
+		})
+	}
+	return cfg
 }
 
 func runShard(t *testing.T, cfg ShardedClusterConfig, workers int) *ShardReport {
@@ -37,11 +55,16 @@ func runShard(t *testing.T, cfg ShardedClusterConfig, workers int) *ShardReport 
 	if rep.Leaked != 0 {
 		t.Fatalf("leaked %d after drain (cfg %+v)", rep.Leaked, cfg)
 	}
-	if rep.Requests != rep.Completions {
-		t.Fatalf("conservation: %d requests, %d completions after drain", rep.Requests, rep.Completions)
+	if rep.Requests != rep.Completions+rep.Failures {
+		t.Fatalf("conservation: %d requests != %d completions + %d failures after drain",
+			rep.Requests, rep.Completions, rep.Failures)
 	}
-	if rep.LegsIssued != rep.LegsDone {
-		t.Fatalf("conservation: %d legs issued, %d done after drain", rep.LegsIssued, rep.LegsDone)
+	if rep.LegsIssued != rep.LegsDone+rep.LegsUnreachable+rep.LegsLost {
+		t.Fatalf("conservation: %d legs issued != %d done + %d unreachable + %d lost after drain",
+			rep.LegsIssued, rep.LegsDone, rep.LegsUnreachable, rep.LegsLost)
+	}
+	if len(cfg.Partitions) == 0 && rep.Failures+rep.LegsUnreachable+rep.LegsLost != 0 {
+		t.Fatalf("partition counters nonzero without partitions: %+v", rep)
 	}
 	if want := rep.Requests * uint64(cfgFanout(cfg)); rep.LegsIssued != want {
 		t.Fatalf("legs issued %d, want %d (requests×fanout)", rep.LegsIssued, want)
@@ -50,8 +73,8 @@ func runShard(t *testing.T, cfg ShardedClusterConfig, workers int) *ShardReport 
 	for _, m := range rep.PerMachine {
 		perMachine += m.Completed
 	}
-	if perMachine != rep.LegsDone {
-		t.Fatalf("per-machine completions %d != legs done %d", perMachine, rep.LegsDone)
+	if perMachine != rep.LegsDone+rep.LegsLost {
+		t.Fatalf("per-machine completions %d != legs done %d + lost %d", perMachine, rep.LegsDone, rep.LegsLost)
 	}
 	return rep
 }
@@ -76,6 +99,38 @@ func TestShardedClusterEquivalence(t *testing.T) {
 				t.Fatalf("seed %d: workers=%d diverged\n w1: %s\n w%d: %s",
 					seed, workers, base, workers, fp)
 			}
+		}
+	}
+}
+
+// TestShardedClusterPartition pins the partition semantics: a mid-run
+// cut must fail some requests, fail some legs fast at the root, lose
+// some in-flight responses, still conserve every leg — and stay
+// bit-identical across worker counts, since the cut's open and heal
+// toggles are LP-crossing events.
+func TestShardedClusterPartition(t *testing.T) {
+	cfg := ShardedClusterConfig{
+		Seed:     11,
+		Machines: 6,
+		QPS:      4000,
+		Fanout:   3,
+		LPs:      3,
+		Partitions: []ShardPartition{
+			{Machine: 2, From: 20 * des.Millisecond, Until: 60 * des.Millisecond},
+			{Machine: 4, From: 75 * des.Millisecond},
+		},
+	}
+	rep := runShard(t, cfg, 1)
+	if rep.Failures == 0 || rep.LegsUnreachable == 0 {
+		t.Fatalf("partition had no effect: %+v", rep)
+	}
+	if rep.Completions == 0 {
+		t.Fatalf("nothing completed around the partitions: %+v", rep)
+	}
+	base := rep.Fingerprint()
+	for _, workers := range []int{2, 4} {
+		if fp := runShard(t, cfg, workers).Fingerprint(); fp != base {
+			t.Fatalf("workers=%d diverged under partitions\n w1: %s\n w%d: %s", workers, base, workers, fp)
 		}
 	}
 }

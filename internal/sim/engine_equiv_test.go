@@ -15,9 +15,10 @@ import (
 // order as des.Engine.
 func engineVariants() map[string]func() des.Runner {
 	return map[string]func() des.Runner{
-		"des":          func() des.Runner { return des.New() },
-		"pdes":         func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 1}) },
-		"pdes-workers": func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 4, Lookahead: des.Millisecond}) },
+		"des":           func() des.Runner { return des.New() },
+		"pdes":          func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 1}) },
+		"pdes-workers2": func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 2, Lookahead: des.Millisecond}) },
+		"pdes-workers4": func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 4, Lookahead: des.Millisecond}) },
 	}
 }
 
@@ -28,7 +29,7 @@ func engineVariants() map[string]func() des.Runner {
 func TestCrossEngineFingerprintEquality(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		var baseline string
-		for _, name := range []string{"des", "pdes", "pdes-workers"} {
+		for _, name := range []string{"des", "pdes", "pdes-workers2", "pdes-workers4"} {
 			mk := engineVariants()[name]
 			s := buildRandomTopologyOn(t, seed, mk())
 			withRandomFaults(t, s, seed)
@@ -37,7 +38,7 @@ func TestCrossEngineFingerprintEquality(t *testing.T) {
 				t.Fatalf("seed %d on %s: %v", seed, name, err)
 			}
 			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
-				rep.DeadlineExpired + uint64(rep.InFlight)
+				rep.DeadlineExpired + rep.Unreachable + uint64(rep.InFlight)
 			if rep.Arrivals != total {
 				t.Fatalf("seed %d on %s: conservation: arrivals %d != outcomes %d",
 					seed, name, rep.Arrivals, total)

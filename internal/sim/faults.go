@@ -5,6 +5,7 @@ import (
 
 	"uqsim/internal/des"
 	"uqsim/internal/fault"
+	"uqsim/internal/netfault"
 	"uqsim/internal/service"
 )
 
@@ -35,6 +36,39 @@ func (s *Sim) InstallFaults(plan fault.Plan) error {
 			if _, ok := s.deployments[ev.Service]; !ok {
 				return fmt.Errorf("sim: fault event %d (%s) references undeployed service %q", i, ev.Kind, ev.Service)
 			}
+		case fault.CrashDomain, fault.RecoverDomain:
+			d, ok := s.domain(ev.Domain)
+			if !ok {
+				return fmt.Errorf("sim: fault event %d (%s) references undeclared domain %q", i, ev.Kind, ev.Domain)
+			}
+			// Correlated burst: the domain event expands at install time
+			// into per-machine events staggered in declaration order.
+			kind := fault.CrashMachine
+			if ev.Kind == fault.RecoverDomain {
+				kind = fault.RecoverMachine
+			}
+			for mi, machine := range d.Machines {
+				mev := fault.Event{At: ev.At + des.Time(mi)*ev.Stagger, Kind: kind, Machine: machine}
+				s.eng.At(mev.At, func(t des.Time) { s.applyFault(t, mev) })
+			}
+			continue
+		case fault.PartitionStart:
+			for _, m := range append(append([]string(nil), ev.GroupA...), ev.GroupB...) {
+				if _, ok := s.cluster.Machine(m); !ok {
+					return fmt.Errorf("sim: fault event %d (%s) references unknown machine %q", i, ev.Kind, m)
+				}
+			}
+			s.netState() // exists before the run: dispatch consults it
+		case fault.SetLink:
+			for _, m := range []string{ev.Src, ev.Dst} {
+				if m == "" {
+					continue
+				}
+				if _, ok := s.cluster.Machine(m); !ok {
+					return fmt.Errorf("sim: fault event %d (%s) references unknown machine %q", i, ev.Kind, m)
+				}
+			}
+			s.netState()
 		}
 		ev := ev
 		s.eng.At(ev.At, func(t des.Time) { s.applyFault(t, ev) })
@@ -65,6 +99,10 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 		}
 		dep.refreshHealthy()
 	case fault.CrashMachine:
+		if s.crashedM == nil {
+			s.crashedM = make(map[string]bool)
+		}
+		s.crashedM[ev.Machine] = true
 		// Deterministic deployment order matters: kill order decides the
 		// order drops propagate and retries get scheduled.
 		for _, dep := range s.Deployments() {
@@ -80,6 +118,7 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 			}
 		}
 	case fault.RecoverMachine:
+		delete(s.crashedM, ev.Machine)
 		for _, dep := range s.Deployments() {
 			touched := false
 			for _, in := range dep.Instances {
@@ -115,6 +154,18 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 		if ev.Until > now {
 			svc := ev.Service
 			s.eng.At(ev.Until, func(t des.Time) { delete(s.edgeExtra, svc) })
+		}
+	case fault.PartitionStart:
+		s.netState().StartPartition(ev.GroupA, ev.GroupB, ev.OneWay)
+		if ev.Until > now {
+			s.eng.At(ev.Until, func(t des.Time) {
+				s.net.HealPartition(ev.GroupA, ev.GroupB, ev.OneWay)
+			})
+		}
+	case fault.SetLink:
+		s.netState().SetLink(ev.Src, ev.Dst, netfault.Link{Drop: ev.Drop, Dup: ev.Dup})
+		if ev.Until > now {
+			s.eng.At(ev.Until, func(t des.Time) { s.net.ClearLink(ev.Src, ev.Dst) })
 		}
 	}
 }

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/fault"
+	"uqsim/internal/graph"
+	"uqsim/internal/job"
+	"uqsim/internal/netfault"
+	"uqsim/internal/service"
+	"uqsim/internal/workload"
+)
+
+// twoMachineChain builds a front tier on m0 calling a backend on m1 — the
+// minimal topology with a cross-machine RPC edge for network faults to cut.
+func twoMachineChain(t *testing.T, seed uint64) *Sim {
+	t.Helper()
+	s := New(Options{Seed: seed})
+	s.AddMachine("m0", 4, cluster.FreqSpec{})
+	s.AddMachine("m1", 2, cluster.FreqSpec{})
+	if _, err := s.Deploy(service.SingleStage("front", dist.NewDeterministic(float64(100*des.Microsecond))),
+		RoundRobin, Placement{Machine: "m0", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy(service.SingleStage("backend", dist.NewExponential(float64(des.Millisecond))),
+		RoundRobin, Placement{Machine: "m1", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTopology(graph.Linear("main", "front", "backend")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(ClientConfig{Pattern: workload.ConstantRate(500)})
+	return s
+}
+
+// TestPartitionFailFast: while a symmetric partition separates the tiers,
+// cross-machine dispatch fails fast into the unreachable bucket; after the
+// heal, requests complete again and nothing leaks.
+func TestPartitionFailFast(t *testing.T) {
+	s := twoMachineChain(t, 1)
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{{
+		At: 200 * des.Millisecond, Kind: fault.PartitionStart, Until: 400 * des.Millisecond,
+		GroupA: []string{"m0"}, GroupB: []string{"m1"},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	var lastOK des.Time
+	s.OnRequestDone = func(now des.Time, req *job.Request) {
+		if req.Outcome == job.OutcomeOK {
+			lastOK = now
+		}
+	}
+	rep, err := s.Run(0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, rep)
+	if rep.Unreachable == 0 {
+		t.Fatal("partition did not produce unreachable requests")
+	}
+	if got := s.Net().Unreachable(); got < rep.Unreachable {
+		t.Fatalf("attempt-level unreachable %d < request-level %d", got, rep.Unreachable)
+	}
+	if lastOK < 900*des.Millisecond {
+		t.Fatalf("no completions after the heal (last at %v)", lastOK)
+	}
+	if rep.LinkDrops != 0 || rep.LinkDups != 0 {
+		t.Fatalf("no gray links installed, yet drops=%d dups=%d", rep.LinkDrops, rep.LinkDups)
+	}
+}
+
+// TestOneWayPartition: an asymmetric cut only severs dispatch in its own
+// direction. Cutting backend→front (a direction no RPC traverses) must be
+// harmless; cutting front→backend must not be.
+func TestOneWayPartition(t *testing.T) {
+	run := func(groupA, groupB string) *Report {
+		s := twoMachineChain(t, 1)
+		if err := s.InstallFaults(fault.Plan{Events: []fault.Event{{
+			At: 100 * des.Millisecond, Kind: fault.PartitionStart, Until: 300 * des.Millisecond,
+			GroupA: []string{groupA}, GroupB: []string{groupB}, OneWay: true,
+		}}}); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(0, 500*des.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conserve(t, rep)
+		return rep
+	}
+	if rep := run("m0", "m1"); rep.Unreachable == 0 {
+		t.Fatal("one-way cut in the dispatch direction had no effect")
+	}
+	if rep := run("m1", "m0"); rep.Unreachable != 0 {
+		t.Fatalf("one-way cut in the reverse direction failed %d requests", rep.Unreachable)
+	}
+}
+
+// TestGrayLinkDrop: a lossy front→backend link makes attempts vanish
+// in-flight; with a retry policy most requests still complete, the drop
+// counter advances, and conservation holds.
+func TestGrayLinkDrop(t *testing.T) {
+	s := twoMachineChain(t, 2)
+	if err := s.SetServicePolicy("backend", fault.Policy{
+		Timeout: 20 * des.Millisecond, MaxRetries: 3, BackoffBase: des.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{{
+		At: 0, Kind: fault.SetLink, Src: "m0", Dst: "m1", Drop: 0.2,
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, rep)
+	if rep.LinkDrops == 0 {
+		t.Fatal("lossy link dropped nothing")
+	}
+	if rep.Retries == 0 {
+		t.Fatal("drops never forced a retry")
+	}
+	if rep.Completions == 0 {
+		t.Fatal("no completions despite retries")
+	}
+}
+
+// TestGrayLinkDup: a duplicating link delivers extra copies; the duplicate
+// work is discarded without double-completing any request.
+func TestGrayLinkDup(t *testing.T) {
+	s := twoMachineChain(t, 3)
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{{
+		At: 0, Kind: fault.SetLink, Src: "m0", Dst: "m1", Dup: 0.3,
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, rep)
+	if rep.LinkDups == 0 {
+		t.Fatal("duplicating link duplicated nothing")
+	}
+	if rep.Completions == 0 {
+		t.Fatal("no completions")
+	}
+	if rep.Completions > rep.Arrivals {
+		t.Fatalf("duplicates double-completed: %d completions for %d arrivals",
+			rep.Completions, rep.Arrivals)
+	}
+}
+
+// TestDomainCrashStagger: a correlated domain crash takes every machine in
+// the rack down with the configured stagger, the per-domain gauge tracks
+// it, and the staggered recovery brings the domain back to fully up.
+func TestDomainCrashStagger(t *testing.T) {
+	s := New(Options{Seed: 4})
+	s.AddMachine("m0", 2, cluster.FreqSpec{})
+	s.AddMachine("m1", 2, cluster.FreqSpec{})
+	s.AddMachine("m2", 2, cluster.FreqSpec{})
+	if _, err := s.Deploy(service.SingleStage("svc", dist.NewExponential(float64(des.Millisecond))),
+		RoundRobin,
+		Placement{Machine: "m0", Cores: 1},
+		Placement{Machine: "m1", Cores: 1},
+		Placement{Machine: "m2", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTopology(graph.Linear("main", "svc")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(ClientConfig{Pattern: workload.ConstantRate(300)})
+	if err := s.SetDomains([]netfault.Domain{{Name: "rack", Machines: []string{"m1", "m2"}}}); err != nil {
+		t.Fatal(err)
+	}
+	const crash = 100 * des.Millisecond
+	const stagger = 10 * des.Millisecond
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+		{At: crash, Kind: fault.CrashDomain, Domain: "rack", Stagger: stagger},
+		{At: 300 * des.Millisecond, Kind: fault.RecoverDomain, Domain: "rack", Stagger: stagger},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[des.Time]float64)
+	for _, at := range []des.Time{
+		crash + stagger/2,     // m1 down, m2 still up
+		crash + 2*stagger,     // both down
+		500 * des.Millisecond, // both recovered
+	} {
+		at := at
+		s.Engine().At(at, func(des.Time) { samples[at] = s.DomainUp("rack") })
+	}
+	rep, err := s.Run(0, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, rep)
+	if got := samples[crash+stagger/2]; got != 0.5 {
+		t.Fatalf("mid-stagger domain up = %v, want 0.5", got)
+	}
+	if got := samples[crash+2*stagger]; got != 0 {
+		t.Fatalf("post-crash domain up = %v, want 0", got)
+	}
+	if got := samples[500*des.Millisecond]; got != 1 {
+		t.Fatalf("post-recovery domain up = %v, want 1", got)
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("domain crash dropped no in-flight work")
+	}
+}
+
+// TestPartitionDeterminism: two identical runs with partitions, gray
+// links, and a domain crash active must produce identical fingerprints.
+func TestPartitionDeterminism(t *testing.T) {
+	run := func() string {
+		s := twoMachineChain(t, 7)
+		if err := s.SetServicePolicy("backend", fault.Policy{
+			Timeout: 20 * des.Millisecond, MaxRetries: 2, BackoffBase: des.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+			{At: 100 * des.Millisecond, Kind: fault.PartitionStart, Until: 250 * des.Millisecond,
+				GroupA: []string{"m0"}, GroupB: []string{"m1"}},
+			{At: 0, Kind: fault.SetLink, Src: "m0", Dst: "m1", Drop: 0.1, Dup: 0.1},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(0, 600*des.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conserve(t, rep)
+		return reportFingerprint(rep)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("netfault runs diverge\n a: %s\n b: %s", a, b)
+	}
+}

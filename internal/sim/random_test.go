@@ -11,6 +11,7 @@ import (
 	"uqsim/internal/dist"
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
+	"uqsim/internal/netfault"
 	"uqsim/internal/service"
 	"uqsim/internal/workload"
 )
@@ -154,14 +155,47 @@ func withRandomFaults(t *testing.T, s *Sim, seed int64) {
 	kill := des.Time(50+r.Intn(100)) * des.Millisecond
 	crash := des.Time(120+r.Intn(80)) * des.Millisecond
 	lag := des.Time(30+r.Intn(50)) * des.Millisecond
-	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+	events := []fault.Event{
 		{At: kill, Kind: fault.KillInstance, Service: victim, Instance: -1},
 		{At: kill + 40*des.Millisecond, Kind: fault.RestartInstance, Service: victim, Instance: -1},
 		{At: crash, Kind: fault.CrashMachine, Machine: "m0"},
 		{At: crash + 25*des.Millisecond, Kind: fault.RecoverMachine, Machine: "m0"},
 		{At: lag, Kind: fault.EdgeLatency, Service: "join",
 			Extra: des.Time(1+r.Intn(3)) * des.Millisecond, Until: lag + 60*des.Millisecond},
-	}}); err != nil {
+	}
+	// Network faults need a machine boundary to bite: a partition cutting
+	// m0 from the rest (randomly one-way), a gray link, and a correlated
+	// domain crash of the last machine's rack.
+	if n := s.Cluster().Size(); n >= 2 {
+		rest := make([]string, 0, n-1)
+		for i := 1; i < n; i++ {
+			rest = append(rest, fmt.Sprintf("m%d", i))
+		}
+		last := fmt.Sprintf("m%d", n-1)
+		pStart := des.Time(40+r.Intn(80)) * des.Millisecond
+		link := des.Time(10+r.Intn(40)) * des.Millisecond
+		dCrash := des.Time(160+r.Intn(60)) * des.Millisecond
+		events = append(events,
+			fault.Event{At: pStart, Kind: fault.PartitionStart,
+				Until:  pStart + des.Time(20+r.Intn(60))*des.Millisecond,
+				GroupA: []string{"m0"}, GroupB: rest, OneWay: r.Intn(3) == 0},
+			fault.Event{At: link, Kind: fault.SetLink,
+				Until: link + des.Time(30+r.Intn(80))*des.Millisecond,
+				Src:   "m0", Dst: last,
+				Drop: 0.05 + 0.25*r.Float64(), Dup: 0.05 + 0.15*r.Float64()},
+		)
+		if r.Intn(2) == 0 {
+			if err := s.SetDomains([]netfault.Domain{{Name: "rack", Machines: []string{last}}}); err != nil {
+				t.Fatal(err)
+			}
+			events = append(events,
+				fault.Event{At: dCrash, Kind: fault.CrashDomain, Domain: "rack",
+					Stagger: des.Time(1+r.Intn(3)) * des.Millisecond},
+				fault.Event{At: dCrash + 30*des.Millisecond, Kind: fault.RecoverDomain, Domain: "rack"},
+			)
+		}
+	}
+	if err := s.InstallFaults(fault.Plan{Events: events}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -169,10 +203,11 @@ func withRandomFaults(t *testing.T, s *Sim, seed int64) {
 // reportFingerprint flattens everything a Report asserts about a run into
 // one comparable string.
 func reportFingerprint(rep *Report) string {
-	fp := fmt.Sprintf("arr=%d comp=%d to=%d shed=%d drop=%d ddl=%d brk=%d retry=%d hedge=%d/%d cancel=%d waste=%d inflight=%d mean=%v p50=%v p99=%v",
+	fp := fmt.Sprintf("arr=%d comp=%d to=%d shed=%d drop=%d ddl=%d brk=%d retry=%d hedge=%d/%d cancel=%d waste=%d inflight=%d unreach=%d ldrop=%d ldup=%d mean=%v p50=%v p99=%v",
 		rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped,
 		rep.DeadlineExpired, rep.BreakerFastFails, rep.Retries,
 		rep.HedgesIssued, rep.HedgeWins, rep.CanceledWork, rep.WastedWork, rep.InFlight,
+		rep.Unreachable, rep.LinkDrops, rep.LinkDups,
 		rep.Latency.Mean(), rep.Latency.P50(), rep.Latency.P99())
 	svcs := make([]string, 0, len(rep.Errors))
 	for svc := range rep.Errors {
@@ -203,7 +238,7 @@ func TestRandomFaultsDeterministic(t *testing.T) {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
 			total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
-				rep.DeadlineExpired + uint64(rep.InFlight)
+				rep.DeadlineExpired + rep.Unreachable + uint64(rep.InFlight)
 			if rep.Arrivals != total {
 				t.Fatalf("seed %d: conservation: arrivals %d != %d", seed, rep.Arrivals, total)
 			}
@@ -265,7 +300,7 @@ func TestRandomOverloadTopologiesDrain(t *testing.T) {
 			t.Fatalf("seed %d: no completions", seed)
 		}
 		total := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
-			rep.DeadlineExpired + uint64(rep.InFlight)
+			rep.DeadlineExpired + rep.Unreachable + uint64(rep.InFlight)
 		if rep.Arrivals != total {
 			t.Fatalf("seed %d: conservation: arrivals %d != %d", seed, rep.Arrivals, total)
 		}

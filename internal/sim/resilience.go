@@ -66,6 +66,9 @@ type ErrorCounts struct {
 	Retries uint64
 	// Hedges counts backup attempts issued by the hedging policy.
 	Hedges uint64
+	// Unreachable counts attempts failed fast by the network fault
+	// model: a severed machine pair or a gray-link message drop.
+	Unreachable uint64
 }
 
 // SetServicePolicy guards every topology edge calling into service svc with
@@ -350,6 +353,8 @@ func (s *Sim) failRequest(now des.Time, req *job.Request, out job.Outcome) {
 			s.breakerFast++
 		case job.OutcomeDeadline:
 			s.deadlineReqs++
+		case job.OutcomeUnreachable:
+			s.unreachableReqs++
 		default:
 			s.droppedReqs++
 		}
@@ -382,6 +387,8 @@ func (s *Sim) countError(svc string, out job.Outcome) {
 		ec.Shed++
 	case job.OutcomeBreakerOpen:
 		ec.BreakerOpen++
+	case job.OutcomeUnreachable:
+		ec.Unreachable++
 	default:
 		ec.Dropped++
 	}

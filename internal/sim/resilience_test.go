@@ -17,10 +17,10 @@ import (
 func conserve(t *testing.T, rep *Report) {
 	t.Helper()
 	got := rep.Completions + rep.Timeouts + rep.Shed + rep.Dropped +
-		rep.DeadlineExpired + uint64(rep.InFlight)
+		rep.DeadlineExpired + rep.Unreachable + uint64(rep.InFlight)
 	if rep.Arrivals != got {
-		t.Fatalf("conservation violated: arrivals %d != completions %d + timeouts %d + shed %d + dropped %d + deadline %d + inflight %d",
-			rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped, rep.DeadlineExpired, rep.InFlight)
+		t.Fatalf("conservation violated: arrivals %d != completions %d + timeouts %d + shed %d + dropped %d + deadline %d + unreachable %d + inflight %d",
+			rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped, rep.DeadlineExpired, rep.Unreachable, rep.InFlight)
 	}
 }
 

@@ -39,7 +39,15 @@ func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
 	}
 
 	s.eng.RunUntil(horizon)
-	return s.report(horizon), nil
+	// A Stop (signal handler, watchdog) freezes the clock short of the
+	// horizon; the partial report covers what actually ran.
+	end := horizon
+	if s.eng.Stopped() {
+		if now := s.eng.Now(); now < horizon {
+			end = now
+		}
+	}
+	return s.report(end), nil
 }
 
 // onArrival admits one client request at virtual time now.
@@ -222,6 +230,30 @@ func (s *Sim) deliverDirect(now des.Time, j *job.Job, in *service.Instance, srcM
 	dest := in.Alloc.Machine.Name
 	j.Machine = dest
 	j.Instance = in.Name
+	// The network fault model sits at the cross-machine boundary: client
+	// hops (srcMachine == "") enter the cluster from outside and are not
+	// subject to intra-cluster partitions or gray links.
+	if s.net != nil && srcMachine != "" && srcMachine != dest {
+		if !s.net.Reachable(srcMachine, dest) {
+			s.net.CountUnreachable()
+			s.failAttemptOrRequest(now, j, job.OutcomeUnreachable)
+			return
+		}
+		if s.net.Lossy() {
+			if l, ok := s.net.LinkFor(srcMachine, dest); ok {
+				r := s.linkStream(srcMachine, dest)
+				if l.Drop > 0 && r.Float64() < l.Drop {
+					s.net.CountDrop()
+					s.failAttemptOrRequest(now, j, job.OutcomeUnreachable)
+					return
+				}
+				if l.Dup > 0 && r.Float64() < l.Dup {
+					s.net.CountDup()
+					s.deliverDuplicate(now, j, in, dest)
+				}
+			}
+		}
+	}
 	if s.netCfg == nil || srcMachine == dest {
 		if res := in.Admit(now, j); res != service.Admitted {
 			s.deliveryRejected(now, j, res)
@@ -236,6 +268,32 @@ func (s *Sim) deliverDirect(now des.Time, j *job.Job, in *service.Instance, srcM
 		delete(s.pending, j.ID)
 		j.PathID = targetPath
 		s.deliveryRejected(now, j, res)
+	}
+}
+
+// deliverDuplicate admits a gray-link duplicate of j: a fresh clone
+// sharing the request, marked canceled up front so the receiver burns a
+// queue slot — and, without dequeue-time vetting, real service time — on
+// it while handleJobDone's abandoned-attempt path discards the result.
+// A duplicate the receiver refuses (down, full) simply evaporates; the
+// original attempt's fate is tracked separately.
+func (s *Sim) deliverDuplicate(now des.Time, j *job.Job, in *service.Instance, dest string) {
+	dup := s.fac.Clone(j)
+	dup.NodeID = j.NodeID
+	dup.PathID = j.PathID
+	dup.Outcome = job.OutcomeCanceled
+	dup.Machine = dest
+	dup.Instance = in.Name
+	if s.netCfg == nil {
+		in.Admit(now, dup)
+		return
+	}
+	np := s.netproc[dest]
+	targetPath := dup.PathID
+	dup.PathID = 0
+	s.pending[dup.ID] = &delivery{instance: in, pathID: targetPath}
+	if np.Admit(now, dup) != service.Admitted {
+		delete(s.pending, dup.ID)
 	}
 }
 
@@ -450,6 +508,16 @@ type Report struct {
 	// DeadlineExpired counts requests whose end-to-end budget ran out
 	// before completion; their remaining subtree was short-circuited.
 	DeadlineExpired uint64
+	// Unreachable counts requests failed by the network fault model with
+	// nothing left to retry — a partition severed the machine pair or a
+	// gray link dropped the message. It is the sixth error bucket of the
+	// conservation identity.
+	Unreachable uint64
+	// LinkDrops and LinkDups count gray-link message losses and
+	// duplications at the dispatch boundary (attempt-level, like
+	// Retries — duplicates never enter the conservation identity).
+	LinkDrops uint64
+	LinkDups  uint64
 	// BreakerFastFails is the subset of Shed failed by open breakers.
 	BreakerFastFails uint64
 	// Retries counts resilience-policy attempt re-issues across all edges
@@ -502,6 +570,7 @@ func (s *Sim) report(horizon des.Time) *Report {
 		Dropped:     s.droppedReqs,
 
 		DeadlineExpired:  s.deadlineReqs,
+		Unreachable:      s.unreachableReqs,
 		BreakerFastFails: s.breakerFast,
 		Retries:          s.retriesN,
 		HedgesIssued:     s.hedgesN,
@@ -510,6 +579,10 @@ func (s *Sim) report(horizon des.Time) *Report {
 
 		Latency: s.latency,
 		PerTier: s.perTier,
+	}
+	if s.net != nil {
+		r.LinkDrops = s.net.LinkDrops()
+		r.LinkDups = s.net.LinkDups()
 	}
 	// Only measured arrivals count: a request still draining from the
 	// warmup window belongs to no bucket, and a timed-out request already

@@ -22,6 +22,7 @@ import (
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/job"
+	"uqsim/internal/netfault"
 	"uqsim/internal/rng"
 	"uqsim/internal/service"
 	"uqsim/internal/stats"
@@ -125,6 +126,13 @@ type Sim struct {
 	netCfg  *NetworkConfig
 	netproc map[string]*service.Instance // machine name → interrupt service
 
+	// Network fault model: nil until a partition, gray link, or domain
+	// is installed — the perfect-fabric hot path pays one nil check.
+	net      *netfault.State
+	domains  []netfault.Domain
+	crashedM map[string]bool // machines currently crashed by the fault plan
+	linkRNG  map[[2]string]*rng.Source
+
 	topo       *graph.Topology
 	treeChoice *dist.Choice
 	pathIDs    [][][]int // tree → node → resolved PathID (len 1 slice for alignment)
@@ -162,21 +170,22 @@ type Sim struct {
 	// Measurement. completions/timeouts/shedReqs/droppedReqs are the
 	// arrival-gated outcome buckets of the conservation identity;
 	// windowDone counts deliveries by completion time and feeds goodput.
-	warmupEnd    des.Time
-	arrivals     uint64
-	completions  uint64
-	windowDone   uint64
-	timeouts     uint64
-	shedReqs     uint64
-	droppedReqs  uint64
-	deadlineReqs uint64
-	breakerFast  uint64
-	retriesN     uint64
-	hedgesN      uint64
-	hedgeWins    uint64
-	errCounts    map[string]*ErrorCounts
-	latency      *stats.LatencyHist
-	perTier      map[string]*stats.LatencyHist
+	warmupEnd       des.Time
+	arrivals        uint64
+	completions     uint64
+	windowDone      uint64
+	timeouts        uint64
+	shedReqs        uint64
+	droppedReqs     uint64
+	deadlineReqs    uint64
+	unreachableReqs uint64
+	breakerFast     uint64
+	retriesN        uint64
+	hedgesN         uint64
+	hedgeWins       uint64
+	errCounts       map[string]*ErrorCounts
+	latency         *stats.LatencyHist
+	perTier         map[string]*stats.LatencyHist
 
 	// OnRequestDone observes every completed request (after or during
 	// warmup), e.g. for the power manager's windowed tail tracker.
@@ -225,6 +234,12 @@ type delivery struct {
 	pathID   int
 }
 
+// OnNew, when set, observes every simulation created by New. Command-line
+// harnesses use it to keep a handle on whichever simulation is currently
+// running so a signal handler or wall-clock watchdog can stop its engine.
+// Set it once before any New call; it runs on the constructing goroutine.
+var OnNew func(*Sim)
+
 // New creates an empty simulation.
 func New(opts Options) *Sim {
 	split := rng.NewSplitter(opts.Seed)
@@ -232,6 +247,14 @@ func New(opts Options) *Sim {
 	if eng == nil {
 		eng = des.New()
 	}
+	s := newSim(opts, split, eng)
+	if OnNew != nil {
+		OnNew(s)
+	}
+	return s
+}
+
+func newSim(opts Options, split *rng.Splitter, eng des.Runner) *Sim {
 	return &Sim{
 		eng:          eng,
 		split:        split,
@@ -271,6 +294,89 @@ func (s *Sim) AddMachine(name string, cores int, freq cluster.FreqSpec) *cluster
 		panic(err)
 	}
 	return m
+}
+
+// netState returns the network fault state, creating it on first use —
+// installed by the fault plan (partitions, gray links) before the run.
+func (s *Sim) netState() *netfault.State {
+	if s.net == nil {
+		s.net = netfault.New()
+	}
+	return s.net
+}
+
+// Net exposes the network fault state; nil when no network fault has
+// been installed (a perfect fabric). Monitors feed their unreachable and
+// link-loss series from it.
+func (s *Sim) Net() *netfault.State { return s.net }
+
+// Reachable reports whether a message from machine src currently reaches
+// machine dst under the network fault model. With no network faults
+// installed everything is reachable. Control planes consult this for
+// their own vantage-restricted view of the cluster.
+func (s *Sim) Reachable(src, dst string) bool {
+	return s.net == nil || s.net.Reachable(src, dst)
+}
+
+// SetDomains declares the cluster's failure domains (racks, power
+// feeds). Correlated fault events (CrashDomain, RecoverDomain) address
+// machines through them, and monitors export per-domain up gauges.
+func (s *Sim) SetDomains(domains []netfault.Domain) error {
+	if err := netfault.ValidateDomains(domains, func(m string) bool {
+		_, ok := s.cluster.Machine(m)
+		return ok
+	}); err != nil {
+		return err
+	}
+	s.domains = domains
+	return nil
+}
+
+// Domains reports the declared failure domains.
+func (s *Sim) Domains() []netfault.Domain { return s.domains }
+
+// domain resolves a declared failure domain by name.
+func (s *Sim) domain(name string) (netfault.Domain, bool) {
+	for _, d := range s.domains {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return netfault.Domain{}, false
+}
+
+// DomainUp reports the fraction of the named domain's machines not
+// currently crashed by the fault plan — the per-domain up gauge. Unknown
+// domains report 0.
+func (s *Sim) DomainUp(name string) float64 {
+	d, ok := s.domain(name)
+	if !ok || len(d.Machines) == 0 {
+		return 0
+	}
+	up := 0
+	for _, m := range d.Machines {
+		if !s.crashedM[m] {
+			up++
+		}
+	}
+	return float64(up) / float64(len(d.Machines))
+}
+
+// linkStream returns the dedicated RNG stream of one directed gray link,
+// derived lazily — identical (seed, src, dst) always yield an identical
+// stream regardless of derivation order, so determinism survives any
+// link-creation order.
+func (s *Sim) linkStream(src, dst string) *rng.Source {
+	key := [2]string{src, dst}
+	r := s.linkRNG[key]
+	if r == nil {
+		r = s.split.Stream("netfault", "link", src, dst)
+		if s.linkRNG == nil {
+			s.linkRNG = make(map[[2]string]*rng.Source)
+		}
+		s.linkRNG[key] = r
+	}
+	return r
 }
 
 // instanceState is a deployment's control-plane view of one instance.

@@ -1,0 +1,31 @@
+package validate
+
+import (
+	"fmt"
+
+	"uqsim/internal/sim"
+)
+
+// Leaked is the conservation residue of a run report: arrivals minus
+// every terminal bucket (completions, timeouts, deadline expiries, shed,
+// dropped, unreachable) minus in-flight work. Nonzero means requests
+// vanished from — or were double-counted in — the accounting.
+func Leaked(rep *sim.Report) int64 {
+	return int64(rep.Arrivals) -
+		int64(rep.Completions+rep.Timeouts+rep.DeadlineExpired+rep.Shed+rep.Dropped+rep.Unreachable) -
+		int64(rep.InFlight)
+}
+
+// Conservation asserts the identity arrivals == completions + timeouts +
+// deadline + shed + dropped + unreachable + in-flight on a run report,
+// returning a descriptive error when it fails. Every experiment asserts
+// it on every report it produces.
+func Conservation(rep *sim.Report) error {
+	if l := Leaked(rep); l != 0 {
+		return fmt.Errorf("validate: conservation violated: %d requests leaked "+
+			"(arrivals=%d completions=%d timeouts=%d deadline=%d shed=%d dropped=%d unreachable=%d inflight=%d)",
+			l, rep.Arrivals, rep.Completions, rep.Timeouts, rep.DeadlineExpired,
+			rep.Shed, rep.Dropped, rep.Unreachable, rep.InFlight)
+	}
+	return nil
+}

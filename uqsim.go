@@ -40,6 +40,7 @@ import (
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/monitor"
+	"uqsim/internal/netfault"
 	"uqsim/internal/pdes"
 	"uqsim/internal/power"
 	"uqsim/internal/service"
@@ -232,6 +233,9 @@ type LatencyHist = stats.LatencyHist
 // TimeSeries records (virtual time, value) pairs.
 type TimeSeries = stats.TimeSeries
 
+// TimeSeriesPoint is one (virtual time, value) observation.
+type TimeSeriesPoint = stats.Point
+
 // ---- configuration front-end ----
 
 // ConfigSetup is a simulation assembled from JSON configs.
@@ -310,7 +314,23 @@ const (
 	RestartInstance = fault.RestartInstance
 	DegradeFreq     = fault.DegradeFreq
 	EdgeLatency     = fault.EdgeLatency
+	CrashDomain     = fault.CrashDomain
+	RecoverDomain   = fault.RecoverDomain
+	PartitionStart  = fault.PartitionStart
+	SetLink         = fault.SetLink
 )
+
+// FailureDomain groups machines that fail together (a rack, a power
+// feed); declare with Sim.SetDomains, then crash and recover the whole
+// group with CrashDomain/RecoverDomain fault events. Sim.DomainUp reports
+// the live fraction of a domain's machines.
+type FailureDomain = netfault.Domain
+
+// NetState carries a simulation's network-fault state and its
+// attempt-level counters (Unreachable, LinkDrops, LinkDups); read it via
+// Sim.Net. It satisfies the monitor's NetSource, so
+// Monitor.WatchNet(name, s.Net()) records the counters as time series.
+type NetState = netfault.State
 
 // ResiliencePolicy guards RPC edges with attempt timeouts, backoff retries,
 // and circuit breaking; install with Sim.SetServicePolicy or
