@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples fuzz
+.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples examples-run fuzz
 
 # check is the tier-1 gate: everything CI runs.
 check: vet staticcheck build test race
@@ -46,6 +46,22 @@ bench-throughput:
 
 examples:
 	$(GO) build ./examples/...
+
+# examples-run smoke-runs every example under its -max-wall wall-clock
+# watchdog, so CI catches examples that regress into hangs or panics, not
+# just compile breaks. powermanager is excluded from the smoke: it
+# legitimately needs several minutes of wall-clock (three 240-virtual-
+# second DVFS convergence sweeps); run it by hand when touching power.
+EXAMPLES_MAX_WALL ?= 2m
+examples-run: examples
+	@set -e; for d in examples/*/; do \
+		name=$$(basename $$d); \
+		if [ "$$name" = "powermanager" ]; then \
+			echo "skip $$name (long-running; run manually)"; continue; \
+		fi; \
+		echo "run $$name (-max-wall $(EXAMPLES_MAX_WALL))"; \
+		$(GO) run ./$$d -max-wall $(EXAMPLES_MAX_WALL) >/dev/null; \
+	done
 
 # fuzz exercises every config-loader fuzz target for FUZZTIME each. CI runs
 # this as a short smoke; leave a target running longer locally with e.g.

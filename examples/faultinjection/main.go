@@ -7,7 +7,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
@@ -47,6 +49,16 @@ func report(label string, rep *uqsim.Report) {
 }
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "faultinjection", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	// The incident: machine m1 crashes at t=2s and stays dark for 500ms,
 	// taking one of the two api instances (and its in-flight work) with it.
 	plan := uqsim.FaultPlan{Events: []uqsim.FaultEvent{

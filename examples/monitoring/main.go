@@ -5,12 +5,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "monitoring", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	s, err := uqsim.TwoTier(uqsim.TwoTierConfig{
 		Seed: 1,
 		Pattern: uqsim.Diurnal{

@@ -9,7 +9,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
@@ -50,6 +52,16 @@ func report(label string, rep *uqsim.Report) {
 }
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "overload", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	qps := 1.5 * capacity
 	fmt.Printf("offered load %.0f QPS against ≈%d QPS capacity, SLO %v\n\n", qps, capacity, slo)
 

@@ -6,7 +6,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
@@ -44,6 +46,16 @@ func report(label string, s *uqsim.Sim, rep *uqsim.Report) {
 }
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "partition", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	// Act 1 — a 300ms symmetric partition between the machines. Cross-
 	// machine dispatch fails fast (no timeout wait), so the cut shows up
 	// as unreachable attempts, not as a latency cliff.

@@ -7,12 +7,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "powermanager", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	const target = 5 * uqsim.Millisecond
 	fmt.Printf("2-tier app, diurnal load, %v p99 QoS target\n\n", target)
 	fmt.Printf("%-20s %-16s %-15s %-8s\n",

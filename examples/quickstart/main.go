@@ -4,12 +4,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "quickstart", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	fmt.Println("two-tier NGINX(8p) → memcached(4t), http/1.1 blocking, shared interrupt cores")
 	fmt.Printf("%-12s %-12s %-10s %-10s %-10s\n",
 		"offered_qps", "goodput_qps", "mean_ms", "p50_ms", "p99_ms")

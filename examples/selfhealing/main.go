@@ -8,7 +8,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
@@ -47,6 +49,16 @@ func report(label string, rep *uqsim.Report, st *uqsim.ControlStats) {
 }
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "selfhealing", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	// Incident 1: an instance dies at t=1.5s and never comes back. Without
 	// the control plane the survivor runs saturated for the rest of the run.
 	kill := uqsim.FaultPlan{Events: []uqsim.FaultEvent{

@@ -6,13 +6,25 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"uqsim"
 )
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "socialnetwork", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	fmt.Println("social network: frontend → {user, post} → media, memcached+MongoDB per tier")
 	fmt.Printf("%-12s %-12s %-10s %-10s %-10s\n",
 		"offered_qps", "goodput_qps", "mean_ms", "p50_ms", "p99_ms")

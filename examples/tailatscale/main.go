@@ -5,12 +5,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"uqsim"
 )
 
 func main() {
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, report partial results, exit nonzero")
+	flag.Parse()
+	wd := uqsim.StartWatchdog(*maxWall)
+	defer func() {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%s)\n", "tailatscale", wd.Reason())
+			os.Exit(1)
+		}
+	}()
+
 	fmt.Println("tail at scale: full fan-out, exp(1ms) leaves, slow leaves run 10× slower")
 	fmt.Printf("%-9s", "servers")
 	slowFracs := []float64{0, 0.01, 0.05, 0.10}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"uqsim/internal/des"
+)
+
+// Region is one geographic site: a named group of machines connected by
+// a cheap intra-region fabric. Unlike failure domains (which may
+// overlap), regions partition the cluster — every machine belongs to at
+// most one region, and geography-aware routing treats that assignment
+// as the machine's home site.
+type Region struct {
+	Name     string
+	Machines []string
+}
+
+// WANLink models the cost of one inter-region path: a fixed one-way
+// propagation delay plus a per-KB serialization cost. Intra-region
+// traffic never pays a WANLink.
+type WANLink struct {
+	Latency des.Time // one-way propagation delay
+	PerKB   des.Time // additional delay per KB of request payload
+}
+
+func (l WANLink) validate() error {
+	if l.Latency < 0 {
+		return fmt.Errorf("negative WAN latency %v", l.Latency)
+	}
+	if l.PerKB < 0 {
+		return fmt.Errorf("negative WAN per-KB cost %v", l.PerKB)
+	}
+	return nil
+}
+
+// delay is the total WAN cost of moving sizeKB across the link.
+func (l WANLink) delay(sizeKB float64) des.Time {
+	d := l.Latency
+	if l.PerKB > 0 && sizeKB > 0 {
+		d += des.Time(float64(l.PerKB) * sizeKB)
+	}
+	return d
+}
+
+// Geography is the region layer of the topology hierarchy: a disjoint
+// machine→region assignment plus a WAN latency/bandwidth model between
+// regions. A Geography is immutable once built except for the WAN
+// parameters, which may be set before the simulation starts.
+type Geography struct {
+	regions   []Region
+	index     map[string]int    // region name → declaration order
+	byMachine map[string]string // machine → region name
+	def       WANLink
+	links     map[[2]string]WANLink // symmetric; key is sorted pair
+	nearest   map[string][]string   // cached Nearest orders; reset on WAN edits
+}
+
+// NewGeography validates and indexes a region set. known reports
+// whether a machine name exists in the cluster; pass nil to skip that
+// check. Errors: duplicate region name, empty region, unknown machine,
+// or a machine assigned to two regions.
+func NewGeography(regions []Region, known func(string) bool) (*Geography, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("geography needs at least one region")
+	}
+	g := &Geography{
+		index:     make(map[string]int, len(regions)),
+		byMachine: make(map[string]string),
+		links:     make(map[[2]string]WANLink),
+	}
+	for i, r := range regions {
+		if r.Name == "" {
+			return nil, fmt.Errorf("region %d has no name", i)
+		}
+		if _, dup := g.index[r.Name]; dup {
+			return nil, fmt.Errorf("duplicate region %q", r.Name)
+		}
+		if len(r.Machines) == 0 {
+			return nil, fmt.Errorf("region %q has no machines", r.Name)
+		}
+		for _, m := range r.Machines {
+			if known != nil && !known(m) {
+				return nil, fmt.Errorf("region %q: unknown machine %q", r.Name, m)
+			}
+			if prev, taken := g.byMachine[m]; taken {
+				if prev == r.Name {
+					return nil, fmt.Errorf("region %q lists machine %q twice", r.Name, m)
+				}
+				return nil, fmt.Errorf("machine %q assigned to two regions: %q and %q", m, prev, r.Name)
+			}
+			g.byMachine[m] = r.Name
+		}
+		g.index[r.Name] = i
+		cp := Region{Name: r.Name, Machines: append([]string(nil), r.Machines...)}
+		g.regions = append(g.regions, cp)
+	}
+	return g, nil
+}
+
+// Regions returns the regions in declaration order.
+func (g *Geography) Regions() []Region { return g.regions }
+
+// HasRegion reports whether name is a declared region.
+func (g *Geography) HasRegion(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// RegionOf returns the home region of a machine, or "" if the machine
+// has no region assignment.
+func (g *Geography) RegionOf(machine string) string { return g.byMachine[machine] }
+
+// SetDefaultWAN sets the WAN model used between every region pair that
+// has no explicit link override.
+func (g *Geography) SetDefaultWAN(l WANLink) error {
+	if err := l.validate(); err != nil {
+		return err
+	}
+	g.def = l
+	g.nearest = nil
+	return nil
+}
+
+// SetLink overrides the WAN model between one region pair. Links are
+// symmetric: SetLink(a, b, l) also applies to b→a traffic.
+func (g *Geography) SetLink(a, b string, l WANLink) error {
+	if !g.HasRegion(a) {
+		return fmt.Errorf("wan link: unknown region %q", a)
+	}
+	if !g.HasRegion(b) {
+		return fmt.Errorf("wan link: unknown region %q", b)
+	}
+	if a == b {
+		return fmt.Errorf("wan link: %q cannot link to itself", a)
+	}
+	if err := l.validate(); err != nil {
+		return err
+	}
+	g.links[pairKey(a, b)] = l
+	g.nearest = nil
+	return nil
+}
+
+// Link returns the WAN model between two regions. Traffic within one
+// region — or touching an unassigned endpoint — costs nothing.
+func (g *Geography) Link(src, dst string) WANLink {
+	if src == "" || dst == "" || src == dst {
+		return WANLink{}
+	}
+	if l, ok := g.links[pairKey(src, dst)]; ok {
+		return l
+	}
+	return g.def
+}
+
+// Delay is the WAN cost of moving sizeKB from src to dst region.
+func (g *Geography) Delay(src, dst string, sizeKB float64) des.Time {
+	return g.Link(src, dst).delay(sizeKB)
+}
+
+// Nearest returns every region name ordered by WAN latency from the
+// given region, nearest first; from itself leads (latency zero) and
+// ties break by declaration order. The result is cached and must not
+// be mutated by the caller.
+func (g *Geography) Nearest(from string) []string {
+	if cached, ok := g.nearest[from]; ok {
+		return cached
+	}
+	if !g.HasRegion(from) {
+		return nil
+	}
+	order := make([]string, 0, len(g.regions))
+	for _, r := range g.regions {
+		order = append(order, r.Name)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := g.Link(from, order[i]).Latency, g.Link(from, order[j]).Latency
+		if li != lj {
+			return li < lj
+		}
+		return g.index[order[i]] < g.index[order[j]]
+	})
+	if g.nearest == nil {
+		g.nearest = make(map[string][]string)
+	}
+	g.nearest[from] = order
+	return order
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}

@@ -86,6 +86,12 @@ func ApplyControl(s *sim.Sim, data []byte) (*control.Plane, error) {
 			Machines:     cf.Failover.Machines,
 		}
 	}
+	if cf.RegionFailover != nil {
+		cfg.RegionFailover = &control.RegionFailoverConfig{
+			CheckInterval: ms(cf.RegionFailover.CheckIntervalMs),
+			DrainDelay:    ms(cf.RegionFailover.DrainDelayMs),
+		}
+	}
 	for i, as := range cf.Autoscale {
 		if !knownService(as.Service) {
 			return nil, unknownName("control.json", fmt.Sprintf("autoscale[%d].service", i), "service", as.Service, deployed)

@@ -36,6 +36,24 @@ func FuzzMachines(f *testing.F) {
 	f.Add([]byte(`{"machines":[{"name":"a","cores":2},{"name":"b","cores":2}],
 		"topology":{"domains":[{"name":"rack0","machines":["a","b"]}]}}`))
 	f.Add([]byte(`{"machines":[{"name":"a","cores":2,"pools":[{"name":"p","capacity":4}]}]}`))
+	// Region-bearing seeds: a valid rack→region hierarchy with WAN
+	// overrides, plus pinned invalid inputs (duplicate membership, a
+	// machine in two regions, negative WAN latency, a self-link) that
+	// must be rejected without panicking.
+	f.Add([]byte(`{"machines":[{"name":"a","cores":2},{"name":"b","cores":2}],
+		"topology":{"domains":[{"name":"rack0","machines":["a"]}],
+		"regions":[{"name":"east","racks":["rack0"]},{"name":"west","machines":["b"]}],
+		"wan":{"latency_ms":5,"per_kb_us":1,"links":[{"a":"east","b":"west","latency_ms":2}]}}}`))
+	f.Add([]byte(`{"machines":[{"name":"a","cores":2}],
+		"topology":{"regions":[{"name":"r","machines":["a","a"]}]}}`))
+	f.Add([]byte(`{"machines":[{"name":"a","cores":2},{"name":"b","cores":2}],
+		"topology":{"regions":[{"name":"east","machines":["a","b"]},{"name":"west","machines":["b"]}]}}`))
+	f.Add([]byte(`{"machines":[{"name":"a","cores":2},{"name":"b","cores":2}],
+		"topology":{"regions":[{"name":"east","machines":["a"]},{"name":"west","machines":["b"]}],
+		"wan":{"latency_ms":-1}}}`))
+	f.Add([]byte(`{"machines":[{"name":"a","cores":2},{"name":"b","cores":2}],
+		"topology":{"regions":[{"name":"east","machines":["a"]},{"name":"west","machines":["b"]}],
+		"wan":{"links":[{"a":"east","b":"east","latency_ms":1}]}}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = Assemble(data, svc, graph, path, client)
 	})
@@ -67,6 +85,9 @@ func FuzzControl(f *testing.F) {
 	f.Add([]byte(`{"services":["nginx"],"detector":{"period_ms":10},"failover":{"restart_delay_ms":50}}`))
 	f.Add([]byte(`{"vantage":"frontend","detector":{"period_ms":5,"phi_threshold":8}}`))
 	f.Add([]byte(`{"autoscale":[{"service":"nginx","min":1,"max":3,"target_utilization":0.6,"interval_ms":50}]}`))
+	// Region failover against a geography-less base must be rejected
+	// cleanly, never panic.
+	f.Add([]byte(`{"heartbeat":{"period_ms":10},"region_failover":{"check_interval_ms":10,"drain_delay_ms":20}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		setup, err := Assemble(mach, svc, graph, path, client)
 		if err != nil {

@@ -206,6 +206,7 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	}
 
 	// Failure domains (after machines so membership is checkable).
+	var regionNames []string
 	if mf.Topology != nil {
 		machineNames := make([]string, 0, len(mf.Machines))
 		for _, ms := range mf.Machines {
@@ -222,6 +223,67 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 		}
 		if err := s.SetDomains(domains); err != nil {
 			return nil, fmt.Errorf("config: machines.json topology: %w", err)
+		}
+
+		// Regions: the geographic layer above racks. Each region lists
+		// machines directly and/or pulls in whole racks by domain name.
+		if len(mf.Topology.Regions) > 0 {
+			domainNames := make([]string, 0, len(mf.Topology.Domains))
+			for _, d := range mf.Topology.Domains {
+				domainNames = append(domainNames, d.Name)
+			}
+			regions := make([]cluster.Region, 0, len(mf.Topology.Regions))
+			for i, rs := range mf.Topology.Regions {
+				members := append([]string(nil), rs.Machines...)
+				for j, name := range rs.Machines {
+					if !seen[name] {
+						return nil, unknownName("machines.json", fmt.Sprintf("topology.regions[%d].machines[%d]", i, j), "machine", name, machineNames)
+					}
+				}
+				for j, rack := range rs.Racks {
+					found := false
+					for _, d := range mf.Topology.Domains {
+						if d.Name == rack {
+							members = append(members, d.Machines...)
+							found = true
+							break
+						}
+					}
+					if !found {
+						return nil, unknownName("machines.json", fmt.Sprintf("topology.regions[%d].racks[%d]", i, j), "domain", rack, domainNames)
+					}
+				}
+				regions = append(regions, cluster.Region{Name: rs.Name, Machines: members})
+				regionNames = append(regionNames, rs.Name)
+			}
+			geo, err := s.SetGeography(regions)
+			if err != nil {
+				return nil, fmt.Errorf("config: machines.json topology.regions: %w", err)
+			}
+			if w := mf.Topology.WAN; w != nil {
+				if err := geo.SetDefaultWAN(cluster.WANLink{
+					Latency: des.FromSeconds(w.LatencyMs / 1000),
+					PerKB:   des.FromNanos(w.PerKBUs * 1000),
+				}); err != nil {
+					return nil, fmt.Errorf("config: machines.json topology.wan: %w", err)
+				}
+				for li, l := range w.Links {
+					if !geo.HasRegion(l.A) {
+						return nil, unknownName("machines.json", fmt.Sprintf("topology.wan.links[%d].a", li), "region", l.A, regionNames)
+					}
+					if !geo.HasRegion(l.B) {
+						return nil, unknownName("machines.json", fmt.Sprintf("topology.wan.links[%d].b", li), "region", l.B, regionNames)
+					}
+					if err := geo.SetLink(l.A, l.B, cluster.WANLink{
+						Latency: des.FromSeconds(l.LatencyMs / 1000),
+						PerKB:   des.FromNanos(l.PerKBUs * 1000),
+					}); err != nil {
+						return nil, fmt.Errorf("config: machines.json topology.wan.links[%d]: %w", li, err)
+					}
+				}
+			}
+		} else if mf.Topology.WAN != nil {
+			return nil, fmt.Errorf("config: machines.json: topology.wan requires topology.regions")
 		}
 	}
 
@@ -262,6 +324,25 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 		}
 		if _, err := s.Deploy(bp, lb, placements...); err != nil {
 			return nil, err
+		}
+		if d.Replication != nil {
+			if len(regionNames) == 0 {
+				return nil, fmt.Errorf("config: graph.json deployments[%d]: replication requires topology.regions in machines.json", i)
+			}
+			for j, rg := range d.Replication.Regions {
+				if !s.Geography().HasRegion(rg) {
+					return nil, unknownName("graph.json", fmt.Sprintf("deployments[%d].replication.regions[%d]", i, j), "region", rg, regionNames)
+				}
+			}
+			if d.Replication.LagMs < 0 {
+				return nil, fmt.Errorf("config: graph.json deployments[%d]: replication lag_ms must be non-negative", i)
+			}
+			if err := s.SetReplication(d.Service, sim.ReplicationSpec{
+				Lag:     des.FromSeconds(d.Replication.LagMs / 1000),
+				Regions: d.Replication.Regions,
+			}); err != nil {
+				return nil, fmt.Errorf("config: graph.json deployments[%d]: %w", i, err)
+			}
 		}
 	}
 
@@ -369,6 +450,12 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 		cc.Budget = b
 	} else if cf.BudgetMs > 0 {
 		cc.Budget = dist.NewDeterministic(float64(des.FromSeconds(cf.BudgetMs / 1000)))
+	}
+	if cf.Region != "" {
+		if geo := s.Geography(); geo == nil || !geo.HasRegion(cf.Region) {
+			return nil, unknownName("client.json", "region", "region", cf.Region, regionNames)
+		}
+		cc.Region = cf.Region
 	}
 	if cf.SizeKB != nil {
 		sz, err := cf.SizeKB.Build()

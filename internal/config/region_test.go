@@ -1,0 +1,217 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"uqsim/internal/des"
+)
+
+// regionTopology installs a two-region layer over the twotier machines.
+func regionTopology(m map[string]any) {
+	m["topology"] = map[string]any{
+		"regions": []any{
+			map[string]any{"name": "east", "machines": []any{"frontend"}},
+			map[string]any{"name": "west", "machines": []any{"cache"}},
+		},
+		"wan": map[string]any{"latency_ms": 5.0},
+	}
+}
+
+// TestRegionConfigErrors pins the strict-decode and validation paths of
+// the region schema: typo'd fields and names get did-you-mean
+// suggestions, and structurally invalid geographies are rejected with a
+// named location.
+func TestRegionConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		muts map[string]func(map[string]any)
+		want string
+	}{
+		{"machine in two regions", map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				m["topology"] = map[string]any{"regions": []any{
+					map[string]any{"name": "east", "machines": []any{"frontend", "cache"}},
+					map[string]any{"name": "west", "machines": []any{"cache"}},
+				}}
+			},
+		}, "two regions"},
+		{"unknown region machine", map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				m["topology"] = map[string]any{"regions": []any{
+					map[string]any{"name": "east", "machines": []any{"frontendz"}},
+				}}
+			},
+		}, `did you mean "frontend"`},
+		{"unknown rack", map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				m["topology"] = map[string]any{
+					"domains": []any{map[string]any{"name": "rack0", "machines": []any{"frontend"}}},
+					"regions": []any{
+						map[string]any{"name": "east", "racks": []any{"rack9"}},
+						map[string]any{"name": "west", "machines": []any{"cache"}},
+					}}
+			},
+		}, `did you mean "rack0"`},
+		{"negative wan latency", map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				regionTopology(m)
+				m["topology"].(map[string]any)["wan"] = map[string]any{"latency_ms": -5.0}
+			},
+		}, "negative WAN latency"},
+		{"wan without regions", map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				m["topology"] = map[string]any{
+					"domains": []any{map[string]any{"name": "rack0", "machines": []any{"frontend"}}},
+					"wan":     map[string]any{"latency_ms": 5.0},
+				}
+			},
+		}, "topology.wan requires topology.regions"},
+		{"wan typo field", map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				regionTopology(m)
+				m["topology"].(map[string]any)["wan"] = map[string]any{"latency_mz": 5.0}
+			},
+		}, `did you mean "latency_ms"`},
+		{"unknown wan link region", map[string]func(map[string]any){
+			"machines.json": func(m map[string]any) {
+				regionTopology(m)
+				m["topology"].(map[string]any)["wan"] = map[string]any{
+					"links": []any{map[string]any{"a": "eastt", "b": "west"}},
+				}
+			},
+		}, `did you mean "east"`},
+		{"unknown replication region", map[string]func(map[string]any){
+			"machines.json": regionTopology,
+			"graph.json": func(m map[string]any) {
+				m["deployments"].([]any)[1].(map[string]any)["replication"] =
+					map[string]any{"regions": []any{"eastt"}}
+			},
+		}, `did you mean "east"`},
+		{"replication without regions", map[string]func(map[string]any){
+			"graph.json": func(m map[string]any) {
+				m["deployments"].([]any)[1].(map[string]any)["replication"] =
+					map[string]any{"lag_ms": 10.0}
+			},
+		}, "requires topology.regions"},
+		{"negative replication lag", map[string]func(map[string]any){
+			"machines.json": regionTopology,
+			"graph.json": func(m map[string]any) {
+				m["deployments"].([]any)[1].(map[string]any)["replication"] =
+					map[string]any{"lag_ms": -1.0, "regions": []any{"east", "west"}}
+			},
+		}, "non-negative"},
+		{"replication single region", map[string]func(map[string]any){
+			"machines.json": regionTopology,
+			"graph.json": func(m map[string]any) {
+				m["deployments"].([]any)[1].(map[string]any)["replication"] =
+					map[string]any{"regions": []any{"west"}}
+			},
+		}, "two regions"},
+		{"client unknown region", map[string]func(map[string]any){
+			"machines.json": regionTopology,
+			"client.json": func(m map[string]any) {
+				m["region"] = "easy"
+			},
+		}, `did you mean "east"`},
+		{"client region without regions", map[string]func(map[string]any){
+			"client.json": func(m map[string]any) {
+				m["region"] = "east"
+			},
+		}, "unknown region"},
+	}
+	for _, c := range cases {
+		_, err := mutateSetup(t, c.muts)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRegionConfigAssembles: a valid region layer — rack-pulled
+// membership, WAN overrides, a homed client — assembles and runs with
+// cross-region accounting active.
+func TestRegionConfigAssembles(t *testing.T) {
+	setup, err := mutateSetup(t, map[string]func(map[string]any){
+		"machines.json": func(m map[string]any) {
+			m["topology"] = map[string]any{
+				"domains": []any{map[string]any{"name": "rack0", "machines": []any{"frontend"}}},
+				"regions": []any{
+					map[string]any{"name": "east", "racks": []any{"rack0"}},
+					map[string]any{"name": "west", "machines": []any{"cache"}},
+				},
+				"wan": map[string]any{
+					"latency_ms": 5.0,
+					"links":      []any{map[string]any{"a": "east", "b": "west", "latency_ms": 1.0, "per_kb_us": 0.5}},
+				},
+			}
+		},
+		"client.json": func(m map[string]any) {
+			m["region"] = "east"
+			m["duration_s"] = 0.1
+			m["warmup_s"] = 0.0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := setup.Sim.Geography()
+	if geo == nil {
+		t.Fatal("no geography installed")
+	}
+	if got := geo.RegionOf("frontend"); got != "east" {
+		t.Fatalf("rack-pulled membership: frontend in %q, want east", got)
+	}
+	if d := geo.Delay("east", "west", 0); d != des.Millisecond {
+		t.Fatalf("link override delay = %v, want 1ms", d)
+	}
+	rep, err := setup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions == 0 {
+		t.Fatal("no completions")
+	}
+	// nginx sits in east, memcached in west: every nginx→memcached hop
+	// crosses the WAN.
+	if rep.CrossRegionCalls == 0 {
+		t.Fatal("no cross-region calls counted")
+	}
+}
+
+// TestLoadDirThreeRegion runs the shipped three-region reference config
+// end to end: rack→region hierarchy, WAN overrides, geo-replicated
+// store, east-homed diurnal client, a full east outage healed mid-run,
+// and the control plane's region failover promoting a survivor.
+func TestLoadDirThreeRegion(t *testing.T) {
+	setup, err := LoadDir("../../configs/threeregion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.Plane == nil {
+		t.Fatal("control.json present but no plane attached")
+	}
+	rep, err := setup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions == 0 {
+		t.Fatal("no completions")
+	}
+	st := setup.Plane.Stats()
+	if st.RegionLosses == 0 || st.RegionFailovers == 0 || st.RegionRestores == 0 {
+		t.Fatalf("east outage not handled: %s", st.Fingerprint())
+	}
+	if rep.CrossRegionCalls == 0 {
+		t.Fatal("no cross-region traffic during the outage")
+	}
+	leaked := rep.Arrivals - (rep.Completions + rep.Timeouts + rep.Shed +
+		rep.Dropped + rep.DeadlineExpired + rep.Unreachable + uint64(rep.InFlight))
+	if leaked != 0 {
+		t.Fatalf("leaked %d requests", leaked)
+	}
+}

@@ -27,9 +27,44 @@ type MachinesFile struct {
 	Topology *TopologySpec `json:"topology,omitempty"`
 }
 
-// TopologySpec declares the cluster's failure domains.
+// TopologySpec declares the cluster's failure hierarchy: overlapping
+// failure domains (racks, power zones) and, above them, disjoint
+// geographic regions with a WAN model between them.
 type TopologySpec struct {
-	Domains []DomainSpec `json:"domains"`
+	Domains []DomainSpec `json:"domains,omitempty"`
+	// Regions partitions machines into geographic sites. With regions
+	// declared, routing prefers the nearest healthy region and
+	// cross-region hops pay the WAN model's latency.
+	Regions []RegionSpec `json:"regions,omitempty"`
+	// WAN models inter-region links; requires Regions.
+	WAN *WANSpec `json:"wan,omitempty"`
+}
+
+// RegionSpec is one geographic site. Machines lists members directly;
+// Racks pulls in every machine of the named topology domains — the
+// rack→region hierarchy. A machine may belong to only one region.
+type RegionSpec struct {
+	Name     string   `json:"name"`
+	Machines []string `json:"machines,omitempty"`
+	Racks    []string `json:"racks,omitempty"`
+}
+
+// WANSpec is the inter-region network model: a default latency and
+// per-KB serialization cost for every region pair, with optional
+// symmetric per-pair overrides.
+type WANSpec struct {
+	LatencyMs float64       `json:"latency_ms,omitempty"`
+	PerKBUs   float64       `json:"per_kb_us,omitempty"`
+	Links     []WANLinkSpec `json:"links,omitempty"`
+}
+
+// WANLinkSpec overrides the WAN model between one region pair (applies
+// to both directions).
+type WANLinkSpec struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+	PerKBUs   float64 `json:"per_kb_us,omitempty"`
 }
 
 // DomainSpec is one named failure domain: a set of machines that share
@@ -129,6 +164,19 @@ type DeploymentSpec struct {
 	// LB: "round_robin" (default), "random", or "least_loaded".
 	LB        string         `json:"lb,omitempty"`
 	Instances []InstanceSpec `json:"instances"`
+	// Replication declares the service geo-replicated across regions
+	// (requires topology.regions in machines.json).
+	Replication *ReplicationSpec `json:"replication,omitempty"`
+}
+
+// ReplicationSpec geo-replicates a deployment: its per-region replica
+// sets serve reads everywhere, but a read served outside the request's
+// origin region is stale until the serving region has been promoted for
+// at least lag_ms. Regions lists the replica set (default: every region
+// hosting an instance); each listed region must host at least one.
+type ReplicationSpec struct {
+	Regions []string `json:"regions,omitempty"`
+	LagMs   float64  `json:"lag_ms,omitempty"`
 }
 
 // InstanceSpec is one instance placement.
@@ -184,6 +232,11 @@ type ClientFile struct {
 	// ClosedUsers switches to a closed-loop client.
 	ClosedUsers int        `json:"closed_users,omitempty"`
 	Think       *dist.Spec `json:"think,omitempty"`
+
+	// Region homes the client in one of topology.regions: entry traffic
+	// prefers that region and cross-origin reads of replicated services
+	// count as stale while the serving region lags.
+	Region string `json:"region,omitempty"`
 
 	// TimeoutMs makes the client give up on requests older than this
 	// (0: infinite patience); MaxRetries re-issues timed-out requests.
@@ -336,6 +389,9 @@ type ControlFile struct {
 	Ejection  *EjectionSpec   `json:"ejection,omitempty"`
 	Failover  *FailoverSpec   `json:"failover,omitempty"`
 	Autoscale []AutoscaleSpec `json:"autoscale,omitempty"`
+	// RegionFailover arms region-loss failover (requires Heartbeat and
+	// a topology with regions).
+	RegionFailover *RegionFailoverSpec `json:"region_failover,omitempty"`
 	// Vantage names the machine the plane observes from: heartbeats from
 	// machines partitioned away from it go unheard. Empty: omniscient.
 	Vantage string `json:"vantage,omitempty"`
@@ -359,6 +415,15 @@ type EjectionSpec struct {
 	MinRequests        int     `json:"min_requests,omitempty"`
 	MinHealthyFraction float64 `json:"min_healthy_fraction,omitempty"`
 	ProbationMs        float64 `json:"probation_ms,omitempty"`
+}
+
+// RegionFailoverSpec tunes region-loss failover: when every tracked
+// heartbeat from a region has gone silent (crash or partition), the
+// plane waits drain_delay_ms for in-flight work to settle, then
+// promotes the nearest healthy region of each geo-replicated service.
+type RegionFailoverSpec struct {
+	CheckIntervalMs float64 `json:"check_interval_ms,omitempty"`
+	DrainDelayMs    float64 `json:"drain_delay_ms,omitempty"`
 }
 
 // FailoverSpec tunes dead-instance replacement.

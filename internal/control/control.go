@@ -203,6 +203,10 @@ type Config struct {
 	Ejection  *EjectionConfig
 	Failover  *FailoverConfig
 	Autoscale []AutoscaleConfig
+	// RegionFailover arms region-loss detection and geo-replica
+	// promotion. Requires a Detector and a simulation with an installed
+	// geography (sim.SetGeography).
+	RegionFailover *RegionFailoverConfig
 	// Vantage names the machine the plane observes the cluster from.
 	// With the network fault model active, heartbeats from machines
 	// unreachable toward the vantage are lost — live instances behind a
@@ -241,6 +245,13 @@ type Stats struct {
 	// instance was unreachable from the vantage: scaling on a partial
 	// view would double-place capacity that is still serving.
 	ScaleFrozen uint64
+	// RegionLosses counts regions declared lost (every tracked instance
+	// homed there dead); RegionFailovers counts geo-replica promotions
+	// performed in response; RegionRestores counts lost regions whose
+	// instances resumed beating.
+	RegionLosses    uint64
+	RegionFailovers uint64
+	RegionRestores  uint64
 }
 
 // MeanDetectionLag reports the average gap between an instance dying and
@@ -255,9 +266,10 @@ func (st *Stats) MeanDetectionLag() des.Time {
 // Fingerprint flattens the counters into a comparable string for
 // determinism tests.
 func (st *Stats) Fingerprint() string {
-	return fmt.Sprintf("det=%d rec=%d lag=%d fo=%d stall=%d ej=%d rein=%d up=%d down=%d blocked=%d frozen=%d",
+	return fmt.Sprintf("det=%d rec=%d lag=%d fo=%d stall=%d ej=%d rein=%d up=%d down=%d blocked=%d frozen=%d rloss=%d rfo=%d rrest=%d",
 		st.Detections, st.Recoveries, st.DetectionLagTotal, st.Failovers, st.FailoverStalls,
-		st.Ejections, st.Reinstatements, st.ScaleUps, st.ScaleDowns, st.ScaleBlocked, st.ScaleFrozen)
+		st.Ejections, st.Reinstatements, st.ScaleUps, st.ScaleDowns, st.ScaleBlocked, st.ScaleFrozen,
+		st.RegionLosses, st.RegionFailovers, st.RegionRestores)
 }
 
 // Plane is one attached control plane.
@@ -268,8 +280,11 @@ type Plane struct {
 
 	managed    []*managedDeployment
 	byInstance map[string]*instanceTrack
-	stats      Stats
-	stopped    bool
+	// lostRegions holds the regions currently declared lost, for
+	// edge-triggered loss/restore accounting.
+	lostRegions map[string]bool
+	stats       Stats
+	stopped     bool
 }
 
 // managedDeployment is the plane's view of one deployment.
@@ -350,8 +365,18 @@ func Attach(s *sim.Sim, cfg Config) (*Plane, error) {
 			return nil, fmt.Errorf("control: vantage references unknown machine %q", cfg.Vantage)
 		}
 	}
+	if cfg.RegionFailover != nil {
+		if cfg.Detector == nil {
+			return nil, fmt.Errorf("control: region failover requires a detector")
+		}
+		if s.Geography() == nil {
+			return nil, fmt.Errorf("control: region failover requires a geography — call sim.SetGeography first")
+		}
+		cfg.RegionFailover = cfg.RegionFailover.withDefaults(cfg.Detector)
+	}
 
-	p := &Plane{s: s, eng: s.Engine(), cfg: cfg, byInstance: make(map[string]*instanceTrack)}
+	p := &Plane{s: s, eng: s.Engine(), cfg: cfg, byInstance: make(map[string]*instanceTrack),
+		lostRegions: make(map[string]bool)}
 
 	// Resolve the managed deployments in deterministic order.
 	deps := s.Deployments()
@@ -413,6 +438,9 @@ func Attach(s *sim.Sim, cfg Config) (*Plane, error) {
 	// deployment, one autoscale loop per scaled deployment.
 	if cfg.Detector != nil {
 		p.eng.After(cfg.Detector.CheckInterval, p.checkSuspicions)
+	}
+	if cfg.RegionFailover != nil {
+		p.eng.After(cfg.RegionFailover.CheckInterval, p.checkRegions)
 	}
 	if cfg.Ejection != nil {
 		for _, md := range p.managed {
@@ -501,6 +529,7 @@ func (p *Plane) RegisterGauges(m *monitor.Monitor) {
 		m.WatchGauge(dep.Name+".healthy", func(des.Time) float64 { return float64(len(dep.Healthy())) })
 		m.WatchGauge(dep.Name+".ejected", func(des.Time) float64 { return float64(dep.EjectedCount()) })
 	}
+	p.registerRegionGauges(m)
 }
 
 // placeReplica picks the machine for a new replica: among the allowed

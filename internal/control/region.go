@@ -1,0 +1,165 @@
+package control
+
+import (
+	"uqsim/internal/des"
+	"uqsim/internal/monitor"
+)
+
+// This file is the region-failover orchestrator: the control plane's
+// answer to losing an entire region. The per-instance phi detector
+// already declares each silenced instance dead one by one; this layer
+// aggregates those verdicts per region under the installed geography.
+// When every tracked instance homed in a region is declared dead the
+// region itself is declared lost, in-flight work is given a drain
+// grace, and the nearest healthy replica region of each geo-replicated
+// deployment is promoted so cross-region reads stop being stale once
+// the replication lag has elapsed. Routing itself needs no push: the
+// data plane's nearest-healthy-region picker shifts traffic away the
+// moment the lost region's replicas leave the rotation, and shifts it
+// back when they return — the plane only moves the freshness clock and
+// keeps score.
+
+// RegionFailoverConfig tunes region-loss detection and failover.
+// Requires a Detector (region loss is inferred from per-instance
+// suspicion) and an installed geography (sim.SetGeography).
+type RegionFailoverConfig struct {
+	// CheckInterval is the region-loss evaluation cadence (default:
+	// the detector's check interval).
+	CheckInterval des.Time
+	// DrainDelay is the grace between declaring a region lost and
+	// promoting replacement regions (default 50ms) — time for
+	// in-flight work to drain and for detector flapping to settle; a
+	// region that heals within the grace is never failed over.
+	DrainDelay des.Time
+}
+
+func (c *RegionFailoverConfig) withDefaults(det *DetectorConfig) *RegionFailoverConfig {
+	out := *c
+	if out.CheckInterval <= 0 {
+		out.CheckInterval = det.CheckInterval
+	}
+	if out.DrainDelay <= 0 {
+		out.DrainDelay = 50 * des.Millisecond
+	}
+	return &out
+}
+
+// regionLost reports whether the plane currently believes region is
+// gone: at least one live-tenure tracked instance is homed there and
+// every such instance is declared dead. Regions hosting nothing the
+// plane manages are never lost — there is nothing to fail over.
+func (p *Plane) regionLost(region string) bool {
+	seen := false
+	for _, md := range p.managed {
+		for _, tr := range md.tracks {
+			if tr.replaced || md.dep.Retired(tr.in) {
+				continue
+			}
+			if p.s.RegionOf(tr.in.Alloc.Machine.Name) != region {
+				continue
+			}
+			seen = true
+			if !tr.dead {
+				return false
+			}
+		}
+	}
+	return seen
+}
+
+// checkRegions is the periodic region-loss evaluation loop. Loss and
+// restoration are edge-triggered: a region transitions lost exactly
+// once per outage (scheduling one drained failover) and restored
+// exactly once per heal.
+func (p *Plane) checkRegions(now des.Time) {
+	if p.stopped {
+		return
+	}
+	for _, r := range p.s.Geography().Regions() {
+		name := r.Name
+		lost := p.regionLost(name)
+		switch {
+		case lost && !p.lostRegions[name]:
+			p.lostRegions[name] = true
+			p.stats.RegionLosses++
+			p.eng.After(p.cfg.RegionFailover.DrainDelay, func(t des.Time) { p.promoteAway(t, name) })
+		case !lost && p.lostRegions[name]:
+			delete(p.lostRegions, name)
+			p.stats.RegionRestores++
+			// Promotions persist — the healed region's replicas rejoin
+			// the rotation via the data plane, and regions promoted
+			// during the outage stay fresh for the traffic they absorbed.
+		}
+	}
+	p.eng.After(p.cfg.RegionFailover.CheckInterval, p.checkRegions)
+}
+
+// promoteAway fails the lost region's traffic over: for every managed
+// geo-replicated deployment serving from the lost region, the nearest
+// replica region (by WAN latency from the lost one) that still has
+// healthy replicas is promoted. A region that healed during the drain
+// grace is left alone.
+func (p *Plane) promoteAway(now des.Time, lost string) {
+	if p.stopped || !p.lostRegions[lost] {
+		return
+	}
+	geo := p.s.Geography()
+	for _, md := range p.managed {
+		dep := md.dep
+		if !dep.Replicated() || !regionListed(dep.ReplicaRegions(), lost) {
+			continue
+		}
+		for _, r := range geo.Nearest(lost) {
+			if r == lost || !regionListed(dep.ReplicaRegions(), r) || dep.RegionHealthy(r) == 0 {
+				continue
+			}
+			if _, already := dep.PromotedAt(r); !already {
+				dep.Promote(now, r)
+				p.stats.RegionFailovers++
+			}
+			break
+		}
+	}
+}
+
+func regionListed(regions []string, name string) bool {
+	for _, r := range regions {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// registerRegionGauges surfaces the geography on a monitor:
+// region.<name>.up (fraction of the region's machines up),
+// net.xregion_fraction (fraction of regioned traffic crossing a
+// boundary), and per replicated deployment <service>.<region>.healthy
+// and <service>.<region>.staleness_ms for each replica region.
+func (p *Plane) registerRegionGauges(m *monitor.Monitor) {
+	geo := p.s.Geography()
+	if geo == nil {
+		return
+	}
+	s := p.s
+	for _, r := range geo.Regions() {
+		name := r.Name
+		m.WatchGauge("region."+name+".up", func(des.Time) float64 { return s.DomainUp(name) })
+	}
+	m.WatchGauge("net.xregion_fraction", func(des.Time) float64 { return s.CrossRegionFraction() })
+	for _, md := range p.managed {
+		dep := md.dep
+		if !dep.Replicated() {
+			continue
+		}
+		for _, r := range dep.ReplicaRegions() {
+			region := r
+			m.WatchGauge(dep.Name+"."+region+".healthy", func(des.Time) float64 {
+				return float64(dep.RegionHealthy(region))
+			})
+			m.WatchGauge(dep.Name+"."+region+".staleness_ms", func(now des.Time) float64 {
+				return dep.Staleness(now, region).Seconds() * 1000
+			})
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package control
+
+import (
+	"fmt"
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/fault"
+	"uqsim/internal/graph"
+	"uqsim/internal/monitor"
+	"uqsim/internal/pdes"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/stats"
+	"uqsim/internal/workload"
+)
+
+// geoScenario builds the canonical region-loss drill: a geo-replicated
+// store with one replica per region (east/west, 5ms WAN apart), an
+// east-homed client, a full crash of the east region at 100ms healed at
+// 300ms, and a control plane with the detector plus region failover.
+func geoScenario(t *testing.T, seed uint64, eng des.Runner) (*sim.Sim, *Plane) {
+	t.Helper()
+	s := sim.New(sim.Options{Seed: seed, Engine: eng})
+	s.AddMachine("e0", 4, cluster.FreqSpec{})
+	s.AddMachine("w0", 4, cluster.FreqSpec{})
+	geo, err := s.SetGeography([]cluster.Region{
+		{Name: "east", Machines: []string{"e0"}},
+		{Name: "west", Machines: []string{"w0"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo.SetDefaultWAN(cluster.WANLink{Latency: 5 * des.Millisecond})
+	if _, err := s.Deploy(service.SingleStage("store", dist.NewDeterministic(200*1000)), sim.RoundRobin,
+		sim.Placement{Machine: "e0", Cores: 2},
+		sim.Placement{Machine: "w0", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetReplication("store", sim.ReplicationSpec{Lag: 20 * des.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	topo := &graph.Topology{Trees: []graph.Tree{{
+		Name: "t", Weight: 1, Root: 0,
+		Nodes: []graph.Node{{ID: 0, Service: "store", Instance: -1}},
+	}}}
+	if err := s.SetTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	s.SetClient(sim.ClientConfig{Pattern: workload.ConstantRate(1000), Region: "east"})
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+		{At: 100 * des.Millisecond, Kind: fault.CrashDomain, Domain: "east"},
+		{At: 300 * des.Millisecond, Kind: fault.RecoverDomain, Domain: "east"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := Attach(s, Config{
+		Detector: &DetectorConfig{Period: 10 * des.Millisecond},
+		RegionFailover: &RegionFailoverConfig{
+			CheckInterval: 10 * des.Millisecond,
+			DrainDelay:    20 * des.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, plane
+}
+
+// TestRegionFailoverPromotesAndRestores: losing every instance in the
+// east region declares the region lost, and after the drain grace the
+// nearest healthy replica region (west) is promoted — so the stale
+// window on the failed-over traffic is bounded by the replication lag.
+// Healing east restores the region without undoing the promotion.
+func TestRegionFailoverPromotesAndRestores(t *testing.T) {
+	s, plane := geoScenario(t, 42, nil)
+	rep, err := s.Run(0, 600*des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plane.Stats()
+	if st.RegionLosses == 0 {
+		t.Fatalf("east loss never declared: %s", st.Fingerprint())
+	}
+	if st.RegionFailovers != 1 {
+		t.Fatalf("region failovers = %d, want exactly 1 (west promoted once): %s",
+			st.RegionFailovers, st.Fingerprint())
+	}
+	if st.RegionRestores == 0 {
+		t.Fatalf("east heal never restored the region: %s", st.Fingerprint())
+	}
+	dep, _ := s.Deployment("store")
+	when, ok := dep.PromotedAt("west")
+	if !ok {
+		t.Fatal("west was never promoted")
+	}
+	if when < 120*des.Millisecond || when > 300*des.Millisecond {
+		t.Fatalf("west promoted at %v, want within the outage after detection+drain", when)
+	}
+	if !dep.FreshAt(600*des.Millisecond, "west") {
+		t.Fatal("west still stale long after promotion + lag")
+	}
+	// Failover traffic crossed the WAN and was stale only until the
+	// promoted region caught up.
+	if rep.CrossRegionCalls == 0 {
+		t.Fatal("no cross-region calls during the east outage")
+	}
+	if rep.StaleReads == 0 || rep.StaleReads >= rep.CrossRegionCalls {
+		t.Fatalf("stale reads = %d of %d cross-region calls, want a strict non-zero subset",
+			rep.StaleReads, rep.CrossRegionCalls)
+	}
+	if l := leaked(rep); l != 0 {
+		t.Fatalf("leaked %d requests", l)
+	}
+	plane.Stop()
+	s.Engine().Run()
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionDrainGraceSkipsTransientLoss: a region that heals within the
+// drain grace is never failed over — the loss is declared and restored,
+// but no promotion happens.
+func TestRegionDrainGraceSkipsTransientLoss(t *testing.T) {
+	s := sim.New(sim.Options{Seed: 9})
+	s.AddMachine("e0", 4, cluster.FreqSpec{})
+	s.AddMachine("w0", 4, cluster.FreqSpec{})
+	if _, err := s.SetGeography([]cluster.Region{
+		{Name: "east", Machines: []string{"e0"}},
+		{Name: "west", Machines: []string{"w0"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy(service.SingleStage("store", dist.NewDeterministic(200*1000)), sim.RoundRobin,
+		sim.Placement{Machine: "e0", Cores: 2},
+		sim.Placement{Machine: "w0", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetReplication("store", sim.ReplicationSpec{Lag: 20 * des.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash east just long enough for the detector to fire, then heal it
+	// inside the long drain grace.
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{
+		{At: 100 * des.Millisecond, Kind: fault.CrashDomain, Domain: "east"},
+		{At: 180 * des.Millisecond, Kind: fault.RecoverDomain, Domain: "east"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := Attach(s, Config{
+		Detector: &DetectorConfig{Period: 10 * des.Millisecond},
+		RegionFailover: &RegionFailoverConfig{
+			CheckInterval: 10 * des.Millisecond,
+			DrainDelay:    200 * des.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().RunUntil(600 * des.Millisecond)
+	st := plane.Stats()
+	if st.RegionLosses == 0 || st.RegionRestores == 0 {
+		t.Fatalf("transient loss not observed: %s", st.Fingerprint())
+	}
+	if st.RegionFailovers != 0 {
+		t.Fatalf("transient loss was failed over despite healing inside the drain grace: %s", st.Fingerprint())
+	}
+	dep, _ := s.Deployment("store")
+	if _, promoted := dep.PromotedAt("west"); promoted {
+		t.Fatal("west promoted for a loss that healed during the drain")
+	}
+	plane.Stop()
+}
+
+// TestRegionFailoverValidation: region failover without a detector or
+// without a geography is rejected eagerly.
+func TestRegionFailoverValidation(t *testing.T) {
+	flat := sim.New(sim.Options{Seed: 1})
+	flat.AddMachine("m0", 4, cluster.FreqSpec{})
+	if _, err := flat.Deploy(service.SingleStage("s", dist.NewDeterministic(1000)), sim.RoundRobin,
+		sim.Placement{Machine: "m0", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(flat, Config{
+		Detector:       &DetectorConfig{},
+		RegionFailover: &RegionFailoverConfig{},
+	}); err == nil {
+		t.Fatal("region failover accepted without a geography")
+	}
+	geo := sim.New(sim.Options{Seed: 1})
+	geo.AddMachine("m0", 4, cluster.FreqSpec{})
+	if _, err := geo.SetGeography([]cluster.Region{{Name: "solo", Machines: []string{"m0"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := geo.Deploy(service.SingleStage("s", dist.NewDeterministic(1000)), sim.RoundRobin,
+		sim.Placement{Machine: "m0", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(geo, Config{
+		RegionFailover: &RegionFailoverConfig{},
+	}); err == nil {
+		t.Fatal("region failover accepted without a detector")
+	}
+}
+
+func findGauge(m *monitor.Monitor, name string) *stats.TimeSeries {
+	for _, g := range m.Gauges() {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// TestRegionGaugesSurviveCrashRecover: the per-region monitor series —
+// region up-fraction, per-region healthy replicas, replication
+// staleness, cross-region traffic fraction — stay registered and
+// sensible through a full region crash and recovery: east's series dip
+// to zero during the outage and return after the heal, and west's
+// staleness decays to zero once promoted.
+func TestRegionGaugesSurviveCrashRecover(t *testing.T) {
+	s, plane := geoScenario(t, 17, nil)
+	m := monitor.New(s.Engine(), 10*des.Millisecond)
+	plane.RegisterGauges(m)
+	m.Start()
+	if _, err := s.Run(0, 600*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	plane.Stop()
+	for _, name := range []string{
+		"region.east.up", "region.west.up", "net.xregion_fraction",
+		"store.east.healthy", "store.east.staleness_ms",
+		"store.west.healthy", "store.west.staleness_ms",
+	} {
+		g := findGauge(m, name)
+		if g == nil {
+			t.Fatalf("gauge %s not registered", name)
+		}
+		if g.Len() == 0 {
+			t.Fatalf("gauge %s never sampled", name)
+		}
+	}
+	minMaxLast := func(name string) (min, max, last float64) {
+		pts := findGauge(m, name).Points()
+		min, max = pts[0].V, pts[0].V
+		for _, p := range pts {
+			if p.V < min {
+				min = p.V
+			}
+			if p.V > max {
+				max = p.V
+			}
+		}
+		return min, max, pts[len(pts)-1].V
+	}
+	if min, max, last := minMaxLast("region.east.up"); min != 0 || max != 1 || last != 1 {
+		t.Fatalf("region.east.up min/max/last = %v/%v/%v, want 0/1/1 (down during outage, back after heal)", min, max, last)
+	}
+	if min, _, _ := minMaxLast("region.west.up"); min != 1 {
+		t.Fatalf("region.west.up dipped to %v, want steady 1", min)
+	}
+	if min, max, last := minMaxLast("store.east.healthy"); min != 0 || max != 1 || last != 1 {
+		t.Fatalf("store.east.healthy min/max/last = %v/%v/%v, want 0/1/1", min, max, last)
+	}
+	if min, _, _ := minMaxLast("store.west.healthy"); min != 1 {
+		t.Fatalf("store.west.healthy dipped to %v, want steady 1", min)
+	}
+	// West starts a full replication lag behind (20ms) and catches up
+	// after the failover promotes it.
+	if _, max, last := minMaxLast("store.west.staleness_ms"); max != 20 || last != 0 {
+		t.Fatalf("store.west.staleness_ms max/last = %v/%v, want 20/0", max, last)
+	}
+	if _, max, last := minMaxLast("net.xregion_fraction"); max <= 0 || last <= 0 {
+		t.Fatalf("net.xregion_fraction max/last = %v/%v, want > 0 after failover traffic", max, last)
+	}
+}
+
+// TestRegionFailoverCrossEngine: the determinism guarantee covers the
+// whole region-failover loop — the same scenario on the sequential
+// engine and on parallel coordinators with 1, 2, and 4 workers yields
+// bit-identical report and control-plane fingerprints.
+func TestRegionFailoverCrossEngine(t *testing.T) {
+	engines := []struct {
+		name string
+		mk   func() des.Runner
+	}{
+		{"des", func() des.Runner { return des.New() }},
+		{"pdes", func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 1}) }},
+		{"pdes-workers2", func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 2, Lookahead: des.Millisecond}) }},
+		{"pdes-workers4", func() des.Runner { return pdes.New(pdes.Options{LPs: 1, Workers: 4, Lookahead: des.Millisecond}) }},
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		var baseline string
+		for _, eng := range engines {
+			s, plane := geoScenario(t, seed, eng.mk())
+			rep, err := s.Run(0, 600*des.Millisecond)
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, eng.name, err)
+			}
+			fp := fmt.Sprintf("arr=%d comp=%d to=%d xr=%d stale=%d p50=%v p99=%v | %s",
+				rep.Arrivals, rep.Completions, rep.Timeouts, rep.CrossRegionCalls, rep.StaleReads,
+				rep.Latency.P50(), rep.Latency.P99(), plane.Stats().Fingerprint())
+			plane.Stop()
+			s.Engine().Run()
+			if err := s.VerifyDrained(); err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, eng.name, err)
+			}
+			if eng.name == "des" {
+				baseline = fp
+				continue
+			}
+			if fp != baseline {
+				t.Fatalf("seed %d: %s diverges with region failover active\n des: %s\n %s: %s",
+					seed, eng.name, baseline, eng.name, fp)
+			}
+		}
+	}
+}

@@ -63,6 +63,12 @@ func ReportTables(rep *sim.Report) []*Table {
 	}
 	out := []*Table{sum, tiers, insts}
 
+	if rep.CrossRegionCalls > 0 || rep.StaleReads > 0 {
+		xr := NewTable("Cross-region traffic", "xregion_calls", "stale_reads")
+		xr.Add(fmt.Sprintf("%d", rep.CrossRegionCalls), fmt.Sprintf("%d", rep.StaleReads))
+		out = append(out, xr)
+	}
+
 	if len(rep.Errors) > 0 {
 		errs := NewTable("Per-service call errors",
 			"service", "timeouts", "shed", "dropped", "breaker_open", "retries", "hedges")

@@ -100,9 +100,17 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 		dep.refreshHealthy()
 	case fault.CrashMachine:
 		if s.crashedM == nil {
-			s.crashedM = make(map[string]bool)
+			s.crashedM = make(map[string]int)
 		}
-		s.crashedM[ev.Machine] = true
+		// Overlapping correlated faults (a region crash and a rack crash
+		// both covering this machine) stack as independent causes: each
+		// crash increments, each recover decrements, and the machine only
+		// comes back when every cause has healed — the partition model's
+		// cut counting, one level up.
+		s.crashedM[ev.Machine]++
+		if s.crashedM[ev.Machine] > 1 {
+			return // already down; this crash just adds a cause
+		}
 		// Deterministic deployment order matters: kill order decides the
 		// order drops propagate and retries get scheduled.
 		for _, dep := range s.Deployments() {
@@ -118,6 +126,10 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 			}
 		}
 	case fault.RecoverMachine:
+		if n := s.crashedM[ev.Machine]; n > 1 {
+			s.crashedM[ev.Machine] = n - 1
+			return // another crash cause still holds the machine down
+		}
 		delete(s.crashedM, ev.Machine)
 		for _, dep := range s.Deployments() {
 			touched := false

@@ -38,6 +38,36 @@ func buildRandomTopologyOn(t *testing.T, seed int64, eng des.Runner) *Sim {
 	}
 	mach := func() string { return fmt.Sprintf("m%d", r.Intn(nMachines)) }
 
+	// Optionally install a two-region geography (with WAN latency and a
+	// region-homed client) so the determinism suites cover region-aware
+	// routing, WAN delays, and stale-read accounting.
+	withRegions := nMachines >= 2 && r.Intn(2) == 0
+	if withRegions {
+		cut := 1 + r.Intn(nMachines-1)
+		var east, west []string
+		for i := 0; i < nMachines; i++ {
+			name := fmt.Sprintf("m%d", i)
+			if i < cut {
+				east = append(east, name)
+			} else {
+				west = append(west, name)
+			}
+		}
+		geo, err := s.SetGeography([]cluster.Region{
+			{Name: "east", Machines: east},
+			{Name: "west", Machines: west},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := geo.SetDefaultWAN(cluster.WANLink{
+			Latency: des.Time(1+r.Intn(3)) * des.Millisecond,
+			PerKB:   des.Time(r.Intn(20)) * des.Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	deploy := func(name string, meanUs float64) {
 		t.Helper()
 		var sampler dist.Sampler
@@ -95,7 +125,26 @@ func buildRandomTopologyOn(t *testing.T, seed int64, eng des.Runner) *Sim {
 			t.Fatal(err)
 		}
 	}
-	s.SetClient(ClientConfig{Pattern: workload.ConstantRate(float64(200 + r.Intn(2000)))})
+	cfg := ClientConfig{Pattern: workload.ConstantRate(float64(200 + r.Intn(2000)))}
+	if withRegions {
+		cfg.Region = []string{"east", "west"}[r.Intn(2)]
+		// Geo-replicate the join tier when its random placements landed
+		// replicas in both regions.
+		if dep, _ := s.Deployment("join"); len(dep.Instances) >= 2 {
+			spans := make(map[string]bool)
+			for _, reg := range dep.instRegion {
+				spans[reg] = true
+			}
+			if len(spans) >= 2 {
+				if err := s.SetReplication("join", ReplicationSpec{
+					Lag: des.Time(5+r.Intn(40)) * des.Millisecond,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	s.SetClient(cfg)
 	return s
 }
 
@@ -194,6 +243,18 @@ func withRandomFaults(t *testing.T, s *Sim, seed int64) {
 				fault.Event{At: dCrash + 30*des.Millisecond, Kind: fault.RecoverDomain, Domain: "rack"},
 			)
 		}
+		// Region loss: regions double as failure domains, and a region
+		// crash may overlap the rack crash above — exercising the
+		// per-machine crash-cause counting.
+		if s.Geography() != nil && r.Intn(2) == 0 {
+			rCrash := des.Time(90+r.Intn(60)) * des.Millisecond
+			events = append(events,
+				fault.Event{At: rCrash, Kind: fault.CrashDomain, Domain: "west",
+					Stagger: des.Time(r.Intn(2)) * des.Millisecond},
+				fault.Event{At: rCrash + des.Time(20+r.Intn(40))*des.Millisecond,
+					Kind: fault.RecoverDomain, Domain: "west"},
+			)
+		}
 	}
 	if err := s.InstallFaults(fault.Plan{Events: events}); err != nil {
 		t.Fatal(err)
@@ -203,11 +264,12 @@ func withRandomFaults(t *testing.T, s *Sim, seed int64) {
 // reportFingerprint flattens everything a Report asserts about a run into
 // one comparable string.
 func reportFingerprint(rep *Report) string {
-	fp := fmt.Sprintf("arr=%d comp=%d to=%d shed=%d drop=%d ddl=%d brk=%d retry=%d hedge=%d/%d cancel=%d waste=%d inflight=%d unreach=%d ldrop=%d ldup=%d mean=%v p50=%v p99=%v",
+	fp := fmt.Sprintf("arr=%d comp=%d to=%d shed=%d drop=%d ddl=%d brk=%d retry=%d hedge=%d/%d cancel=%d waste=%d inflight=%d unreach=%d ldrop=%d ldup=%d xr=%d stale=%d mean=%v p50=%v p99=%v",
 		rep.Arrivals, rep.Completions, rep.Timeouts, rep.Shed, rep.Dropped,
 		rep.DeadlineExpired, rep.BreakerFastFails, rep.Retries,
 		rep.HedgesIssued, rep.HedgeWins, rep.CanceledWork, rep.WastedWork, rep.InFlight,
 		rep.Unreachable, rep.LinkDrops, rep.LinkDups,
+		rep.CrossRegionCalls, rep.StaleReads,
 		rep.Latency.Mean(), rep.Latency.P50(), rep.Latency.P99())
 	svcs := make([]string, 0, len(rep.Errors))
 	for svc := range rep.Errors {

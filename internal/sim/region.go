@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/job"
+	"uqsim/internal/netfault"
+	"uqsim/internal/service"
+)
+
+// SetGeography installs the region layer of the topology: a disjoint
+// machine→region assignment returned as a *cluster.Geography whose WAN
+// model (SetDefaultWAN, SetLink) may then be configured before the run.
+// With a geography installed, every dispatch prefers the nearest
+// healthy region of the target deployment and cross-region hops pay the
+// WAN delay. Each region is also registered as a failure domain, so
+// crash_domain/recover_domain events and DomainUp gauges address
+// regions by name. Must be called before any Deploy.
+func (s *Sim) SetGeography(regions []cluster.Region) (*cluster.Geography, error) {
+	if s.geo != nil {
+		return nil, fmt.Errorf("sim: geography already set")
+	}
+	if len(s.depOrder) > 0 {
+		return nil, fmt.Errorf("sim: set the geography before deploying services")
+	}
+	g, err := cluster.NewGeography(regions, func(m string) bool {
+		_, ok := s.cluster.Machine(m)
+		return ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	doms := make([]netfault.Domain, 0, len(regions))
+	for _, r := range g.Regions() {
+		if _, exists := s.domain(r.Name); exists {
+			return nil, fmt.Errorf("sim: region %q collides with a declared failure domain", r.Name)
+		}
+		doms = append(doms, netfault.Domain{Name: r.Name, Machines: r.Machines})
+	}
+	s.geo = g
+	s.geoDomains = doms
+	return g, nil
+}
+
+// Geography reports the installed region layer (nil without one).
+func (s *Sim) Geography() *cluster.Geography { return s.geo }
+
+// RegionOf reports a machine's home region under the installed
+// geography; "" without one or for an unassigned machine.
+func (s *Sim) RegionOf(machine string) string {
+	if s.geo == nil {
+		return ""
+	}
+	return s.geo.RegionOf(machine)
+}
+
+// sourceRegion resolves the region a hop originates from: the sending
+// machine's home region, or the client's configured region for entry
+// hops (srcMachine == "").
+func (s *Sim) sourceRegion(srcMachine string) string {
+	if srcMachine == "" {
+		return s.clientCfg.Region
+	}
+	return s.geo.RegionOf(srcMachine)
+}
+
+// ReplicationSpec configures geo-replication for one deployment.
+type ReplicationSpec struct {
+	// Lag is the replication delay: after a region is promoted, its
+	// replicas serve stale reads for cross-origin traffic until Lag has
+	// elapsed. Zero models synchronous replication (never stale).
+	Lag des.Time
+	// Regions lists the regions that must host at least one replica.
+	// Empty: every region that hosts a replica of the deployment.
+	Regions []string
+}
+
+// SetReplication declares a deployed service geo-replicated: its
+// replicas form per-region sets, reads served outside the request's
+// origin region count as stale until the serving region has been
+// promoted (Deployment.Promote) for at least the replication lag, and
+// the control plane's region failover promotes the nearest healthy
+// region when the origin is lost. Call after Deploy.
+func (s *Sim) SetReplication(svc string, spec ReplicationSpec) error {
+	if s.geo == nil {
+		return fmt.Errorf("sim: replication for %s needs a geography", svc)
+	}
+	dep, ok := s.deployments[svc]
+	if !ok {
+		return fmt.Errorf("sim: replication for undeployed service %q", svc)
+	}
+	if spec.Lag < 0 {
+		return fmt.Errorf("sim: %s: negative replication lag %v", svc, spec.Lag)
+	}
+	regions := append([]string(nil), spec.Regions...)
+	if len(regions) == 0 {
+		seen := make(map[string]bool)
+		for _, r := range dep.instRegion {
+			if r != "" && !seen[r] {
+				seen[r] = true
+				regions = append(regions, r)
+			}
+		}
+	}
+	for _, r := range regions {
+		if !s.geo.HasRegion(r) {
+			return fmt.Errorf("sim: %s: replication references unknown region %q", svc, r)
+		}
+		hosted := false
+		for _, have := range dep.instRegion {
+			if have == r {
+				hosted = true
+				break
+			}
+		}
+		if !hosted {
+			return fmt.Errorf("sim: %s: replication region %q hosts no replica", svc, r)
+		}
+	}
+	if len(regions) < 2 {
+		return fmt.Errorf("sim: %s: replication needs replicas in at least two regions", svc)
+	}
+	dep.replicated = true
+	dep.lag = spec.Lag
+	dep.replRegions = regions
+	if dep.promoted == nil {
+		dep.promoted = make(map[string]des.Time)
+	}
+	return nil
+}
+
+// Replicated reports whether the deployment is geo-replicated.
+func (d *Deployment) Replicated() bool { return d.replicated }
+
+// ReplicationLag reports the configured replication lag.
+func (d *Deployment) ReplicationLag() des.Time { return d.lag }
+
+// ReplicaRegions reports the regions the replication spec covers.
+func (d *Deployment) ReplicaRegions() []string { return d.replRegions }
+
+// RegionHealthy reports the healthy instances homed in one region.
+func (d *Deployment) RegionHealthy(region string) int { return len(d.byRegion[region]) }
+
+// Promote marks a region as taking over serving at time now: its
+// replicas become fresh once the replication lag has elapsed. Promoting
+// an already-promoted region keeps the earlier clock.
+func (d *Deployment) Promote(now des.Time, region string) {
+	if d.promoted == nil {
+		d.promoted = make(map[string]des.Time)
+	}
+	if _, ok := d.promoted[region]; !ok {
+		d.promoted[region] = now
+	}
+}
+
+// PromotedAt reports when a region was promoted, if it was.
+func (d *Deployment) PromotedAt(region string) (des.Time, bool) {
+	t, ok := d.promoted[region]
+	return t, ok
+}
+
+// FreshAt reports whether reads served by the region's replicas are
+// up to date at time now. Synchronously replicated deployments
+// (lag == 0) and non-replicated ones are always fresh.
+func (d *Deployment) FreshAt(now des.Time, region string) bool {
+	if !d.replicated || d.lag == 0 {
+		return true
+	}
+	pt, ok := d.promoted[region]
+	return ok && now >= pt+d.lag
+}
+
+// Staleness reports how far the region's replicas lag behind at time
+// now: zero when fresh, the remaining catch-up time while promoted, and
+// the full configured lag while unpromoted. Monitors export it as the
+// per-region replication-lag gauge.
+func (d *Deployment) Staleness(now des.Time, region string) des.Time {
+	if !d.replicated || d.lag == 0 {
+		return 0
+	}
+	if pt, ok := d.promoted[region]; ok {
+		if rem := pt + d.lag - now; rem > 0 {
+			return rem
+		}
+		return 0
+	}
+	return d.lag
+}
+
+// regionCursor returns the region's dedicated round-robin cursor,
+// creating it on first use.
+func (d *Deployment) regionCursor(region string) *int {
+	c, ok := d.regionRR[region]
+	if !ok {
+		c = new(int)
+		if d.regionRR == nil {
+			d.regionRR = make(map[string]*int)
+		}
+		d.regionRR[region] = c
+	}
+	return c
+}
+
+// pickRegional selects an instance by nearest-healthy-region order:
+// the source region's own replicas first, then outward by WAN latency.
+// Nil when the source has no region or only region-less instances are
+// healthy — the caller falls back to the region-blind pick.
+func (s *Sim) pickRegional(dep *Deployment, srcRegion string) *service.Instance {
+	if srcRegion == "" || dep.byRegion == nil {
+		return nil
+	}
+	for _, r := range s.geo.Nearest(srcRegion) {
+		if hs := dep.byRegion[r]; len(hs) > 0 {
+			return dep.pickFrom(hs, dep.regionCursor(r))
+		}
+	}
+	return nil
+}
+
+// wanHop accounts the region crossing of one delivery and returns the
+// WAN delay it must pay (zero intra-region or when an endpoint has no
+// region). A cross-region serve of a geo-replicated deployment outside
+// the request's origin region counts as stale while the serving region
+// lags (FreshAt).
+func (s *Sim) wanHop(now des.Time, j *job.Job, in *service.Instance, srcMachine string) des.Time {
+	dstR := s.geo.RegionOf(in.Alloc.Machine.Name)
+	if dstR == "" {
+		return 0
+	}
+	srcR := s.sourceRegion(srcMachine)
+	if srcR == "" {
+		return 0
+	}
+	s.regionHops++
+	if srcR == dstR {
+		return 0
+	}
+	s.crossHops++
+	if dep := s.deployments[in.BP.Name]; dep != nil && dep.replicated {
+		if home := s.clientCfg.Region; home != "" && home != dstR && !dep.FreshAt(now, dstR) {
+			s.staleReads++
+		}
+	}
+	return s.geo.Delay(srcR, dstR, j.Req.SizeKB)
+}
+
+// CrossRegionStats reports delivery counts under the geography: hops
+// where both endpoints have a region, the subset that crossed a region
+// boundary, and the stale subset of cross-origin replicated reads.
+func (s *Sim) CrossRegionStats() (hops, cross, stale uint64) {
+	return s.regionHops, s.crossHops, s.staleReads
+}
+
+// CrossRegionFraction reports the fraction of region-to-region traffic
+// that crossed a region boundary — the cross-region traffic gauge.
+func (s *Sim) CrossRegionFraction() float64 {
+	if s.regionHops == 0 {
+		return 0
+	}
+	return float64(s.crossHops) / float64(s.regionHops)
+}

@@ -163,7 +163,7 @@ func (s *Sim) startAttempt(now des.Time, req *job.Request, st *reqState, nodeID,
 		return
 	}
 	dep := s.deployments[node.Service]
-	in := s.pickFor(node, dep)
+	in := s.pickFor(node, dep, srcMachine)
 	if in == nil {
 		// No healthy instance: an instant connection failure.
 		if pr.brk != nil {

@@ -168,7 +168,7 @@ func (s *Sim) dispatchNode(now des.Time, req *job.Request, st *reqState, nodeID,
 		}
 	}
 	dep := s.deployments[node.Service]
-	in := s.pickFor(node, dep)
+	in := s.pickFor(node, dep, srcMachine)
 	if in == nil {
 		// Every instance is down and no policy protects the edge.
 		s.countError(node.Service, job.OutcomeDropped)
@@ -179,15 +179,22 @@ func (s *Sim) dispatchNode(now des.Time, req *job.Request, st *reqState, nodeID,
 	s.deliver(now, j, in, srcMachine)
 }
 
-// pickFor selects the node's instance: its pinned one (nil when killed) or
-// a healthy instance by the deployment's balancing policy.
-func (s *Sim) pickFor(node *graph.Node, dep *Deployment) *service.Instance {
+// pickFor selects the node's instance: its pinned one (nil when killed),
+// the nearest-healthy-region choice under a geography (ordered outward
+// from the hop's source region by WAN latency), or a healthy instance by
+// the deployment's region-blind balancing policy.
+func (s *Sim) pickFor(node *graph.Node, dep *Deployment, srcMachine string) *service.Instance {
 	if node.Instance >= 0 {
 		in := dep.Instances[node.Instance]
 		if in.Down() {
 			return nil
 		}
 		return in
+	}
+	if s.geo != nil {
+		if in := s.pickRegional(dep, s.sourceRegion(srcMachine)); in != nil {
+			return in
+		}
 	}
 	return dep.pickHealthy()
 }
@@ -254,6 +261,26 @@ func (s *Sim) deliverDirect(now des.Time, j *job.Job, in *service.Instance, srcM
 			}
 		}
 	}
+	// The WAN boundary: a hop whose endpoints home in different regions
+	// pays the geography's inter-region delay before admission. The
+	// delay is a deterministic function of the region pair and payload
+	// size — no RNG draw — so installing a geography never perturbs the
+	// existing random streams.
+	if s.geo != nil {
+		if wan := s.wanHop(now, j, in, srcMachine); wan > 0 {
+			s.eng.At(now+wan, func(t des.Time) { s.admitDelivery(t, j, in, srcMachine) })
+			return
+		}
+	}
+	s.admitDelivery(now, j, in, srcMachine)
+}
+
+// admitDelivery lands a routed job at its destination machine: directly
+// into the instance, or through the machine's interrupt-processing
+// service when the hop crossed machines and a network model is
+// configured.
+func (s *Sim) admitDelivery(now des.Time, j *job.Job, in *service.Instance, srcMachine string) {
+	dest := in.Alloc.Machine.Name
 	if s.netCfg == nil || srcMachine == dest {
 		if res := in.Admit(now, j); res != service.Admitted {
 			s.deliveryRejected(now, j, res)
@@ -518,6 +545,13 @@ type Report struct {
 	// Retries — duplicates never enter the conservation identity).
 	LinkDrops uint64
 	LinkDups  uint64
+	// CrossRegionCalls counts deliveries that crossed a region boundary
+	// under the installed geography (attempt-level, like LinkDrops);
+	// StaleReads is the subset that served a geo-replicated deployment
+	// outside the request's origin region before the serving region
+	// caught up (replication lag).
+	CrossRegionCalls uint64
+	StaleReads       uint64
 	// BreakerFastFails is the subset of Shed failed by open breakers.
 	BreakerFastFails uint64
 	// Retries counts resilience-policy attempt re-issues across all edges
@@ -571,6 +605,8 @@ func (s *Sim) report(horizon des.Time) *Report {
 
 		DeadlineExpired:  s.deadlineReqs,
 		Unreachable:      s.unreachableReqs,
+		CrossRegionCalls: s.crossHops,
+		StaleReads:       s.staleReads,
 		BreakerFastFails: s.breakerFast,
 		Retries:          s.retriesN,
 		HedgesIssued:     s.hedgesN,

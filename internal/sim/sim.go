@@ -99,6 +99,13 @@ type ClientConfig struct {
 	// work runs on abandoned), an expired budget actively reclaims
 	// capacity. Samples are drawn from a dedicated RNG stream.
 	Budget dist.Sampler
+	// Region homes the client in one of the geography's regions. Entry
+	// hops then prefer that region's instances, pay WAN latency when the
+	// nearest healthy replica lives elsewhere, and a served read of a
+	// geo-replicated service outside this region counts as stale until
+	// the serving region catches up (see SetReplication). Empty: the
+	// client is region-blind.
+	Region string
 }
 
 // Options configures a simulation run.
@@ -128,10 +135,21 @@ type Sim struct {
 
 	// Network fault model: nil until a partition, gray link, or domain
 	// is installed — the perfect-fabric hot path pays one nil check.
-	net      *netfault.State
-	domains  []netfault.Domain
-	crashedM map[string]bool // machines currently crashed by the fault plan
+	net     *netfault.State
+	domains []netfault.Domain
+	// crashedM counts overlapping crash causes per machine (a region
+	// crash and a rack crash may both cover one machine); the machine is
+	// up only while its count is zero, so overlapping correlated faults
+	// heal independently — the same cut counting the partition model
+	// uses, one level up.
+	crashedM map[string]int
 	linkRNG  map[[2]string]*rng.Source
+
+	// Geography: nil until SetGeography installs the region layer. Every
+	// region doubles as a failure domain (geoDomains) so correlated
+	// fault events and per-domain gauges address regions by name.
+	geo        *cluster.Geography
+	geoDomains []netfault.Domain
 
 	topo       *graph.Topology
 	treeChoice *dist.Choice
@@ -183,6 +201,9 @@ type Sim struct {
 	retriesN        uint64
 	hedgesN         uint64
 	hedgeWins       uint64
+	regionHops      uint64 // deliveries where both endpoints have a region
+	crossHops       uint64 // subset that crossed a region boundary
+	staleReads      uint64 // cross-origin serves of a lagging replica
 	errCounts       map[string]*ErrorCounts
 	latency         *stats.LatencyHist
 	perTier         map[string]*stats.LatencyHist
@@ -328,16 +349,36 @@ func (s *Sim) SetDomains(domains []netfault.Domain) error {
 	}); err != nil {
 		return err
 	}
+	for _, d := range domains {
+		for _, gd := range s.geoDomains {
+			if d.Name == gd.Name {
+				return fmt.Errorf("sim: domain %q collides with a declared region", d.Name)
+			}
+		}
+	}
 	s.domains = domains
 	return nil
 }
 
-// Domains reports the declared failure domains.
-func (s *Sim) Domains() []netfault.Domain { return s.domains }
+// Domains reports the declared failure domains, regions last.
+func (s *Sim) Domains() []netfault.Domain {
+	if len(s.geoDomains) == 0 {
+		return s.domains
+	}
+	out := make([]netfault.Domain, 0, len(s.domains)+len(s.geoDomains))
+	out = append(out, s.domains...)
+	out = append(out, s.geoDomains...)
+	return out
+}
 
-// domain resolves a declared failure domain by name.
+// domain resolves a declared failure domain (or region) by name.
 func (s *Sim) domain(name string) (netfault.Domain, bool) {
 	for _, d := range s.domains {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	for _, d := range s.geoDomains {
 		if d.Name == name {
 			return d, true
 		}
@@ -355,7 +396,7 @@ func (s *Sim) DomainUp(name string) float64 {
 	}
 	up := 0
 	for _, m := range d.Machines {
-		if !s.crashedM[m] {
+		if s.crashedM[m] == 0 {
 			up++
 		}
 	}
@@ -417,6 +458,23 @@ type Deployment struct {
 	// never allocates.
 	healthy []*service.Instance
 	state   []instanceState
+
+	// Geography bookkeeping (only populated when the sim has one).
+	// instRegion aligns with Instances; byRegion holds the per-region
+	// healthy subsets rebuilt alongside healthy; regionRR keeps one
+	// round-robin cursor per region so regional picks rotate like global
+	// ones.
+	instRegion []string
+	byRegion   map[string][]*service.Instance
+	regionRR   map[string]*int
+
+	// Geo-replication (SetReplication): reads served outside the
+	// request's origin region are stale until the serving region has
+	// been promoted for at least lag.
+	replicated  bool
+	lag         des.Time
+	replRegions []string
+	promoted    map[string]des.Time
 }
 
 // refreshHealthy rebuilds the load-balancing set after a membership
@@ -424,9 +482,17 @@ type Deployment struct {
 // rarer than dispatches.
 func (d *Deployment) refreshHealthy() {
 	d.healthy = d.healthy[:0]
+	for r := range d.byRegion {
+		d.byRegion[r] = d.byRegion[r][:0]
+	}
 	for i, in := range d.Instances {
 		if d.state[i] == instActive && !in.Down() {
 			d.healthy = append(d.healthy, in)
+			if d.byRegion != nil {
+				if r := d.instRegion[i]; r != "" {
+					d.byRegion[r] = append(d.byRegion[r], in)
+				}
+			}
 		}
 	}
 }
@@ -547,11 +613,25 @@ func (s *Sim) Deploy(bp *service.Blueprint, lb Policy, placements ...Placement) 
 		in.OnJobShed = s.handleJobShed
 		dep.Instances = append(dep.Instances, in)
 		dep.state = append(dep.state, instActive)
+		s.noteInstanceRegion(dep, p.Machine)
 	}
 	dep.refreshHealthy()
 	s.deployments[bp.Name] = dep
 	s.depOrder = append(s.depOrder, bp.Name)
 	return dep, nil
+}
+
+// noteInstanceRegion records the home region of the instance just
+// appended to dep and keeps the region index allocated. No-op without a
+// geography.
+func (s *Sim) noteInstanceRegion(dep *Deployment, machine string) {
+	if s.geo == nil {
+		return
+	}
+	dep.instRegion = append(dep.instRegion, s.geo.RegionOf(machine))
+	if dep.byRegion == nil {
+		dep.byRegion = make(map[string][]*service.Instance)
+	}
 }
 
 // AddReplica deploys one more instance of an existing deployment onto the
@@ -593,6 +673,7 @@ func (s *Sim) AddReplica(svc, machine string, cores int) (*service.Instance, err
 	}
 	dep.Instances = append(dep.Instances, in)
 	dep.state = append(dep.state, instActive)
+	s.noteInstanceRegion(dep, machine)
 	dep.refreshHealthy()
 	return in, nil
 }
@@ -645,7 +726,13 @@ func (s *Sim) Deployments() []*Deployment {
 // restart, eject, reinstate, retire, replica add), so this path never
 // allocates.
 func (d *Deployment) pickHealthy() *service.Instance {
-	healthy := d.healthy
+	return d.pickFrom(d.healthy, &d.rr)
+}
+
+// pickFrom applies the deployment's balancing policy to one healthy
+// subset with its own rotation cursor — the whole set for region-blind
+// picks, a per-region subset for geography-aware ones.
+func (d *Deployment) pickFrom(healthy []*service.Instance, rr *int) *service.Instance {
 	n := len(healthy)
 	if n == 0 {
 		return nil
@@ -656,8 +743,8 @@ func (d *Deployment) pickHealthy() *service.Instance {
 	case LeastLoaded:
 		// Scan from a rotating start so ties spread across instances
 		// instead of always landing on the first one.
-		start := d.rr % n
-		d.rr++
+		start := *rr % n
+		*rr++
 		best := healthy[start]
 		bestLoad := best.InFlight()
 		for i := 1; i < n; i++ {
@@ -668,8 +755,8 @@ func (d *Deployment) pickHealthy() *service.Instance {
 		}
 		return best
 	default:
-		in := healthy[d.rr%n]
-		d.rr++
+		in := healthy[*rr%n]
+		*rr++
 		return in
 	}
 }

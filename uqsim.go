@@ -30,8 +30,11 @@
 package uqsim
 
 import (
+	"time"
+
 	"uqsim/internal/apps"
 	"uqsim/internal/cache"
+	"uqsim/internal/cli"
 	"uqsim/internal/cluster"
 	"uqsim/internal/config"
 	"uqsim/internal/control"
@@ -143,6 +146,25 @@ type FreqSpec = cluster.FreqSpec
 
 // DefaultFreqSpec matches the paper's Xeon E5-2660 v3 (1.2–2.6 GHz).
 var DefaultFreqSpec = cluster.DefaultFreqSpec
+
+// ---- multi-region geography ----
+
+// Region groups machines (directly or by rack) into one geographic
+// failure and latency domain; install with Sim.SetGeography.
+type Region = cluster.Region
+
+// WANLink is the latency/bandwidth cost of one inter-region hop.
+type WANLink = cluster.WANLink
+
+// Geography is the installed region map: WAN link configuration,
+// nearest-region ordering, and machine→region lookups.
+type Geography = cluster.Geography
+
+// ReplicationSpec declares a deployment geo-replicated across regions
+// with asynchronous replication lag; install with Sim.SetReplication.
+// Reads served by a non-promoted remote region within the lag window
+// count as stale (Report.StaleReads).
+type ReplicationSpec = sim.ReplicationSpec
 
 // ---- service models ----
 
@@ -418,6 +440,12 @@ type EjectionConfig = control.EjectionConfig
 // FailoverConfig parameterizes replacement of detected-dead instances.
 type FailoverConfig = control.FailoverConfig
 
+// RegionFailoverConfig parameterizes region-loss failover: when every
+// tracked instance in a region is declared dead, the plane waits out a
+// drain grace and then promotes the nearest healthy replica region of
+// each geo-replicated deployment. Requires a Detector and a Geography.
+type RegionFailoverConfig = control.RegionFailoverConfig
+
 // AutoscaleConfig parameterizes one service's reactive autoscaler.
 type AutoscaleConfig = control.AutoscaleConfig
 
@@ -474,4 +502,17 @@ type UnknownDeploymentError struct{ Name string }
 
 func (e *UnknownDeploymentError) Error() string {
 	return "uqsim: unknown deployment " + e.Name
+}
+
+// ---- command-line plumbing ----
+
+// Watchdog stops the currently running simulation when a termination
+// signal arrives or a wall-clock budget runs out, so binaries flush
+// partial results instead of dying mid-write.
+type Watchdog = cli.Watchdog
+
+// StartWatchdog installs the signal handler and, when maxWall > 0, arms
+// the wall-clock limit. Call it before building any simulation.
+func StartWatchdog(maxWall time.Duration) *Watchdog {
+	return cli.StartWatchdog(maxWall)
 }
