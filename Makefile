@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples examples-run fuzz
+.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples examples-run fuzz chaos
 
 # check is the tier-1 gate: everything CI runs.
 check: vet staticcheck build test race
@@ -71,3 +71,22 @@ fuzz:
 	$(GO) test ./internal/config -run xxx -fuzz FuzzMachines -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/config -run xxx -fuzz FuzzFaults -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/config -run xxx -fuzz FuzzControl -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/config -run xxx -fuzz FuzzGraph -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/config -run xxx -fuzz FuzzClient -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/config -run xxx -fuzz FuzzPath -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/config -run xxx -fuzz FuzzService -fuzztime $(FUZZTIME)
+
+# chaos runs a short seeded fault-schedule search against the metastable
+# config as a smoke (CI runs this); findings land in a throwaway corpus so
+# the committed one only changes deliberately. Exit 3 (findings exist) is
+# expected on this intentionally fragile config. Longer local hunts:
+#   make chaos CHAOS_TRIALS=200 CHAOS_MAX_WALL=10m
+CHAOS_TRIALS ?= 3
+CHAOS_MAX_WALL ?= 2m
+chaos:
+	@out=$$(mktemp -d); \
+	$(GO) build -o $$out/uqsim-chaos ./cmd/uqsim-chaos || exit 1; \
+	$$out/uqsim-chaos -config configs/metastable -trials $(CHAOS_TRIALS) \
+		-seed 1 -corpus $$out/corpus -max-wall $(CHAOS_MAX_WALL); rc=$$?; \
+	rm -rf $$out; \
+	if [ $$rc -ne 0 ] && [ $$rc -ne 3 ]; then exit $$rc; fi

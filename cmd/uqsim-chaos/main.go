@@ -1,0 +1,119 @@
+// Command uqsim-chaos explores randomized fault schedules against a
+// config directory, checks every run against the simulator's invariants
+// (conservation, drain, determinism, and post-heal recovery), and shrinks
+// each violation to a minimal replayable repro in the corpus directory.
+//
+// Usage:
+//
+//	uqsim-chaos -config configs/metastable -trials 50
+//	uqsim-chaos -config configs/metastable -seed 7 -corpus corpus/
+//	uqsim-chaos -config configs/metastable -max-wall 2m
+//	uqsim-chaos -replay configs/metastable/corpus/trial0000-recovery-goodput -config configs/metastable
+//
+// SIGINT/SIGTERM and the -max-wall watchdog stop the current simulation
+// cleanly: findings already shrunk are kept (the corpus flush is atomic,
+// meta.json last, so no half-written entry is ever picked up) and the
+// process exits nonzero to mark the search partial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"uqsim/internal/chaos"
+	"uqsim/internal/cli"
+)
+
+func main() {
+	configDir := flag.String("config", "", "config directory to explore (required)")
+	trials := flag.Int("trials", 50, "number of random scenarios to try")
+	seed := flag.Uint64("seed", 1, "master seed for scenario generation")
+	corpus := flag.String("corpus", "", "directory for replayable repro artifacts (default <config>/corpus)")
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, keep partial corpus, exit nonzero")
+	maxActions := flag.Int("max-actions", 0, "max fault actions per scenario (default 6)")
+	replay := flag.String("replay", "", "replay one corpus entry directory instead of searching")
+	quiet := flag.Bool("q", false, "suppress per-trial progress")
+	flag.Parse()
+
+	if *configDir == "" {
+		fmt.Fprintln(os.Stderr, "uqsim-chaos: -config is required")
+		os.Exit(2)
+	}
+	wd := cli.StartWatchdog(*maxWall)
+
+	if *replay != "" {
+		runReplay(*configDir, *replay)
+		return
+	}
+
+	if *corpus == "" {
+		*corpus = *configDir + "/corpus"
+	}
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	start := time.Now()
+	res, err := chaos.Run(chaos.Options{
+		ConfigDir:   *configDir,
+		Seed:        *seed,
+		Trials:      *trials,
+		CorpusDir:   *corpus,
+		MaxActions:  *maxActions,
+		Interrupted: wd.Interrupted,
+		Logf:        logf,
+	})
+	if err != nil {
+		if wd.Interrupted() {
+			fmt.Fprintf(os.Stderr, "uqsim-chaos: interrupted (%s)\n", wd.Reason())
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "uqsim-chaos:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%d/%d trials, %d finding(s) in %v\n",
+		res.Trials, *trials, len(res.Findings), time.Since(start).Round(time.Millisecond))
+	for _, f := range res.Findings {
+		fmt.Printf("  trial %4d  %-17s %2d events (from %d)  %s\n",
+			f.Trial, f.Violation, f.Events, f.EventsBefore, f.Dir)
+	}
+	if res.Interrupted {
+		fmt.Fprintf(os.Stderr, "uqsim-chaos: PARTIAL: interrupted (%s) after %d trials; corpus entries written so far are complete\n",
+			wd.Reason(), res.Trials)
+		os.Exit(1)
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(3) // distinct from interruption: the search itself succeeded
+	}
+}
+
+// runReplay re-runs one corpus entry and reports whether it still
+// reproduces the recorded finding bit-for-bit.
+func runReplay(configDir, entry string) {
+	res, err := chaos.Replay(configDir, entry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-chaos:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded: %s (%s)\n", res.Meta.Violation, res.Meta.Detail)
+	if res.Violation == nil {
+		fmt.Println("replayed: no violation")
+	} else {
+		fmt.Printf("replayed: %s (%s)\n", res.Violation.ID, res.Violation.Detail)
+	}
+	if res.Matches() {
+		fmt.Println("MATCH: violation and fingerprint reproduce exactly")
+		return
+	}
+	if res.Fingerprint != res.Meta.Fingerprint {
+		fmt.Printf("fingerprint diverged:\n  recorded: %s\n  replayed: %s\n",
+			res.Meta.Fingerprint, res.Fingerprint)
+	}
+	fmt.Println("MISMATCH: the archived finding no longer reproduces")
+	os.Exit(3)
+}

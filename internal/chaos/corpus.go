@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"uqsim/internal/config"
+)
+
+// Meta is the corpus entry's meta.json: everything a replay needs to
+// reproduce and re-judge the finding. The fingerprint pins the exact
+// simulation the original run observed — a replay whose fingerprint
+// differs has diverged, even if it violates the same invariant.
+type Meta struct {
+	Seed        uint64   `json:"seed"`
+	Trial       int      `json:"trial"`
+	Violation   string   `json:"violation"`
+	Detail      string   `json:"detail"`
+	Events      int      `json:"events"`
+	Labels      []string `json:"labels,omitempty"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+// writeFinding archives one finding as corpusDir/trialNNNN-<violation>/
+// holding faults.json (the materialized minimal schedule, merged with the
+// config's base policies) and meta.json. Both files land atomically and
+// meta.json is written last, so an interrupted flush can never leave an
+// entry that Entries or Replay would pick up half-written.
+func writeFinding(corpusDir string, f *Finding, faultsJSON []byte) (string, error) {
+	dir := filepath.Join(corpusDir, fmt.Sprintf("trial%04d-%s", f.Trial, f.Violation))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos: creating corpus entry: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "faults.json"), faultsJSON); err != nil {
+		return "", err
+	}
+	meta := Meta{
+		Seed:        f.Seed,
+		Trial:       f.Trial,
+		Violation:   f.Violation,
+		Detail:      f.Detail,
+		Events:      f.Events,
+		Labels:      f.Scenario.Labels(),
+		Fingerprint: f.Fingerprint,
+	}
+	data, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("chaos: encoding meta.json: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "meta.json"), append(data, '\n')); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// writeAtomic writes via a same-directory temp file and rename, so a
+// signal mid-write leaves either the old content or the new — never a
+// truncated file.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("chaos: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("chaos: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("chaos: %w", err)
+	}
+	return nil
+}
+
+// Entries lists the complete corpus entries under dir, sorted by name.
+// Directories without a meta.json (an interrupted flush) are skipped.
+func Entries(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	var out []string
+	for _, de := range des {
+		if !de.IsDir() {
+			continue
+		}
+		entry := filepath.Join(dir, de.Name())
+		if _, err := os.Stat(filepath.Join(entry, "meta.json")); err == nil {
+			out = append(out, entry)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReplayResult compares a corpus entry's recorded finding against a fresh
+// run of its schedule.
+type ReplayResult struct {
+	Meta Meta
+	// Violation and Fingerprint are the fresh run's observations.
+	Violation   *Violation
+	Fingerprint string
+}
+
+// Matches reports whether the replay reproduced the recorded finding
+// exactly: same violation ID and bit-identical fingerprint.
+func (r *ReplayResult) Matches() bool {
+	return r.Violation != nil && r.Violation.ID == r.Meta.Violation &&
+		r.Fingerprint == r.Meta.Fingerprint
+}
+
+// Replay re-runs a corpus entry's faults.json under its recorded seed
+// against the given config directory and re-judges the invariants. The
+// committed corpus is replayed in CI, so every archived chaos finding
+// stays a live regression test.
+func Replay(configDir, entryDir string) (*ReplayResult, error) {
+	metaData, err := os.ReadFile(filepath.Join(entryDir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaData, &meta); err != nil {
+		return nil, fmt.Errorf("chaos: %s/meta.json: %w", entryDir, err)
+	}
+	faultsJSON, err := os.ReadFile(filepath.Join(entryDir, "faults.json"))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	var ff config.FaultsFile
+	if err := json.Unmarshal(faultsJSON, &ff); err != nil {
+		return nil, fmt.Errorf("chaos: %s/faults.json: %w", entryDir, err)
+	}
+	h, err := NewHarness(Options{ConfigDir: configDir})
+	if err != nil {
+		return nil, err
+	}
+	v, fp, err := h.verifyFaults(meta.Seed, faultsJSON, &ff)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayResult{Meta: meta, Violation: v, Fingerprint: fp}, nil
+}
+
+// encodeFaults marshals a fault plan the same way Materialize does.
+func encodeFaults(ff *config.FaultsFile) ([]byte, error) {
+	data, err := json.MarshalIndent(ff, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: encoding faults.json: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,196 @@
+package cli_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"uqsim/internal/chaos"
+	"uqsim/internal/config"
+)
+
+// These tests exercise the full binaries: a SIGINT landing mid-sweep must
+// terminate the process nonzero while leaving only complete, parseable
+// artifacts behind. They build the real commands and signal them exactly
+// like an operator's Ctrl-C.
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func buildBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// interruptAndWait sends SIGINT and returns the exit code, killing the
+// process outright if it ignores the signal.
+func interruptAndWait(t *testing.T, cmd *exec.Cmd) int {
+	t.Helper()
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var exit *exec.ExitError
+		if errors.As(err, &exit) {
+			return exit.ExitCode()
+		}
+		if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+		return 0
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("process did not exit within 60s of SIGINT")
+		return -1
+	}
+}
+
+// TestChaosInterruptFlushesPartialCorpus: SIGINT mid-search must exit
+// nonzero and leave a corpus in which every entry is complete — meta.json
+// parses, records a violation, and sits beside a loadable faults.json.
+func TestChaosInterruptFlushesPartialCorpus(t *testing.T) {
+	bin := buildBinary(t, "cmd/uqsim-chaos")
+	corpusDir := filepath.Join(t.TempDir(), "corpus")
+
+	cmd := exec.Command(bin,
+		"-config", "configs/metastable",
+		"-trials", "9999", "-seed", "1",
+		"-corpus", corpusDir, "-q")
+	cmd.Dir = repoRoot(t)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the search archive at least one finding, then interrupt it with
+	// thousands of trials still pending.
+	waitFor(t, 2*time.Minute, "a complete corpus entry", func() bool {
+		entries, err := chaos.Entries(corpusDir)
+		return err == nil && len(entries) > 0
+	})
+	code := interruptAndWait(t, cmd)
+	if code == 0 {
+		t.Fatalf("interrupted search exited 0; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "PARTIAL") && !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("no interruption diagnostic in output:\n%s", out.String())
+	}
+
+	entries, err := chaos.Entries(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus entries survived the interrupt")
+	}
+	for _, dir := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var meta chaos.Meta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			t.Fatalf("%s: meta.json does not parse: %v", dir, err)
+		}
+		if meta.Violation == "" || meta.Fingerprint == "" {
+			t.Fatalf("%s: incomplete meta: %+v", dir, meta)
+		}
+		raw, err = os.ReadFile(filepath.Join(dir, "faults.json"))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var ff config.FaultsFile
+		if err := json.Unmarshal(raw, &ff); err != nil {
+			t.Fatalf("%s: faults.json does not parse: %v", dir, err)
+		}
+	}
+}
+
+// TestExperimentsInterruptFlushesPartialCSV: SIGINT mid-sweep must exit
+// nonzero; every CSV already in the output directory (including the
+// interrupted experiment's atomically written partial table) parses.
+func TestExperimentsInterruptFlushesPartialCSV(t *testing.T) {
+	bin := buildBinary(t, "cmd/uqsim-experiments")
+	outDir := filepath.Join(t.TempDir(), "results")
+
+	// chaos finishes in a few seconds; the rest keep the sweep busy long
+	// enough for the signal to land mid-run.
+	cmd := exec.Command(bin, "-csv", "-out", outDir,
+		"chaos", "scalability", "regionloss", "metastable")
+	cmd.Dir = repoRoot(t)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 2*time.Minute, "the first experiment CSV", func() bool {
+		files, _ := filepath.Glob(filepath.Join(outDir, "*.csv"))
+		return len(files) > 0
+	})
+	code := interruptAndWait(t, cmd)
+	if code == 0 {
+		t.Fatalf("interrupted sweep exited 0; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("no interruption diagnostic in output:\n%s", out.String())
+	}
+
+	files, err := filepath.Glob(filepath.Join(outDir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no CSV files survived the interrupt")
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := csv.NewReader(bytes.NewReader(raw)).ReadAll()
+		if err != nil {
+			t.Fatalf("%s does not parse as CSV: %v", f, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s has no data rows", f)
+		}
+	}
+}

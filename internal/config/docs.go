@@ -1,0 +1,74 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// BaseDocs holds the five required config documents of one directory. The
+// chaos harness reads them once and assembles many simulations from them —
+// same cluster, varied seeds, worker counts, and fault plans — without
+// re-touching the filesystem per trial.
+type BaseDocs struct {
+	Machines []byte
+	Services []byte
+	Graph    []byte
+	Paths    []byte
+	Client   []byte
+}
+
+// ReadBase reads the five required documents from dir.
+func ReadBase(dir string) (*BaseDocs, error) {
+	docs, err := readBaseDocs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &BaseDocs{
+		Machines: docs[0], Services: docs[1], Graph: docs[2],
+		Paths: docs[3], Client: docs[4],
+	}, nil
+}
+
+// Assemble builds a simulation from the documents plus an optional faults
+// document, exactly like the package-level Assemble.
+func (d *BaseDocs) Assemble(faultsJSON ...[]byte) (*Setup, error) {
+	return Assemble(d.Machines, d.Services, d.Graph, d.Paths, d.Client, faultsJSON...)
+}
+
+// WithSeed returns a copy with the client document's seed replaced.
+func (d *BaseDocs) WithSeed(seed uint64) (*BaseDocs, error) {
+	var cf ClientFile
+	if err := decodeStrict("client.json", d.Client, &cf); err != nil {
+		return nil, err
+	}
+	cf.Seed = seed
+	client, err := json.Marshal(&cf)
+	if err != nil {
+		return nil, fmt.Errorf("config: re-encoding client.json: %w", err)
+	}
+	out := *d
+	out.Client = client
+	return &out, nil
+}
+
+// WithWorkers returns a copy with the machines document's engine worker
+// count replaced: 0 or 1 selects the sequential engine, ≥ 2 the parallel
+// one. The chaos harness uses it for its sim-vs-pdes determinism checks.
+func (d *BaseDocs) WithWorkers(workers int) (*BaseDocs, error) {
+	var mf MachinesFile
+	if err := decodeStrict("machines.json", d.Machines, &mf); err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		mf.Engine = nil
+	} else {
+		mf.Engine = &EngineSpec{Workers: workers}
+	}
+	machines, err := json.Marshal(&mf)
+	if err != nil {
+		return nil, fmt.Errorf("config: re-encoding machines.json: %w", err)
+	}
+	out := *d
+	out.Machines = machines
+	return &out, nil
+}

@@ -98,3 +98,113 @@ func FuzzControl(f *testing.F) {
 		}
 	})
 }
+
+// FuzzGraph feeds arbitrary bytes through the graph.json decoder and the
+// full assembly path — deployments, placements, load-balancer selection,
+// and geo-replication declarations. Assembly may reject the document, but
+// it must never panic.
+func FuzzGraph(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add(graph)
+	for _, dir := range []string{"threetier", "threeregion", "metastable"} {
+		if b, err := os.ReadFile(filepath.Join("..", "..", "configs", dir, "graph.json")); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"deployments":[{"service":"nginx","lb":"least_loaded",
+		"instances":[{"machine":"frontend","cores":1},{"machine":"cache","cores":1}]}]}`))
+	// Pinned invalid inputs: unknown machine, zero cores, unknown LB,
+	// replication without regions.
+	f.Add([]byte(`{"deployments":[{"service":"nginx","instances":[{"machine":"nope","cores":1}]}]}`))
+	f.Add([]byte(`{"deployments":[{"service":"nginx","instances":[{"machine":"frontend","cores":0}]}]}`))
+	f.Add([]byte(`{"deployments":[{"service":"nginx","lb":"bogus","instances":[{"machine":"frontend","cores":1}]}]}`))
+	f.Add([]byte(`{"deployments":[{"service":"nginx","replication":{"lag_ms":30},
+		"instances":[{"machine":"frontend","cores":1}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Assemble(mach, svc, data, path, client)
+	})
+}
+
+// FuzzClient feeds arbitrary bytes through the client.json decoder —
+// open/closed loop selection, arrival processes, diurnal patterns, retry
+// and deadline-budget settings. Assembly may reject the document, but it
+// must never panic.
+func FuzzClient(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add(client)
+	for _, dir := range []string{"threetier", "threeregion", "metastable"} {
+		if b, err := os.ReadFile(filepath.Join("..", "..", "configs", dir, "client.json")); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"seed":1,"closed_users":8,"think":{"type":"exponential","mean_us":500},"duration_s":1}`))
+	f.Add([]byte(`{"seed":1,"diurnal":{"base":100,"amplitude":50,"period_s":1},"duration_s":1}`))
+	f.Add([]byte(`{"seed":1,"qps":100,"budget_ms":50,"timeout_ms":20,"max_retries":3,"duration_s":1}`))
+	// Pinned invalid inputs: both loops at once, negative rate, budget
+	// spec and shorthand together, unknown process.
+	f.Add([]byte(`{"qps":100,"closed_users":5,"duration_s":1}`))
+	f.Add([]byte(`{"qps":-5,"duration_s":1}`))
+	f.Add([]byte(`{"qps":10,"budget_ms":50,"budget":{"type":"deterministic","value_us":1},"duration_s":1}`))
+	f.Add([]byte(`{"qps":10,"process":"bogus","duration_s":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Assemble(mach, svc, graph, path, data)
+	})
+}
+
+// FuzzPath feeds arbitrary bytes through the path.json decoder — trees,
+// node wiring, pool acquire/release sequences. Assembly may reject the
+// document, but it must never panic.
+func FuzzPath(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add(path)
+	for _, dir := range []string{"threetier", "threeregion", "metastable"} {
+		if b, err := os.ReadFile(filepath.Join("..", "..", "configs", dir, "path.json")); err == nil {
+			f.Add(b)
+		}
+	}
+	// Pinned invalid inputs: a node cycle, an unknown service, a child
+	// index out of range, releasing a pool never acquired.
+	f.Add([]byte(`{"trees":[{"name":"loop","weight":1,"root":0,
+		"nodes":[{"id":0,"service":"nginx","path":"rx","children":[0]}]}]}`))
+	f.Add([]byte(`{"trees":[{"name":"t","weight":1,"root":0,
+		"nodes":[{"id":0,"service":"ghost","children":[]}]}]}`))
+	f.Add([]byte(`{"trees":[{"name":"t","weight":1,"root":0,
+		"nodes":[{"id":0,"service":"nginx","path":"rx","children":[9]}]}]}`))
+	f.Add([]byte(`{"pools":[{"name":"p","capacity":1}],"trees":[{"name":"t","weight":1,"root":0,
+		"nodes":[{"id":0,"service":"nginx","path":"rx","release":["p"]}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Assemble(mach, svc, graph, data, client)
+	})
+}
+
+// FuzzService feeds arbitrary bytes through the service.json decoder —
+// stage lists, queue disciplines, path stage indices, threading models.
+// Assembly may reject the document, but it must never panic.
+func FuzzService(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add(svc)
+	for _, dir := range []string{"threetier", "threeregion", "metastable"} {
+		if b, err := os.ReadFile(filepath.Join("..", "..", "configs", dir, "service.json")); err == nil {
+			f.Add(b)
+		}
+	}
+	// Pinned invalid inputs: a path referencing a missing stage, an
+	// unknown distribution type, a negative thread count, path_probs
+	// that don't sum to 1.
+	f.Add([]byte(`{"services":[{"service_name":"nginx","stages":[
+		{"stage_name":"s","per_job":{"type":"deterministic","value_us":1}}],
+		"paths":[{"path_name":"rx","stages":[5]}]}]}`))
+	f.Add([]byte(`{"services":[{"service_name":"nginx","stages":[
+		{"stage_name":"s","per_job":{"type":"bogus","value_us":1}}],
+		"paths":[{"path_name":"rx","stages":[0]}]}]}`))
+	f.Add([]byte(`{"services":[{"service_name":"nginx","model":"multi-threaded","threads":-1,
+		"stages":[{"stage_name":"s","per_job":{"type":"deterministic","value_us":1}}],
+		"paths":[{"path_name":"rx","stages":[0]}]}]}`))
+	f.Add([]byte(`{"services":[{"service_name":"nginx","stages":[
+		{"stage_name":"s","per_job":{"type":"deterministic","value_us":1}}],
+		"paths":[{"path_name":"a","stages":[0]},{"path_name":"b","stages":[0]}],
+		"path_probs":[0.9,0.9]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Assemble(mach, data, graph, path, client)
+	})
+}

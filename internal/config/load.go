@@ -514,6 +514,7 @@ var faultKinds = map[string]fault.Kind{
 	"restart_instance": fault.RestartInstance,
 	"degrade_freq":     fault.DegradeFreq,
 	"edge_latency":     fault.EdgeLatency,
+	"load_step":        fault.LoadStep,
 }
 
 // applyFaults installs faults.json's policies, shedding bounds, and fault
@@ -637,6 +638,7 @@ func applyFaults(s *sim.Sim, ff *FaultsFile) error {
 			Until:    des.FromSeconds(es.UntilS),
 			Domain:   es.Domain,
 			Stagger:  ms(es.StaggerMs),
+			Factor:   es.Factor,
 		})
 	}
 	if nf != nil {

@@ -361,7 +361,7 @@ type QueueSpec struct {
 
 // FaultEventSpec schedules one fault action. Kind is one of crash_machine,
 // recover_machine, crash_domain, recover_domain, kill_instance,
-// restart_instance, degrade_freq, edge_latency.
+// restart_instance, degrade_freq, edge_latency, load_step.
 type FaultEventSpec struct {
 	AtS     float64 `json:"at_s"`
 	Kind    string  `json:"kind"`
@@ -377,6 +377,8 @@ type FaultEventSpec struct {
 	// burst.
 	Domain    string  `json:"domain,omitempty"`
 	StaggerMs float64 `json:"stagger_ms,omitempty"`
+	// Factor multiplies the open-loop arrival rate (load_step).
+	Factor float64 `json:"factor,omitempty"`
 }
 
 // ControlFile is the optional control.json schema: the self-healing

@@ -24,6 +24,7 @@ package control
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"uqsim/internal/des"
 	"uqsim/internal/monitor"
@@ -499,6 +500,18 @@ func (p *Plane) Stop() { p.stopped = true }
 
 // Stats exposes the action counters.
 func (p *Plane) Stats() *Stats { return &p.stats }
+
+// LostRegions reports the regions currently declared lost, sorted by name.
+// After every injected fault has healed the list must drain — a region
+// still listed is stuck unrestored, which the chaos invariants flag.
+func (p *Plane) LostRegions() []string {
+	out := make([]string, 0, len(p.lostRegions))
+	for name := range p.lostRegions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // ObserveCall feeds one data-plane call outcome into the ejection window
 // of the serving instance. Wire it as sim.Sim.OnCallResult — Attach does

@@ -367,3 +367,19 @@ func TestSelfHealingSmoke(t *testing.T) {
 		t.Fatalf("determinism verdict %q", got)
 	}
 }
+
+func TestChaosSmoke(t *testing.T) {
+	tb := smoke(t, "chaos")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d, want find/shrink/replay", len(tb.Rows))
+	}
+	if tb.Rows[0][2] != "recovery-goodput" {
+		t.Fatalf("find step violated %q, want recovery-goodput", tb.Rows[0][2])
+	}
+	if tb.Rows[1][3] != "partition m0|m1 (the killer)" {
+		t.Fatalf("shrink kept %q, want just the partition", tb.Rows[1][3])
+	}
+	if tb.Rows[2][3] != "fingerprint reproduces bit-identically" {
+		t.Fatalf("replay: %q", tb.Rows[2][3])
+	}
+}

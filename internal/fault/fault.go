@@ -58,6 +58,11 @@ const (
 	// crossing it is independently dropped with probability Drop and
 	// duplicated with probability Dup. Until clears the link.
 	SetLink
+	// LoadStep multiplies the open-loop arrival rate by Factor between At
+	// and Until (a flash crowd, a failed-over region's traffic landing
+	// here, an upstream backing off). Until restores the nominal rate;
+	// Until 0 keeps the step for the rest of the run.
+	LoadStep
 )
 
 // String names the kind as it appears in faults.json.
@@ -83,6 +88,8 @@ func (k Kind) String() string {
 		return "partition"
 	case SetLink:
 		return "set_link"
+	case LoadStep:
+		return "load_step"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -127,6 +134,9 @@ type Event struct {
 	// Drop and Dup are the gray link's per-message probabilities (SetLink).
 	Drop float64
 	Dup  float64
+	// Factor scales the open-loop arrival rate (LoadStep); 2 doubles the
+	// offered load, 0.5 halves it.
+	Factor float64
 }
 
 // Validate checks an event's internal consistency.
@@ -192,6 +202,13 @@ func (e Event) Validate() error {
 		}
 		if e.Drop == 0 && e.Dup == 0 {
 			return fmt.Errorf("fault: %s with zero drop and dup does nothing", e.Kind)
+		}
+		if e.Until != 0 && e.Until <= e.At {
+			return fmt.Errorf("fault: %s until %v not after at %v", e.Kind, e.Until, e.At)
+		}
+	case LoadStep:
+		if e.Factor <= 0 {
+			return fmt.Errorf("fault: %s needs a positive factor", e.Kind)
 		}
 		if e.Until != 0 && e.Until <= e.At {
 			return fmt.Errorf("fault: %s until %v not after at %v", e.Kind, e.Until, e.At)

@@ -185,3 +185,60 @@ func TestBreakerIgnoresLateOutcomesWhileOpen(t *testing.T) {
 		t.Fatal("late outcome closed an open breaker")
 	}
 }
+
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	b := NewBreaker(BreakerSpec{ErrorThreshold: 0.5, Window: 2, Cooldown: 10 * des.Millisecond})
+	b.Record(0, true)
+	b.Record(0, true)
+	now := 11 * des.Millisecond
+	if !b.Allow(now) {
+		t.Fatal("half-open should admit one probe")
+	}
+	if !b.Probing() {
+		t.Fatal("probe slot should be held")
+	}
+	if b.Allow(now) {
+		t.Fatal("second probe admitted while first outstanding")
+	}
+	// The probe is torn down without an outcome (deadline expiry, hedge
+	// race loss). Before CancelProbe existed this starved the breaker
+	// forever: Allow refused every call and Record was never reached.
+	b.CancelProbe()
+	if b.Probing() {
+		t.Fatal("CancelProbe did not release the slot")
+	}
+	if !b.Allow(now) {
+		t.Fatal("replacement probe blocked after cancellation")
+	}
+	b.Record(now, false)
+	if b.State(now) != BreakerClosed {
+		t.Fatalf("state %v after successful replacement probe", b.State(now))
+	}
+	// Outside half-open, CancelProbe is a no-op.
+	b.CancelProbe()
+	if b.State(now) != BreakerClosed || b.Probing() {
+		t.Fatal("CancelProbe perturbed a closed breaker")
+	}
+	if !b.Allow(now) {
+		t.Fatal("closed breaker should admit calls")
+	}
+}
+
+func TestLoadStepValidation(t *testing.T) {
+	ok := Event{At: des.Second, Until: 2 * des.Second, Kind: LoadStep, Factor: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid load_step rejected: %v", err)
+	}
+	for _, bad := range []Event{
+		{At: des.Second, Kind: LoadStep},                                      // no factor
+		{At: des.Second, Kind: LoadStep, Factor: -1},                          // negative factor
+		{At: des.Second, Until: des.Millisecond, Kind: LoadStep, Factor: 1.5}, // until before at
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid load_step %+v accepted", bad)
+		}
+	}
+	if LoadStep.String() != "load_step" {
+		t.Fatalf("kind name %q", LoadStep.String())
+	}
+}

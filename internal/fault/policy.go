@@ -267,6 +267,22 @@ func (b *Breaker) Record(now des.Time, failed bool) {
 	}
 }
 
+// CancelProbe releases the half-open probe slot when the admitted probe
+// call is torn down without ever producing an outcome (budget expiry
+// cleanup, a lost hedge race). Without this the slot would be held
+// forever: Allow would refuse every future call and the breaker could
+// never observe the success it needs to close.
+func (b *Breaker) CancelProbe() {
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// Probing reports whether a half-open probe slot is currently held. After
+// a full drain no slot may remain held; a true value then is the
+// probe-starvation liveness bug.
+func (b *Breaker) Probing() bool { return b.probing }
+
 func (b *Breaker) trip(now des.Time) {
 	b.state = BreakerOpen
 	b.openedAt = now

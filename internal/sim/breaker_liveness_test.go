@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/fault"
+	"uqsim/internal/graph"
+	"uqsim/internal/job"
+	"uqsim/internal/service"
+	"uqsim/internal/workload"
+)
+
+// TestBreakerRecloses: a breaker driven open by a partition must always
+// re-close under sustained post-heal success — the half-open probe cannot
+// starve. The trap this regression-tests: under CoDel-LIFO with deadline
+// budgets, the admitted half-open probe can be buried at the bottom of
+// the LIFO by competing traffic and torn down without an outcome when its
+// request's budget expires. Before CancelProbe was wired into the
+// teardown paths, that left the probe slot held forever — Allow refused
+// every future call, Record was never reached again, and the edge stayed
+// dark permanently despite a perfectly healthy backend.
+//
+// The topology makes the burial deterministic: two weighted paths share
+// one backend instance. The raw path (no policy) saturates the backend so
+// its LIFO always has fresher jobs than a waiting probe; the guarded
+// path's edge carries the breaker. The edge attempt timeout (100ms)
+// exceeds the client budget (60ms), so a buried probe dies only through
+// budget-expiry cleanup — exactly the outcome-less teardown path.
+func TestBreakerRecloses(t *testing.T) {
+	s := New(Options{Seed: 11})
+	s.AddMachine("m0", 4, cluster.FreqSpec{})
+	s.AddMachine("m1", 2, cluster.FreqSpec{})
+	if _, err := s.Deploy(service.SingleStage("front", dist.NewDeterministic(float64(100*des.Microsecond))),
+		RoundRobin, Placement{Machine: "m0", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy(service.SingleStage("backend", dist.NewExponential(float64(des.Millisecond))),
+		RoundRobin, Placement{Machine: "m1", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	chain := func(name string, weight float64) graph.Tree {
+		return graph.Tree{Name: name, Weight: weight, Root: 0, Nodes: []graph.Node{
+			{ID: 0, Service: "front", Instance: -1, Children: []int{1}},
+			{ID: 1, Service: "backend", Instance: -1},
+		}}
+	}
+	// Tree order fixes req.Class: class 0 = guarded, class 1 = raw.
+	if err := s.SetTopology(&graph.Topology{Trees: []graph.Tree{
+		chain("guarded", 0.3), chain("raw", 0.7),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// The raw path alone oversubscribes the backend (0.7·3000 ≈ 2100 QPS
+	// against ~1000 QPS of capacity), so post-heal the LIFO never runs
+	// out of jobs fresher than a waiting probe.
+	s.SetClient(ClientConfig{
+		Pattern: workload.ConstantRate(3000),
+		Timeout: 200 * des.Millisecond,
+		Budget:  dist.NewDeterministic(float64(60 * des.Millisecond)),
+	})
+	if err := s.SetNodePolicy("guarded", 1, fault.Policy{
+		Timeout: 100 * des.Millisecond,
+		Breaker: &fault.BreakerSpec{ErrorThreshold: 0.5, Window: 10, Cooldown: 50 * des.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetQueueDiscipline("backend", fault.QueueDiscipline{
+		Kind: fault.QueueCoDelLIFO,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallFaults(fault.Plan{Events: []fault.Event{{
+		At: 200 * des.Millisecond, Kind: fault.PartitionStart, Until: 400 * des.Millisecond,
+		GroupA: []string{"m0"}, GroupB: []string{"m1"},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	var lastGuardedOK des.Time
+	s.OnRequestDone = func(now des.Time, req *job.Request) {
+		if req.Class == 0 && req.Outcome == job.OutcomeOK {
+			lastGuardedOK = now
+		}
+	}
+	rep, err := s.Run(0, 2*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, rep)
+	if rep.BreakerFastFails == 0 {
+		t.Fatal("the partition should have tripped the breaker")
+	}
+	// The probe-starvation symptom: guarded-path completions stop for good
+	// once a buried probe is torn down. Healthy behaviour re-closes the
+	// breaker and keeps completing until the end of the run.
+	if lastGuardedOK < 1900*des.Millisecond {
+		t.Fatalf("guarded-path completions stopped at %v — breaker never re-admitted traffic after the heal", lastGuardedOK)
+	}
+	// Drain and inspect the breakers directly: no probe slot may remain
+	// held once no call is live.
+	s.Engine().RunUntil(10 * des.Second)
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.Breakers() {
+		if b.Probing {
+			t.Fatalf("breaker %s still holds its half-open probe slot after full drain (state %v)", b.Edge, b.State)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"uqsim/internal/fault"
 	"uqsim/internal/netfault"
 	"uqsim/internal/service"
+	"uqsim/internal/workload"
 )
 
 // InstallFaults schedules a fault plan's events on the engine. Call after
@@ -69,6 +70,18 @@ func (s *Sim) InstallFaults(plan fault.Plan) error {
 				}
 			}
 			s.netState()
+		case fault.LoadStep:
+			// Needs an open-loop client (closed loops have no target rate
+			// to scale), installed before the plan so the pattern can be
+			// wrapped here.
+			if s.clientCfg.ClosedUsers > 0 || s.clientCfg.Pattern == nil {
+				return fmt.Errorf("sim: fault event %d (%s) needs an open-loop client installed first", i, ev.Kind)
+			}
+			if s.loadScale == nil {
+				scale := 1.0
+				s.loadScale = &scale
+				s.clientCfg.Pattern = &scaledPattern{base: s.clientCfg.Pattern, scale: s.loadScale}
+			}
 		}
 		ev := ev
 		s.eng.At(ev.At, func(t des.Time) { s.applyFault(t, ev) })
@@ -179,8 +192,25 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 		if ev.Until > now {
 			s.eng.At(ev.Until, func(t des.Time) { s.net.ClearLink(ev.Src, ev.Dst) })
 		}
+	case fault.LoadStep:
+		*s.loadScale = ev.Factor
+		if ev.Until > now {
+			// Overlapping steps are last-writer-wins; healing restores the
+			// nominal rate, not the previous step's.
+			s.eng.At(ev.Until, func(t des.Time) { *s.loadScale = 1 })
+		}
 	}
 }
+
+// scaledPattern multiplies a base arrival pattern by a live scale factor —
+// the LoadStep fault's hook into the open-loop generator, which consults
+// RateAt per interarrival gap and so observes scale changes immediately.
+type scaledPattern struct {
+	base  workload.Pattern
+	scale *float64
+}
+
+func (p *scaledPattern) RateAt(t des.Time) float64 { return p.base.RateAt(t) * *p.scale }
 
 // killInstance takes one deployed instance down and propagates every lost
 // job upstream. No-op when already down.

@@ -107,6 +107,11 @@ func (s *Sim) cleanupRequest(st *reqState) {
 				s.eng.Cancel(c.op.timer)
 			}
 		}
+		if c.isProbe && c.pr.brk != nil {
+			// The half-open probe dies without an outcome; release the slot
+			// or the breaker refuses every future call.
+			c.pr.brk.CancelProbe()
+		}
 		c.j.Outcome = job.OutcomeCanceled
 		delete(s.calls, id)
 	}
@@ -218,8 +223,12 @@ func (s *Sim) onHedgeTimer(now des.Time, op *hedgeOp) {
 		return
 	}
 	node := &st.tree.Nodes[c.nodeID]
-	if c.pr.brk != nil && !c.pr.brk.Allow(now) {
-		return // the edge is failing fast; don't add hedge load
+	probe := false
+	if c.pr.brk != nil {
+		probe = c.pr.brk.State(now) == fault.BreakerHalfOpen
+		if !c.pr.brk.Allow(now) {
+			return // the edge is failing fast; don't add hedge load
+		}
 	}
 	dep := s.deployments[node.Service]
 	in := s.pickAvoiding(dep, c.inst)
@@ -231,7 +240,7 @@ func (s *Sim) onHedgeTimer(now des.Time, op *hedgeOp) {
 	h := &call{
 		req: req, st: st, nodeID: c.nodeID, conn: c.conn,
 		srcMachine: c.srcMachine, attempt: c.attempt, pr: c.pr,
-		j: j, start: now, inst: in, isHedge: true, op: op,
+		j: j, start: now, inst: in, isHedge: true, op: op, isProbe: probe,
 	}
 	op.hedge = h
 	s.calls[j.ID] = h
@@ -294,6 +303,10 @@ func (s *Sim) abandonCall(c *call) {
 	}
 	delete(s.calls, c.j.ID)
 	untrackCall(c.st, c.j.ID)
+	if c.isProbe && c.pr.brk != nil {
+		// A probe losing the hedge race never reaches Record; free the slot.
+		c.pr.brk.CancelProbe()
+	}
 	c.j.Outcome = job.OutcomeCanceled
 }
 

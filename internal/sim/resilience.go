@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"uqsim/internal/des"
 	"uqsim/internal/fault"
@@ -49,6 +50,11 @@ type call struct {
 	inst    *service.Instance
 	isHedge bool
 	op      *hedgeOp
+
+	// isProbe marks the single call a half-open breaker admitted. If the
+	// attempt is torn down without an outcome (deadline expiry, hedge-race
+	// loss), the probe slot must be released or the breaker starves.
+	isProbe bool
 }
 
 // ErrorCounts breaks down failed call attempts against one target service.
@@ -157,10 +163,15 @@ func (s *Sim) startAttempt(now des.Time, req *job.Request, st *reqState, nodeID,
 		return
 	}
 	node := &st.tree.Nodes[nodeID]
-	if pr.brk != nil && !pr.brk.Allow(now) {
-		s.countError(node.Service, job.OutcomeBreakerOpen)
-		s.failRequest(now, req, job.OutcomeBreakerOpen)
-		return
+	probe := false
+	if pr.brk != nil {
+		// State before Allow: an admitted half-open call is the probe.
+		probe = pr.brk.State(now) == fault.BreakerHalfOpen
+		if !pr.brk.Allow(now) {
+			s.countError(node.Service, job.OutcomeBreakerOpen)
+			s.failRequest(now, req, job.OutcomeBreakerOpen)
+			return
+		}
 	}
 	dep := s.deployments[node.Service]
 	in := s.pickFor(node, dep, srcMachine)
@@ -176,7 +187,7 @@ func (s *Sim) startAttempt(now des.Time, req *job.Request, st *reqState, nodeID,
 	c := &call{
 		req: req, st: st, nodeID: nodeID, conn: conn,
 		srcMachine: srcMachine, attempt: attempt, pr: pr,
-		j: j, start: now, inst: in,
+		j: j, start: now, inst: in, isProbe: probe,
 	}
 	s.calls[j.ID] = c
 	s.trackCall(st, j.ID, c)
@@ -375,6 +386,62 @@ func (s *Sim) errCount(svc string) *ErrorCounts {
 		s.errCounts[svc] = ec
 	}
 	return ec
+}
+
+// BreakerInfo is one circuit breaker's externally visible state, for
+// monitors and liveness invariants ("no breaker stays open forever").
+type BreakerInfo struct {
+	// Edge names the guarded edge: "svc:<service>" for service-level
+	// policies, "node:<tree>/<node>" for per-node overrides.
+	Edge string
+	// State is the breaker's state at the engine's current virtual time.
+	State fault.BreakerState
+	// Probing reports an outstanding half-open probe. Half-open with
+	// Probing set but no live call is a starved breaker.
+	Probing bool
+	// Trips counts how many times the breaker has opened.
+	Trips uint64
+}
+
+// Breakers reports every installed circuit breaker in deterministic order
+// (service edges sorted by name, then node overrides by tree and node).
+func (s *Sim) Breakers() []BreakerInfo {
+	now := s.eng.Now()
+	var out []BreakerInfo
+	svcs := make([]string, 0, len(s.svcPolicies))
+	for name, pr := range s.svcPolicies {
+		if pr.brk != nil {
+			svcs = append(svcs, name)
+		}
+	}
+	sort.Strings(svcs)
+	for _, name := range svcs {
+		brk := s.svcPolicies[name].brk
+		out = append(out, BreakerInfo{
+			Edge: "svc:" + name, State: brk.State(now),
+			Probing: brk.Probing(), Trips: brk.Trips(),
+		})
+	}
+	nodes := make([][2]int, 0, len(s.nodePolicies))
+	for key, pr := range s.nodePolicies {
+		if pr.brk != nil {
+			nodes = append(nodes, key)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i][0] != nodes[j][0] {
+			return nodes[i][0] < nodes[j][0]
+		}
+		return nodes[i][1] < nodes[j][1]
+	})
+	for _, key := range nodes {
+		brk := s.nodePolicies[key].brk
+		out = append(out, BreakerInfo{
+			Edge: fmt.Sprintf("node:%d/%d", key[0], key[1]), State: brk.State(now),
+			Probing: brk.Probing(), Trips: brk.Trips(),
+		})
+	}
+	return out
 }
 
 // countError accrues one failed attempt against svc.

@@ -160,6 +160,10 @@ type Sim struct {
 	clientCfg  ClientConfig
 	clientRNG  *rng.Source
 	closedLoop *workload.ClosedLoop
+	// loadScale multiplies the open-loop arrival rate; nil until the
+	// first LoadStep fault wraps the client pattern. LoadStep events
+	// write through it, so the generator sees rate changes live.
+	loadScale *float64
 
 	inflight map[job.ID]*reqState
 	pending  map[job.ID]*delivery // jobs in transit through netproc

@@ -34,6 +34,7 @@ import (
 
 	"uqsim/internal/apps"
 	"uqsim/internal/cache"
+	"uqsim/internal/chaos"
 	"uqsim/internal/cli"
 	"uqsim/internal/cluster"
 	"uqsim/internal/config"
@@ -502,6 +503,42 @@ type UnknownDeploymentError struct{ Name string }
 
 func (e *UnknownDeploymentError) Error() string {
 	return "uqsim: unknown deployment " + e.Name
+}
+
+// ---- chaos search ----
+
+// ChaosOptions parameterizes a seeded fault-schedule search over a
+// config directory: trial count, master seed, corpus destination, and
+// the recovery/determinism invariant thresholds.
+type ChaosOptions = chaos.Options
+
+// ChaosResult summarizes a search: trials completed and the shrunken
+// findings archived.
+type ChaosResult = chaos.Result
+
+// ChaosFinding is one invariant violation, delta-debugged to a minimal
+// replayable fault schedule.
+type ChaosFinding = chaos.Finding
+
+// ChaosViolation identifies which invariant a scenario broke and how.
+type ChaosViolation = chaos.Violation
+
+// ChaosReplayResult is the outcome of re-running one archived finding
+// against the recorded violation and fingerprint.
+type ChaosReplayResult = chaos.ReplayResult
+
+// RunChaos generates seeded random fault schedules against the config
+// directory in opts, verifies each against the simulator's invariants
+// (conservation, drain, cross-engine determinism, post-heal recovery),
+// shrinks every violation to a minimal reproduction, and archives the
+// repros as replayable corpus entries. The same engine backs
+// cmd/uqsim-chaos.
+func RunChaos(opts ChaosOptions) (*ChaosResult, error) { return chaos.Run(opts) }
+
+// ReplayChaosFinding re-runs one corpus entry directory and reports
+// whether the archived violation still reproduces bit-identically.
+func ReplayChaosFinding(configDir, entryDir string) (*ChaosReplayResult, error) {
+	return chaos.Replay(configDir, entryDir)
 }
 
 // ---- command-line plumbing ----
