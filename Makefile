@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples examples-run fuzz chaos
+.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples examples-run fuzz chaos farm
 
 # check is the tier-1 gate: everything CI runs.
 check: vet staticcheck build test race
@@ -75,6 +75,7 @@ fuzz:
 	$(GO) test ./internal/config -run xxx -fuzz FuzzClient -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/config -run xxx -fuzz FuzzPath -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/config -run xxx -fuzz FuzzService -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/farm -run xxx -fuzz FuzzFarmJournal -fuzztime $(FUZZTIME)
 
 # chaos runs a short seeded fault-schedule search against the metastable
 # config as a smoke (CI runs this); findings land in a throwaway corpus so
@@ -90,3 +91,40 @@ chaos:
 		-seed 1 -corpus $$out/corpus -max-wall $(CHAOS_MAX_WALL); rc=$$?; \
 	rm -rf $$out; \
 	if [ $$rc -ne 0 ] && [ $$rc -ne 3 ]; then exit $$rc; fi
+
+# farm smoke-tests the fault-tolerant experiment farm end to end: a small
+# sweep fanned out across FARM_WORKERS crash-recovering workers with the
+# built-in chaos monkey SIGKILLing one of them mid-run. The requeued job
+# retries, and the merged CSV must be byte-identical to a serial
+# uqsim-sweep of the same grid — the farm's determinism contract. If the
+# campaign is interrupted (exit 1) it finishes with -resume first.
+FARM_WORKERS ?= 4
+FARM_FROM ?= 18000
+FARM_TO ?= 26000
+FARM_STEP ?= 2000
+farm:
+	@out=$$(mktemp -d); \
+	$(GO) build -o $$out/uqsim-farm ./cmd/uqsim-farm || exit 1; \
+	$(GO) build -o $$out/uqsim-sweep ./cmd/uqsim-sweep || exit 1; \
+	$$out/uqsim-farm -config configs/twotier \
+		-from $(FARM_FROM) -to $(FARM_TO) -step $(FARM_STEP) \
+		-workers $(FARM_WORKERS) -kill-workers 1 -seed 7 -q \
+		-spool $$out/spool; rc=$$?; \
+	if [ $$rc -eq 1 ]; then \
+		echo "farm: campaign interrupted; resuming"; \
+		$$out/uqsim-farm -config configs/twotier \
+			-from $(FARM_FROM) -to $(FARM_TO) -step $(FARM_STEP) \
+			-workers $(FARM_WORKERS) -resume -q -spool $$out/spool \
+			|| { rm -rf $$out; exit 1; }; \
+	elif [ $$rc -ne 0 ]; then rm -rf $$out; exit $$rc; fi; \
+	$$out/uqsim-farm -audit -spool $$out/spool >/dev/null \
+		|| { rm -rf $$out; echo "farm: journal audit failed"; exit 1; }; \
+	$$out/uqsim-sweep -config configs/twotier \
+		-from $(FARM_FROM) -to $(FARM_TO) -step $(FARM_STEP) -csv \
+		> $$out/serial.csv || { rm -rf $$out; exit 1; }; \
+	cmp -s $$out/spool/merged.csv $$out/serial.csv; rc=$$?; \
+	rm -rf $$out; \
+	if [ $$rc -ne 0 ]; then \
+		echo "farm: merged CSV diverged from serial sweep"; exit 1; \
+	fi; \
+	echo "farm: merged CSV byte-identical to serial sweep"

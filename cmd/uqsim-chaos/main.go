@@ -14,6 +14,10 @@
 // cleanly: findings already shrunk are kept (the corpus flush is atomic,
 // meta.json last, so no half-written entry is ever picked up) and the
 // process exits nonzero to mark the search partial.
+//
+// Exit codes: 0 completed with no findings, 1 interrupted or failed
+// (corpus entries written are complete; interruption wins over findings),
+// 2 usage, 3 completed with findings or a replay mismatch.
 package main
 
 import (
@@ -39,7 +43,7 @@ func main() {
 
 	if *configDir == "" {
 		fmt.Fprintln(os.Stderr, "uqsim-chaos: -config is required")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	wd := cli.StartWatchdog(*maxWall)
 
@@ -70,10 +74,10 @@ func main() {
 	if err != nil {
 		if wd.Interrupted() {
 			fmt.Fprintf(os.Stderr, "uqsim-chaos: interrupted (%s)\n", wd.Reason())
-			os.Exit(1)
+			os.Exit(cli.ExitPartial)
 		}
 		fmt.Fprintln(os.Stderr, "uqsim-chaos:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitPartial)
 	}
 
 	fmt.Printf("\n%d/%d trials, %d finding(s) in %v\n",
@@ -85,10 +89,10 @@ func main() {
 	if res.Interrupted {
 		fmt.Fprintf(os.Stderr, "uqsim-chaos: PARTIAL: interrupted (%s) after %d trials; corpus entries written so far are complete\n",
 			wd.Reason(), res.Trials)
-		os.Exit(1)
+		os.Exit(cli.ExitPartial)
 	}
 	if len(res.Findings) > 0 {
-		os.Exit(3) // distinct from interruption: the search itself succeeded
+		os.Exit(cli.ExitFindings) // distinct from interruption: the search itself succeeded
 	}
 }
 
@@ -98,7 +102,7 @@ func runReplay(configDir, entry string) {
 	res, err := chaos.Replay(configDir, entry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uqsim-chaos:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitPartial)
 	}
 	fmt.Printf("recorded: %s (%s)\n", res.Meta.Violation, res.Meta.Detail)
 	if res.Violation == nil {
@@ -115,5 +119,5 @@ func runReplay(configDir, entry string) {
 			res.Meta.Fingerprint, res.Fingerprint)
 	}
 	fmt.Println("MISMATCH: the archived finding no longer reproduces")
-	os.Exit(3)
+	os.Exit(cli.ExitFindings)
 }

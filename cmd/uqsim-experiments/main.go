@@ -13,6 +13,9 @@
 // SIGINT/SIGTERM and the -max-wall watchdog stop the current simulation
 // cleanly: whatever the interrupted experiment produced is still printed
 // and written (marked partial), and the process exits nonzero.
+//
+// Exit codes: 0 completed, 1 interrupted or failed (CSVs already written
+// are complete files; the set is partial), 2 usage.
 package main
 
 import (
@@ -44,7 +47,7 @@ func main() {
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "uqsim-experiments: name experiments to run, or 'all' (see -list)")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.Names()
@@ -60,10 +63,10 @@ func main() {
 			// and report the interruption rather than the symptom.
 			if wd.Interrupted() {
 				fmt.Fprintf(os.Stderr, "uqsim-experiments: interrupted (%s) during %s\n", wd.Reason(), id)
-				os.Exit(1)
+				os.Exit(cli.ExitPartial)
 			}
 			fmt.Fprintf(os.Stderr, "uqsim-experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			os.Exit(cli.ExitPartial)
 		}
 		if wd.Interrupted() {
 			t.Note = appendNote(t.Note, "PARTIAL: "+wd.Reason())
@@ -78,13 +81,13 @@ func main() {
 		if *out != "" {
 			if err := writeCSV(*out, id, t.CSV()); err != nil {
 				fmt.Fprintln(os.Stderr, "uqsim-experiments:", err)
-				os.Exit(1)
+				os.Exit(cli.ExitPartial)
 			}
 		}
 		if wd.Interrupted() {
 			fmt.Fprintf(os.Stderr, "uqsim-experiments: interrupted (%s); %s is partial, later experiments skipped\n",
 				wd.Reason(), id)
-			os.Exit(1)
+			os.Exit(cli.ExitPartial)
 		}
 	}
 }

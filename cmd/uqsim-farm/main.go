@@ -1,0 +1,269 @@
+// Command uqsim-farm runs experiment campaigns — load sweeps and chaos
+// searches — across a pool of crash-recovering worker subprocesses. Jobs
+// are content-hashed, journaled to a durable spool, and dispatched over a
+// lease-based queue, so worker crashes, hangs, and operator interrupts
+// never lose or double-count a trial; an interrupted campaign finishes
+// with -resume, and the merged output is byte-identical to a serial run
+// at any worker count.
+//
+// Usage:
+//
+//	uqsim-farm -config configs/twotier -from 5000 -to 80000 -step 5000 -workers 8 -spool spool/
+//	uqsim-farm -config configs/metastable -kind chaos -trials 200 -seed 1 -workers 8 -spool spool/
+//	uqsim-farm -spool spool/ -resume -config configs/twotier -from 5000 -to 80000 -step 5000
+//	uqsim-farm -spool spool/ -audit
+//	uqsim-farm -config configs/twotier -replay spool/quarantine/<hash>.json
+//
+// Exit codes: 0 completed, 1 interrupted or failed (spool resumes the
+// campaign), 2 usage, 3 completed with findings (chaos violations or
+// quarantined poison jobs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"uqsim/internal/cli"
+	"uqsim/internal/farm"
+)
+
+func main() {
+	cfgDir := flag.String("config", "", "directory with machines/service/graph/path/client.json")
+	kind := flag.String("kind", "sweep", "campaign kind: sweep or chaos")
+	from := flag.Float64("from", 5000, "sweep: first offered load (QPS)")
+	to := flag.Float64("to", 50000, "sweep: last offered load (QPS)")
+	step := flag.Float64("step", 5000, "sweep: load increment (QPS)")
+	trials := flag.Int("trials", 50, "chaos: number of trials")
+	seed := flag.Uint64("seed", 1, "chaos: master seed")
+	maxActions := flag.Int("max-actions", 0, "chaos: max fault actions per scenario (0 = default)")
+	workers := flag.Int("workers", 4, "worker subprocess pool size")
+	spool := flag.String("spool", "", "durable spool directory journaling the campaign (required)")
+	out := flag.String("out", "", "merged CSV path (default <spool>/merged.csv)")
+	corpus := flag.String("corpus", "", "chaos: merged corpus directory (default <spool>/corpus)")
+	resume := flag.Bool("resume", false, "finish the campaign already journaled in -spool")
+	lease := flag.Duration("lease", 10*time.Second, "lease TTL: requeue a job whose worker goes silent this long")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job wall-clock watchdog: kill workers that run one job longer than this")
+	maxFailures := flag.Int("max-failures", 3, "quarantine a job after this many consecutive failed attempts")
+	killWorkers := flag.Int("kill-workers", 0, "chaos monkey: SIGKILL this many workers mid-run (self-test)")
+	maxWall := flag.Duration("max-wall", 0, "stop the campaign after this much wall-clock time, keep the spool, exit nonzero")
+	audit := flag.Bool("audit", false, "audit the spool journal (exactly-once accounting) and exit")
+	replay := flag.String("replay", "", "re-run one journaled job (a spool results/ or quarantine/ JSON file) in-process")
+	worker := flag.Bool("worker", false, "run as a worker subprocess (internal; spawned by the dispatcher)")
+	heartbeat := flag.Duration("heartbeat", 0, "worker heartbeat interval (internal; set by the dispatcher)")
+	quiet := flag.Bool("q", false, "suppress per-job progress")
+	flag.Parse()
+
+	switch {
+	case *worker:
+		os.Exit(runWorker(*cfgDir, *heartbeat))
+	case *audit:
+		os.Exit(runAudit(*spool))
+	case *replay != "":
+		os.Exit(runReplay(*cfgDir, *replay))
+	default:
+		os.Exit(runCampaign(campaignFlags{
+			cfgDir: *cfgDir, kind: *kind,
+			from: *from, to: *to, step: *step,
+			trials: *trials, seed: *seed, maxActions: *maxActions,
+			workers: *workers, spool: *spool, out: *out, corpus: *corpus,
+			resume: *resume, lease: *lease, jobTimeout: *jobTimeout,
+			maxFailures: *maxFailures, killWorkers: *killWorkers,
+			maxWall: *maxWall, quiet: *quiet,
+		}))
+	}
+}
+
+func runWorker(cfgDir string, heartbeat time.Duration) int {
+	if cfgDir == "" {
+		fmt.Fprintln(os.Stderr, "uqsim-farm: -worker needs -config")
+		return cli.ExitUsage
+	}
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	if err := farm.WorkerMain(cfgDir, heartbeat, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+	return cli.ExitOK
+}
+
+func runAudit(spool string) int {
+	if spool == "" {
+		fmt.Fprintln(os.Stderr, "uqsim-farm: -audit needs -spool")
+		return cli.ExitUsage
+	}
+	rep, err := farm.Audit(spool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+	fmt.Println(rep)
+	switch {
+	// Conflicting or orphaned journal entries break the exactly-once
+	// invariant: that is a finding. Jobs that are merely missing make the
+	// campaign incomplete — finishable, not broken.
+	case len(rep.Conflicts) > 0 || len(rep.Orphans) > 0:
+		return cli.ExitFindings
+	case !rep.Complete():
+		fmt.Println("campaign incomplete; finish it with -resume")
+		return cli.ExitPartial
+	}
+	return cli.ExitOK
+}
+
+func runReplay(cfgDir, path string) int {
+	if cfgDir == "" {
+		fmt.Fprintln(os.Stderr, "uqsim-farm: -replay needs -config")
+		return cli.ExitUsage
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+	// The file is either a committed result or a quarantine entry; both
+	// embed the job spec.
+	var spec farm.JobSpec
+	if q, err := farm.DecodeQuarantine(data); err == nil {
+		spec = q.Job
+		fmt.Printf("replaying quarantined job %s (%d recorded failures)\n", spec.Key(), len(q.Failures))
+		for _, f := range q.Failures {
+			fmt.Printf("  attempt %d: %s\n", f.Attempt, f.Reason)
+		}
+	} else if r, err := farm.DecodeResult(data); err == nil {
+		spec = r.Job
+		fmt.Printf("replaying committed job %s\n", spec.Key())
+	} else {
+		fmt.Fprintf(os.Stderr, "uqsim-farm: %s is neither a result nor a quarantine entry\n", path)
+		return cli.ExitPartial
+	}
+	exec, err := farm.NewExecutor(cfgDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+	res, err := exec.Execute(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm: replay failed:", err)
+		return cli.ExitPartial
+	}
+	switch {
+	case res.Row != nil:
+		fmt.Printf("row: %v\n", res.Row)
+	case res.Chaos != nil && res.Chaos.Violation != "":
+		fmt.Printf("violation: %s (%s)\n", res.Chaos.Violation, res.Chaos.Detail)
+		return cli.ExitFindings
+	case res.Chaos != nil:
+		fmt.Printf("ok: %d events, no violation\n", res.Chaos.Events)
+	}
+	return cli.ExitOK
+}
+
+type campaignFlags struct {
+	cfgDir, kind             string
+	from, to, step           float64
+	trials                   int
+	seed                     uint64
+	maxActions, workers      int
+	spool, out, corpus       string
+	resume                   bool
+	lease, jobTimeout        time.Duration
+	maxFailures, killWorkers int
+	maxWall                  time.Duration
+	quiet                    bool
+}
+
+func runCampaign(f campaignFlags) int {
+	if f.cfgDir == "" || f.spool == "" {
+		fmt.Fprintln(os.Stderr, "uqsim-farm: -config and -spool are required")
+		flag.Usage()
+		return cli.ExitUsage
+	}
+	var c *farm.Campaign
+	var err error
+	switch f.kind {
+	case farm.KindSweep:
+		c, err = farm.NewSweepCampaign(f.cfgDir, f.from, f.to, f.step)
+	case farm.KindChaos:
+		c, err = farm.NewChaosCampaign(f.cfgDir, f.seed, f.trials, f.maxActions)
+	default:
+		fmt.Fprintf(os.Stderr, "uqsim-farm: unknown -kind %q (sweep or chaos)\n", f.kind)
+		return cli.ExitUsage
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitUsage
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+	wd := cli.StartWatchdog(f.maxWall)
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	if f.quiet {
+		logf = nil
+	}
+	start := time.Now()
+	sum, err := farm.Run(farm.Options{
+		Spool:       f.spool,
+		Workers:     f.workers,
+		WorkerArgv:  []string{self, "-worker", "-config", f.cfgDir, "-heartbeat", (f.lease / 5).String()},
+		LeaseTTL:    f.lease,
+		JobTimeout:  f.jobTimeout,
+		MaxFailures: f.maxFailures,
+		Resume:      f.resume,
+		KillWorkers: f.killWorkers,
+		Seed:        f.seed,
+		Interrupted: wd.Interrupted,
+		Logf:        logf,
+	}, c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+
+	m, err := farm.Merge(f.spool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+	outPath := f.out
+	if outPath == "" {
+		outPath = filepath.Join(f.spool, "merged.csv")
+	}
+	if err := m.WriteCSV(outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+		return cli.ExitPartial
+	}
+	if c.Kind == farm.KindChaos && len(m.Entries) > 0 {
+		corpusDir := f.corpus
+		if corpusDir == "" {
+			corpusDir = filepath.Join(f.spool, "corpus")
+		}
+		if err := m.WriteCorpus(corpusDir); err != nil {
+			fmt.Fprintln(os.Stderr, "uqsim-farm:", err)
+			return cli.ExitPartial
+		}
+	}
+	fmt.Printf("\n%d jobs: %d committed (%d this run, %d duplicates dropped), %d requeues, %d quarantined, %d respawns, %d monkey kills in %v\n",
+		sum.Jobs, sum.Jobs-len(m.Missing)-len(m.Quarantined), sum.Committed, sum.Duplicates,
+		sum.Requeues, sum.Quarantined, sum.Respawns, sum.Kills, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("merged %s -> %s\n", f.spool, outPath)
+
+	if sum.Interrupted || wd.Interrupted() {
+		fmt.Fprintf(os.Stderr, "uqsim-farm: PARTIAL: interrupted (%s) with %d jobs unfinished; rerun with -resume\n",
+			wd.Reason(), len(m.Missing))
+		return cli.ExitPartial
+	}
+	if len(m.Quarantined) > 0 || m.Violations > 0 {
+		fmt.Printf("findings: %d chaos violations, %d quarantined jobs\n", m.Violations, len(m.Quarantined))
+		return cli.ExitFindings
+	}
+	return cli.ExitOK
+}

@@ -1,21 +1,25 @@
 // Command uqsim-sweep measures the load–latency curve of a configured
 // simulation: it re-runs the scenario across a grid of offered loads and
 // prints one row per load (the data behind every figure in the paper's
-// validation).
+// validation). The same points can be fanned out across worker processes
+// with cmd/uqsim-farm; both paths produce byte-identical rows.
 //
 // Usage:
 //
 //	uqsim-sweep -config configs/twotier -from 5000 -to 80000 -step 5000
+//
+// Exit codes: 0 completed, 1 interrupted or failed (rows already printed
+// are complete), 2 usage.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"uqsim/internal/config"
+	"uqsim/internal/cli"
 	"uqsim/internal/experiments"
-	"uqsim/internal/workload"
 )
 
 func main() {
@@ -24,54 +28,54 @@ func main() {
 	to := flag.Float64("to", 50000, "last offered load (QPS)")
 	step := flag.Float64("step", 5000, "load increment (QPS)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, print the partial table, exit nonzero")
+	progress := flag.Bool("progress", false, "report each completed point on stderr")
 	flag.Parse()
 
 	if *cfgDir == "" {
 		fmt.Fprintln(os.Stderr, "uqsim-sweep: -config is required")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	if *step <= 0 || *to < *from {
 		fmt.Fprintln(os.Stderr, "uqsim-sweep: need step > 0 and to >= from")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(*cfgDir, *from, *to, *step, *csv); err != nil {
-		fmt.Fprintln(os.Stderr, "uqsim-sweep:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(*cfgDir, *from, *to, *step, *csv, *maxWall, *progress))
 }
 
-func run(cfgDir string, from, to, step float64, csv bool) error {
-	t := experiments.NewTable(
-		fmt.Sprintf("Load sweep of %s", cfgDir),
-		"offered_qps", "goodput_qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "in_flight")
-	for qps := from; qps <= to+1e-9; qps += step {
-		setup, err := config.LoadDir(cfgDir)
-		if err != nil {
-			return err
+func run(cfgDir string, from, to, step float64, csv bool, maxWall time.Duration, progress bool) int {
+	wd := cli.StartWatchdog(maxWall)
+	t := experiments.SweepTable(cfgDir)
+	grid := experiments.SweepGrid(from, to, step)
+	for i, qps := range grid {
+		if wd.Interrupted() {
+			break
 		}
-		cc := setup.Sim.Client()
-		cc.Pattern = workload.ConstantRate(qps)
-		cc.ClosedUsers = 0
-		setup.Sim.SetClient(cc)
-		rep, err := setup.Sim.Run(setup.Warmup, setup.Duration)
+		row, err := experiments.SweepRow(cfgDir, qps)
 		if err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, "uqsim-sweep:", err)
+			return cli.ExitPartial
 		}
-		t.Add(
-			fmt.Sprintf("%.0f", qps),
-			fmt.Sprintf("%.0f", rep.GoodputQPS),
-			fmt.Sprintf("%.3f", rep.Latency.Mean().Millis()),
-			fmt.Sprintf("%.3f", rep.Latency.P50().Millis()),
-			fmt.Sprintf("%.3f", rep.Latency.P95().Millis()),
-			fmt.Sprintf("%.3f", rep.Latency.P99().Millis()),
-			fmt.Sprintf("%d", rep.InFlight),
-		)
+		// A signal mid-run stops the simulation early; that point's row
+		// reflects a truncated window, so drop it and keep the clean rows.
+		if wd.Interrupted() {
+			break
+		}
+		t.Add(row...)
+		if progress {
+			fmt.Fprintf(os.Stderr, "uqsim-sweep: point %d/%d (%.0f qps) done\n", i+1, len(grid), qps)
+		}
 	}
 	if csv {
 		fmt.Print(t.CSV())
 	} else {
 		fmt.Println(t.String())
 	}
-	return nil
+	if wd.Interrupted() {
+		fmt.Fprintf(os.Stderr, "uqsim-sweep: PARTIAL: interrupted (%s) after %d/%d points; rows printed are complete\n",
+			wd.Reason(), len(t.Rows), len(grid))
+		return cli.ExitPartial
+	}
+	return cli.ExitOK
 }

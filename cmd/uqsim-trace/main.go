@@ -6,14 +6,20 @@
 // Usage:
 //
 //	uqsim-trace -config configs/threetier -slowest 5 -sample 4
+//
+// Exit codes: 0 completed, 1 interrupted or failed (an interrupted run
+// still reports the traces collected so far), 2 usage.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"uqsim/internal/cli"
 	"uqsim/internal/config"
+	"uqsim/internal/des"
 	"uqsim/internal/trace"
 	"uqsim/internal/workload"
 )
@@ -23,29 +29,33 @@ func main() {
 	slowest := flag.Int("slowest", 3, "how many slowest requests to print")
 	sample := flag.Int("sample", 1, "trace one of every N requests")
 	qps := flag.Float64("qps", 0, "override the client's constant offered load (QPS)")
+	duration := flag.Duration("duration", 0, "override the configured virtual measurement window")
+	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, print traces collected so far, exit nonzero")
 	flag.Parse()
 
 	if *cfgDir == "" {
 		fmt.Fprintln(os.Stderr, "uqsim-trace: -config is required")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(*cfgDir, *slowest, *sample, *qps); err != nil {
-		fmt.Fprintln(os.Stderr, "uqsim-trace:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(*cfgDir, *slowest, *sample, *qps, *duration, *maxWall))
 }
 
-func run(cfgDir string, slowest, sample int, qps float64) error {
+func run(cfgDir string, slowest, sample int, qps float64, duration, maxWall time.Duration) int {
+	wd := cli.StartWatchdog(maxWall)
 	setup, err := config.LoadDir(cfgDir)
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, "uqsim-trace:", err)
+		return cli.ExitPartial
 	}
 	if qps > 0 {
 		cc := setup.Sim.Client()
 		cc.Pattern = workload.ConstantRate(qps)
 		cc.ClosedUsers = 0
 		setup.Sim.SetClient(cc)
+	}
+	if duration > 0 {
+		setup.Duration = des.Time(duration)
 	}
 	tr := trace.New(sample)
 	tr.MaxTraces = 65536
@@ -54,7 +64,8 @@ func run(cfgDir string, slowest, sample int, qps float64) error {
 
 	rep, err := setup.Run()
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, "uqsim-trace:", err)
+		return cli.ExitPartial
 	}
 	fmt.Printf("completions=%d p50=%v p99=%v traced=%d\n\n",
 		rep.Completions, rep.Latency.P50(), rep.Latency.P99(), len(tr.Traces()))
@@ -77,5 +88,9 @@ func run(cfgDir string, slowest, sample int, qps float64) error {
 	for svc, n := range counts {
 		fmt.Printf("  %-14s %d\n", svc, n)
 	}
-	return nil
+	if wd.Interrupted() {
+		fmt.Fprintf(os.Stderr, "uqsim-trace: PARTIAL: interrupted (%s); traces above cover the truncated run\n", wd.Reason())
+		return cli.ExitPartial
+	}
+	return cli.ExitOK
 }

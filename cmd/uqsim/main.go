@@ -10,6 +10,9 @@
 // SIGINT/SIGTERM and the -max-wall watchdog stop the simulation cleanly:
 // the partial report up to the stopped virtual clock is still printed and
 // the process exits nonzero.
+//
+// Exit codes: 0 completed, 1 interrupted or failed (report printed is
+// partial), 2 usage.
 package main
 
 import (
@@ -38,16 +41,16 @@ func main() {
 	if *cfgDir == "" {
 		fmt.Fprintln(os.Stderr, "uqsim: -config is required")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	wd := cli.StartWatchdog(*maxWall)
 	if err := run(*cfgDir, *faults, *qps, *warmup, *duration, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "uqsim:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitPartial)
 	}
 	if wd.Interrupted() {
 		fmt.Fprintf(os.Stderr, "uqsim: interrupted (%s); results above are partial\n", wd.Reason())
-		os.Exit(1)
+		os.Exit(cli.ExitPartial)
 	}
 }
 

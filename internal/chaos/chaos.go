@@ -257,6 +257,50 @@ func NewHarness(opts Options) (*Harness, error) {
 	return h, nil
 }
 
+// TrialResult is the outcome of one independent trial: either the
+// invariants held (Finding nil) or a shrunk, replayable violation. A
+// trial is a pure function of the harness options and the trial index, so
+// trials can run in any order, on any process — the experiment farm fans
+// them out across workers and merges TrialResults back into the same
+// corpus a serial search writes.
+type TrialResult struct {
+	Trial int
+	// Events is the explored schedule's fault-event count (pre-shrink).
+	Events int
+	// Finding is nil when every invariant held.
+	Finding *Finding
+	// Entry is the portable corpus artifact for Finding (nil when ok).
+	Entry *Entry
+}
+
+// Trial generates, verifies, and (on violation) shrinks the trial'th
+// scenario of the search seeded by the harness options. It never touches
+// the corpus directory; use ArchiveEntry (or Run, which does both) to
+// persist the artifact.
+func (h *Harness) Trial(trial int) (*TrialResult, error) {
+	child := rng.NewSplitter(h.opts.Seed).Child("chaos", fmt.Sprint(trial))
+	sc := h.Generate(child.Stream("schedule"), child.Stream("seed").Uint64())
+	tr := &TrialResult{Trial: trial, Events: sc.EventCount()}
+	v, _, err := h.Verify(sc)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return tr, nil
+	}
+	h.opts.Logf("trial %d (seed %d): VIOLATION %s — shrinking %d events", trial, sc.Seed, v.ID, sc.EventCount())
+	f, faultsJSON, err := h.shrinkFinding(trial, sc, v)
+	if err != nil {
+		return nil, err
+	}
+	tr.Finding = f
+	tr.Entry, err = findingEntry(f, faultsJSON)
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
 // Run explores opts.Trials scenarios, shrinking and archiving every
 // violation found. This is the cmd/uqsim-chaos entry point.
 func Run(opts Options) (*Result, error) {
@@ -265,15 +309,12 @@ func Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
-	split := rng.NewSplitter(h.opts.Seed)
 	for trial := 0; trial < h.opts.Trials; trial++ {
 		if h.opts.Interrupted() {
 			res.Interrupted = true
 			break
 		}
-		child := split.Child("chaos", fmt.Sprint(trial))
-		sc := h.Generate(child.Stream("schedule"), child.Stream("seed").Uint64())
-		v, _, err := h.Verify(sc)
+		tr, err := h.Trial(trial)
 		if errors.Is(err, ErrInterrupted) {
 			res.Interrupted = true
 			break
@@ -282,18 +323,17 @@ func Run(opts Options) (*Result, error) {
 			return res, err
 		}
 		res.Trials++
-		if v == nil {
-			h.opts.Logf("trial %d (seed %d): %d events ok", trial, sc.Seed, sc.EventCount())
+		if tr.Finding == nil {
+			h.opts.Logf("trial %d: %d events ok", trial, tr.Events)
 			continue
 		}
-		h.opts.Logf("trial %d (seed %d): VIOLATION %s — shrinking %d events", trial, sc.Seed, v.ID, sc.EventCount())
-		f, err := h.shrinkAndArchive(trial, sc, v)
-		if errors.Is(err, ErrInterrupted) {
-			res.Interrupted = true
-			break
-		}
-		if err != nil {
-			return res, err
+		f := tr.Finding
+		if h.opts.CorpusDir != "" {
+			dir, err := ArchiveEntry(h.opts.CorpusDir, tr.Entry)
+			if err != nil {
+				return res, err
+			}
+			f.Dir = dir
 		}
 		res.Findings = append(res.Findings, *f)
 		h.opts.Logf("trial %d: shrunk to %d events (%s), archived %s", trial, f.Events, f.Violation, f.Dir)
@@ -304,21 +344,21 @@ func Run(opts Options) (*Result, error) {
 	return res, nil
 }
 
-// shrinkAndArchive reduces a violating scenario to its minimal form,
-// re-verifies it, and writes the corpus artifact.
-func (h *Harness) shrinkAndArchive(trial int, sc Scenario, v *Violation) (*Finding, error) {
+// shrinkFinding reduces a violating scenario to its minimal form,
+// re-verifies it, and materializes the minimal fault plan.
+func (h *Harness) shrinkFinding(trial int, sc Scenario, v *Violation) (*Finding, []byte, error) {
 	min, err := h.Shrink(sc, v.ID)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	minV, fp, err := h.Verify(min)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if minV == nil || minV.ID != v.ID {
 		// Shrinking never leaves a non-reproducing scenario: ddmin only
 		// commits subsets that reproduce. A mismatch here is a harness bug.
-		return nil, fmt.Errorf("chaos: shrunk scenario no longer reproduces %s", v.ID)
+		return nil, nil, fmt.Errorf("chaos: shrunk scenario no longer reproduces %s", v.ID)
 	}
 	f := &Finding{
 		Trial:        trial,
@@ -330,18 +370,11 @@ func (h *Harness) shrinkAndArchive(trial int, sc Scenario, v *Violation) (*Findi
 		Events:       min.EventCount(),
 		Fingerprint:  fp,
 	}
-	if h.opts.CorpusDir != "" {
-		faultsJSON, _, err := h.Materialize(min)
-		if err != nil {
-			return nil, err
-		}
-		dir, err := writeFinding(h.opts.CorpusDir, f, faultsJSON)
-		if err != nil {
-			return nil, err
-		}
-		f.Dir = dir
+	faultsJSON, _, err := h.Materialize(min)
+	if err != nil {
+		return nil, nil, err
 	}
-	return f, nil
+	return f, faultsJSON, nil
 }
 
 // goodCompletion reports whether a finished request counts toward

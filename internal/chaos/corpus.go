@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -24,19 +25,19 @@ type Meta struct {
 	Fingerprint string   `json:"fingerprint"`
 }
 
-// writeFinding archives one finding as corpusDir/trialNNNN-<violation>/
-// holding faults.json (the materialized minimal schedule, merged with the
-// config's base policies) and meta.json. Both files land atomically and
-// meta.json is written last, so an interrupted flush can never leave an
-// entry that Entries or Replay would pick up half-written.
-func writeFinding(corpusDir string, f *Finding, faultsJSON []byte) (string, error) {
-	dir := filepath.Join(corpusDir, fmt.Sprintf("trial%04d-%s", f.Trial, f.Violation))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("chaos: creating corpus entry: %w", err)
-	}
-	if err := writeAtomic(filepath.Join(dir, "faults.json"), faultsJSON); err != nil {
-		return "", err
-	}
+// Entry is one corpus artifact in portable form: the entry directory's
+// name plus the exact bytes of its two files. Findings cross process
+// boundaries as Entries — a farm worker returns them over its result
+// pipe and the dispatcher archives them — so the merged corpus of a
+// distributed search is byte-identical to a serial one.
+type Entry struct {
+	Name   string          `json:"name"`
+	Meta   json.RawMessage `json:"meta"`
+	Faults json.RawMessage `json:"faults"`
+}
+
+// findingEntry renders a shrunk finding as its corpus artifact.
+func findingEntry(f *Finding, faultsJSON []byte) (*Entry, error) {
 	meta := Meta{
 		Seed:        f.Seed,
 		Trial:       f.Trial,
@@ -48,12 +49,54 @@ func writeFinding(corpusDir string, f *Finding, faultsJSON []byte) (string, erro
 	}
 	data, err := json.MarshalIndent(&meta, "", "  ")
 	if err != nil {
-		return "", fmt.Errorf("chaos: encoding meta.json: %w", err)
+		return nil, fmt.Errorf("chaos: encoding meta.json: %w", err)
 	}
-	if err := writeAtomic(filepath.Join(dir, "meta.json"), append(data, '\n')); err != nil {
+	return &Entry{
+		Name:   fmt.Sprintf("trial%04d-%s", f.Trial, f.Violation),
+		Meta:   append(data, '\n'),
+		Faults: faultsJSON,
+	}, nil
+}
+
+// ArchiveEntry writes one entry as corpusDir/<name>/ holding faults.json
+// (the materialized minimal schedule, merged with the config's base
+// policies) and meta.json. Both files land atomically and meta.json is
+// written last, so an interrupted flush can never leave an entry that
+// Entries or Replay would pick up half-written. Both documents are
+// re-indented canonically: an Entry that crossed a process boundary (a
+// farm worker's result pipe, the spool journal) carries RawMessage bytes
+// reformatted by the enclosing encoders, and the corpus must come out
+// byte-identical either way.
+func ArchiveEntry(corpusDir string, e *Entry) (string, error) {
+	faults, err := canonicalJSON(e.Faults)
+	if err != nil {
+		return "", fmt.Errorf("chaos: corpus entry %s faults.json: %w", e.Name, err)
+	}
+	meta, err := canonicalJSON(e.Meta)
+	if err != nil {
+		return "", fmt.Errorf("chaos: corpus entry %s meta.json: %w", e.Name, err)
+	}
+	dir := filepath.Join(corpusDir, e.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos: creating corpus entry: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "faults.json"), faults); err != nil {
+		return "", err
+	}
+	if err := writeAtomic(filepath.Join(dir, "meta.json"), append(meta, '\n')); err != nil {
 		return "", err
 	}
 	return dir, nil
+}
+
+// canonicalJSON reformats a JSON document into the corpus's canonical
+// two-space indentation, discarding whatever whitespace it arrived with.
+func canonicalJSON(raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(raw), "", "  "); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // writeAtomic writes via a same-directory temp file and rename, so a

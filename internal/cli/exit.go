@@ -1,0 +1,22 @@
+package cli
+
+// Exit codes shared by every cmd/ binary. The convention is uniform so
+// scripts and CI can branch on outcomes without knowing which tool ran:
+//
+//	0  ExitOK        the run completed; artifacts are complete
+//	1  ExitPartial   a runtime error or an interrupt (signal, -max-wall)
+//	                 stopped the run; artifacts already flushed are
+//	                 complete files, but the set is partial
+//	2  ExitUsage     bad flags or arguments; nothing ran
+//	3  ExitFindings  the run itself succeeded and surfaced findings that
+//	                 deserve attention: chaos violations, a replay
+//	                 mismatch, quarantined farm jobs
+//
+// Interruption always wins over findings: a partial search that found
+// violations still exits 1, because its artifact set is incomplete.
+const (
+	ExitOK       = 0
+	ExitPartial  = 1
+	ExitUsage    = 2
+	ExitFindings = 3
+)

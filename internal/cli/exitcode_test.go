@@ -1,0 +1,124 @@
+package cli_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"uqsim/internal/cli"
+	"uqsim/internal/farm"
+)
+
+// TestExitCodeConvention pins the uniform exit-code contract across every
+// binary: 0 ok, 1 interrupted/failed-partial, 2 usage, 3 findings.
+// Scripts and CI branch on these; a binary drifting from the convention
+// is a regression even if its output is fine.
+func TestExitCodeConvention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binaries")
+	}
+	root := repoRoot(t)
+	bins := map[string]string{}
+	for _, pkg := range []string{
+		"cmd/uqsim", "cmd/uqsim-sweep", "cmd/uqsim-trace",
+		"cmd/uqsim-chaos", "cmd/uqsim-experiments", "cmd/uqsim-farm",
+	} {
+		bins[filepath.Base(pkg)] = buildBinary(t, pkg)
+	}
+
+	// Spool fixtures for the farm audit cases, journaled without running
+	// any simulation: a complete campaign, an incomplete one, and one
+	// with an orphaned result (exactly-once accounting violated).
+	row := []string{"1", "2", "3", "4", "5", "6", "7"}
+	makeSpool := func(name string, commits int, orphan bool) string {
+		dir := filepath.Join(t.TempDir(), name)
+		c, err := farm.NewSweepCampaign(filepath.Join(root, "configs", "twotier"), 1000, 3000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := farm.OpenSpool(dir, c, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := c.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs[:commits] {
+			if _, err := sp.CommitResult(&farm.Result{Hash: j.Hash(), Job: j, Row: row}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if orphan {
+			stray := farm.JobSpec{Kind: farm.KindSweep, ConfigHash: c.ConfigHash, Index: 99, QPS: 99000}
+			if _, err := sp.CommitResult(&farm.Result{Hash: stray.Hash(), Job: stray, Row: row}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	completeSpool := makeSpool("complete", 3, false)
+	partialSpool := makeSpool("partial", 1, false)
+	dirtySpool := makeSpool("dirty", 3, true)
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		env  []string // KEY=VALUE appended to the environment
+		want int
+	}{
+		// ---- 2: usage errors; nothing runs ----
+		{"uqsim/no-config", "uqsim", nil, nil, cli.ExitUsage},
+		{"sweep/no-config", "uqsim-sweep", nil, nil, cli.ExitUsage},
+		{"sweep/bad-grid", "uqsim-sweep", []string{"-config", "configs/twotier", "-from", "2000", "-to", "1000"}, nil, cli.ExitUsage},
+		{"trace/no-config", "uqsim-trace", nil, nil, cli.ExitUsage},
+		{"chaos/no-config", "uqsim-chaos", nil, nil, cli.ExitUsage},
+		{"experiments/no-args", "uqsim-experiments", nil, nil, cli.ExitUsage},
+		{"farm/no-config", "uqsim-farm", nil, nil, cli.ExitUsage},
+		{"farm/bad-kind", "uqsim-farm", []string{"-config", "configs/twotier", "-spool", filepath.Join(t.TempDir(), "s"), "-kind", "nope"}, nil, cli.ExitUsage},
+		{"farm/audit-no-spool", "uqsim-farm", []string{"-audit"}, nil, cli.ExitUsage},
+		{"farm/replay-no-config", "uqsim-farm", []string{"-replay", "x.json"}, nil, cli.ExitUsage},
+
+		// ---- 0: completed runs ----
+		{"uqsim/ok", "uqsim", []string{"-config", "configs/twotier", "-warmup", "10ms", "-duration", "50ms"}, nil, cli.ExitOK},
+		{"sweep/ok", "uqsim-sweep", []string{"-config", "configs/twotier", "-from", "20000", "-to", "20000", "-step", "1000", "-csv"}, nil, cli.ExitOK},
+		{"trace/ok", "uqsim-trace", []string{"-config", "configs/twotier", "-duration", "100ms"}, nil, cli.ExitOK},
+		{"experiments/list", "uqsim-experiments", []string{"-list"}, nil, cli.ExitOK},
+		{"farm/audit-complete", "uqsim-farm", []string{"-audit", "-spool", completeSpool}, nil, cli.ExitOK},
+
+		// ---- 1: interrupted or incomplete; artifacts partial ----
+		{"sweep/max-wall", "uqsim-sweep", []string{"-config", "configs/twotier", "-from", "15000", "-to", "80000", "-step", "1000", "-max-wall", "500ms"}, nil, cli.ExitPartial},
+		{"farm/audit-incomplete", "uqsim-farm", []string{"-audit", "-spool", partialSpool}, nil, cli.ExitPartial},
+
+		// ---- 3: the run succeeded and surfaced findings ----
+		{"farm/audit-orphan", "uqsim-farm", []string{"-audit", "-spool", dirtySpool}, nil, cli.ExitFindings},
+		{"farm/poison-quarantine", "uqsim-farm", []string{
+			"-config", "configs/twotier",
+			"-from", "20000", "-to", "20000", "-step", "1000",
+			"-workers", "1", "-max-failures", "1", "-q",
+			"-spool", filepath.Join(t.TempDir(), "poison"),
+		}, []string{farm.EnvTestCrash + "=@99"}, cli.ExitFindings},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bins[tc.bin], tc.args...)
+			cmd.Dir = root
+			if tc.env != nil {
+				cmd.Env = append(cmd.Environ(), tc.env...)
+			}
+			out, err := cmd.CombinedOutput()
+			code := 0
+			if exit, ok := err.(*exec.ExitError); ok {
+				code = exit.ExitCode()
+			} else if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if code != tc.want {
+				t.Fatalf("%s %v exited %d, want %d\n%s", tc.bin, tc.args, code, tc.want, out)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -39,6 +40,25 @@ func buildBinary(t *testing.T, pkg string) string {
 		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
 	}
 	return bin
+}
+
+// syncBuffer is a buffer safe to poll while os/exec's copier goroutine
+// is still writing the child's output into it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // waitFor polls cond until it holds or the deadline passes.
@@ -192,5 +212,82 @@ func TestExperimentsInterruptFlushesPartialCSV(t *testing.T) {
 		if len(rows) < 2 {
 			t.Fatalf("%s has no data rows", f)
 		}
+	}
+}
+
+// TestSweepInterruptPrintsCompleteRows: SIGINT mid-sweep must exit
+// nonzero with a PARTIAL diagnostic, and the table printed must contain
+// only complete rows — the header plus one full row per finished point.
+func TestSweepInterruptPrintsCompleteRows(t *testing.T) {
+	bin := buildBinary(t, "cmd/uqsim-sweep")
+
+	// A wide grid keeps the sweep busy; -progress reports each finished
+	// point on stderr so the test can interrupt after the first one.
+	cmd := exec.Command(bin,
+		"-config", "configs/twotier",
+		"-from", "15000", "-to", "80000", "-step", "1000",
+		"-csv", "-progress")
+	cmd.Dir = repoRoot(t)
+	var stdout bytes.Buffer
+	var stderr syncBuffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 2*time.Minute, "the first completed sweep point", func() bool {
+		return strings.Contains(stderr.String(), "point 1/")
+	})
+	code := interruptAndWait(t, cmd)
+	if code != 1 {
+		t.Fatalf("interrupted sweep exited %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "PARTIAL") {
+		t.Fatalf("no PARTIAL diagnostic:\n%s", stderr.String())
+	}
+
+	rows, err := csv.NewReader(bytes.NewReader(stdout.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("partial sweep output does not parse as CSV: %v\n%s", err, stdout.String())
+	}
+	if len(rows) < 2 {
+		t.Fatalf("no complete data rows survived the interrupt:\n%s", stdout.String())
+	}
+	for i, row := range rows {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("row %d is ragged: %v", i, row)
+		}
+	}
+}
+
+// TestTraceInterruptReportsPartialRun: SIGINT mid-trace must stop the
+// simulation cleanly, still print the report header and collected
+// traces, and exit 1 with a PARTIAL diagnostic.
+func TestTraceInterruptReportsPartialRun(t *testing.T) {
+	bin := buildBinary(t, "cmd/uqsim-trace")
+
+	// An hour of virtual time takes far longer than the test to simulate,
+	// so the signal always lands mid-run.
+	cmd := exec.Command(bin,
+		"-config", "configs/twotier",
+		"-duration", "1h", "-sample", "64")
+	cmd.Dir = repoRoot(t)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Give the run time to get well into the simulation before signaling.
+	time.Sleep(2 * time.Second)
+	code := interruptAndWait(t, cmd)
+	if code != 1 {
+		t.Fatalf("interrupted trace exited %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "PARTIAL") {
+		t.Fatalf("no PARTIAL diagnostic:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "completions=") {
+		t.Fatalf("truncated run did not report its partial results:\n%s", stdout.String())
 	}
 }

@@ -1,8 +1,12 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 )
 
 // BaseDocs holds the five required config documents of one directory. The
@@ -49,6 +53,33 @@ func (d *BaseDocs) WithSeed(seed uint64) (*BaseDocs, error) {
 	out := *d
 	out.Client = client
 	return &out, nil
+}
+
+// HashDir fingerprints the complete configuration set of dir: the five
+// required documents plus the optional faults.json and control.json. The
+// farm journals this hash into every job spec so a spool can never be
+// resumed against a drifted configuration without noticing — a result is
+// only meaningful for the exact bytes it was computed from.
+func HashDir(dir string) (string, error) {
+	h := sha256.New()
+	names := []string{
+		"machines.json", "service.json", "graph.json", "path.json",
+		"client.json", "faults.json", "control.json",
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			// The optional documents simply contribute their absence.
+			fmt.Fprintf(h, "%s\x00absent\x00", name)
+			continue
+		}
+		if err != nil {
+			return "", fmt.Errorf("config: hashing %s: %w", dir, err)
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
 }
 
 // WithWorkers returns a copy with the machines document's engine worker

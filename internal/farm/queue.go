@@ -1,0 +1,180 @@
+package farm
+
+import (
+	"fmt"
+	"time"
+)
+
+// queue is the dispatcher's lease-based job queue. It is purely
+// in-memory state over the durable spool: pending jobs wait in FIFO
+// order, a leased job belongs to exactly one worker until it completes,
+// fails, or its lease expires, and a job that fails maxFail consecutive
+// attempts is handed back for quarantine instead of being requeued
+// forever. All methods take an explicit now so unit tests drive the
+// clock; the queue itself is not goroutine-safe — the dispatcher's event
+// loop is its single caller.
+type queue struct {
+	pending  []*jobState
+	byHash   map[string]*jobState
+	byWorker map[int]*jobState
+	maxFail  int
+}
+
+// jobState tracks one job through queued → leased → (committed |
+// requeued | quarantined).
+type jobState struct {
+	spec JobSpec
+	hash string
+	// worker is the lease holder (-1 when unleased).
+	worker int
+	// expiry is when the lease lapses without a heartbeat.
+	expiry time.Time
+	// deadline is the per-job wall-clock watchdog: a job still running
+	// past it is considered hung even if heartbeats keep arriving.
+	deadline time.Time
+	// attempt counts dispatches (1 = first try); failures records every
+	// failed attempt so the quarantine entry explains itself.
+	attempt  int
+	failures []FailureRecord
+}
+
+func newQueue(jobs []JobSpec, done map[string]*Result, quarantined map[string]*QuarantineEntry, maxFail int) *queue {
+	q := &queue{
+		byHash:   make(map[string]*jobState),
+		byWorker: make(map[int]*jobState),
+		maxFail:  maxFail,
+	}
+	for _, spec := range jobs {
+		hash := spec.Hash()
+		if done[hash] != nil || quarantined[hash] != nil {
+			continue // journal says finished: resume skips it
+		}
+		js := &jobState{spec: spec, hash: hash, worker: -1}
+		q.pending = append(q.pending, js)
+		q.byHash[hash] = js
+	}
+	return q
+}
+
+// remaining counts jobs not yet finished (pending plus leased).
+func (q *queue) remaining() int { return len(q.byHash) }
+
+// idle reports whether nothing is pending or leased.
+func (q *queue) idle() bool { return len(q.byHash) == 0 }
+
+// hasPending reports whether a lease could be granted right now.
+func (q *queue) hasPending() bool { return len(q.pending) > 0 }
+
+// lease hands the next pending job to worker until now+ttl, with the
+// per-job wall-clock deadline now+jobTimeout. Returns nil when nothing is
+// pending or the worker already holds a lease.
+func (q *queue) lease(worker int, now time.Time, ttl, jobTimeout time.Duration) *jobState {
+	if len(q.pending) == 0 || q.byWorker[worker] != nil {
+		return nil
+	}
+	js := q.pending[0]
+	q.pending = q.pending[1:]
+	js.worker = worker
+	js.expiry = now.Add(ttl)
+	js.deadline = now.Add(jobTimeout)
+	js.attempt++
+	q.byWorker[worker] = js
+	return js
+}
+
+// heartbeat extends the lease of the job worker is running. A heartbeat
+// for a job the worker no longer holds (expired and requeued) is stale
+// and ignored.
+func (q *queue) heartbeat(worker int, hash string, now time.Time, ttl time.Duration) bool {
+	js := q.byWorker[worker]
+	if js == nil || js.hash != hash {
+		return false
+	}
+	js.expiry = now.Add(ttl)
+	return true
+}
+
+// complete removes the job worker reported finished and returns it. A
+// stale completion — the lease expired and the job was requeued or
+// finished elsewhere — returns nil; the caller still commits the result
+// (commits are idempotent) but must not treat the worker as the lease
+// holder.
+func (q *queue) complete(worker int, hash string) *jobState {
+	js := q.byWorker[worker]
+	if js == nil || js.hash != hash {
+		return nil
+	}
+	delete(q.byWorker, worker)
+	delete(q.byHash, hash)
+	return js
+}
+
+// finished removes a job wherever it is — pending or leased to any
+// worker — because its result was just committed (possibly by a stale
+// duplicate completion). Returns the worker that held it, or -1.
+func (q *queue) finished(hash string) int {
+	js := q.byHash[hash]
+	if js == nil {
+		return -1
+	}
+	delete(q.byHash, hash)
+	if js.worker >= 0 {
+		delete(q.byWorker, js.worker)
+		return js.worker
+	}
+	for i, p := range q.pending {
+		if p == js {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			break
+		}
+	}
+	return -1
+}
+
+// fail records a failed attempt of worker's leased job and either
+// requeues it (at the back, preserving FIFO fairness) or — after maxFail
+// consecutive failures — withdraws it as poison. Exactly one of requeued
+// and poison is set; both nil means the worker held no lease, so there is
+// nothing to fail (this is what makes "requeue exactly once" hold when a
+// lease expiry and the subsequent worker kill race).
+func (q *queue) fail(worker int, reason string, now time.Time) (requeued *jobState, poison *jobState) {
+	js := q.byWorker[worker]
+	if js == nil {
+		return nil, nil
+	}
+	delete(q.byWorker, worker)
+	js.worker = -1
+	js.failures = append(js.failures, FailureRecord{Attempt: js.attempt, Reason: reason})
+	if len(js.failures) >= q.maxFail {
+		delete(q.byHash, js.hash)
+		return nil, js
+	}
+	q.pending = append(q.pending, js)
+	return js, nil
+}
+
+// expired returns the workers whose lease lapsed (no heartbeat before
+// expiry) or whose job overran its wall-clock deadline, with the reason.
+// The caller fails the job and kills the worker.
+func (q *queue) expired(now time.Time) []expiry {
+	var out []expiry
+	for worker, js := range q.byWorker {
+		switch {
+		case now.After(js.deadline):
+			out = append(out, expiry{worker, fmt.Sprintf("job %s exceeded its wall-clock budget", js.spec.Key())})
+		case now.After(js.expiry):
+			out = append(out, expiry{worker, fmt.Sprintf("lease on job %s expired without a heartbeat", js.spec.Key())})
+		}
+	}
+	return out
+}
+
+type expiry struct {
+	worker int
+	reason string
+}
+
+// quarantineEntry renders a poisoned job for the journal.
+func (js *jobState) quarantineEntry() *QuarantineEntry {
+	return &QuarantineEntry{Hash: js.hash, Job: js.spec, Failures: js.failures}
+}

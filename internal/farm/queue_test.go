@@ -1,0 +1,199 @@
+package farm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testJobs(n int) []JobSpec {
+	var jobs []JobSpec
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, JobSpec{
+			Kind: KindSweep, ConfigHash: "cfg", Index: i, QPS: float64(1000 * (i + 1)),
+		})
+	}
+	return jobs
+}
+
+func TestQueueLeaseExpiryRequeuesExactlyOnce(t *testing.T) {
+	q := newQueue(testJobs(1), nil, nil, 3)
+	now := time.Unix(0, 0)
+	ttl, timeout := 10*time.Second, time.Hour
+
+	js := q.lease(0, now, ttl, timeout)
+	if js == nil || js.attempt != 1 {
+		t.Fatalf("lease: %+v", js)
+	}
+	if exp := q.expired(now.Add(ttl / 2)); len(exp) != 0 {
+		t.Fatalf("lease expired early: %+v", exp)
+	}
+
+	// Past the TTL with no heartbeat, the lease is expired; failing it
+	// requeues the job once.
+	late := now.Add(ttl + time.Second)
+	exp := q.expired(late)
+	if len(exp) != 1 || exp[0].worker != 0 {
+		t.Fatalf("expired: %+v", exp)
+	}
+	if !strings.Contains(exp[0].reason, "expired without a heartbeat") {
+		t.Fatalf("reason: %q", exp[0].reason)
+	}
+	requeued, poison := q.fail(exp[0].worker, exp[0].reason, late)
+	if requeued == nil || poison != nil {
+		t.Fatalf("fail: requeued=%v poison=%v", requeued, poison)
+	}
+
+	// The dispatcher kills the worker after failing the lease; the exit
+	// event then fails the same worker again. That second fail must find
+	// no lease — the job was already requeued — or it would requeue twice.
+	requeued, poison = q.fail(exp[0].worker, "worker exited", late)
+	if requeued != nil || poison != nil {
+		t.Fatalf("second fail requeued again: requeued=%v poison=%v", requeued, poison)
+	}
+	if q.remaining() != 1 || !q.hasPending() {
+		t.Fatalf("job lost: remaining=%d pending=%v", q.remaining(), q.hasPending())
+	}
+
+	// The requeued job leases again with a bumped attempt counter.
+	js = q.lease(1, late, ttl, timeout)
+	if js == nil || js.attempt != 2 {
+		t.Fatalf("re-lease: %+v", js)
+	}
+}
+
+func TestQueueHeartbeatExtendsLease(t *testing.T) {
+	q := newQueue(testJobs(1), nil, nil, 3)
+	now := time.Unix(0, 0)
+	ttl := 10 * time.Second
+
+	js := q.lease(0, now, ttl, time.Hour)
+	beat := now.Add(8 * time.Second)
+	if !q.heartbeat(0, js.hash, beat, ttl) {
+		t.Fatal("heartbeat rejected")
+	}
+	// Without the beat the lease would have lapsed at now+ttl.
+	if exp := q.expired(now.Add(ttl + time.Second)); len(exp) != 0 {
+		t.Fatalf("heartbeat did not extend lease: %+v", exp)
+	}
+	if exp := q.expired(beat.Add(ttl + time.Second)); len(exp) != 1 {
+		t.Fatalf("extended lease never expired: %+v", exp)
+	}
+	// A heartbeat for a job the worker no longer holds is stale.
+	if q.heartbeat(1, js.hash, beat, ttl) {
+		t.Fatal("accepted heartbeat from a worker without the lease")
+	}
+	if q.heartbeat(0, "other-hash", beat, ttl) {
+		t.Fatal("accepted heartbeat for the wrong job")
+	}
+}
+
+func TestQueueJobDeadlineOverridesHeartbeats(t *testing.T) {
+	q := newQueue(testJobs(1), nil, nil, 3)
+	now := time.Unix(0, 0)
+	ttl, timeout := 10*time.Second, 30*time.Second
+
+	js := q.lease(0, now, ttl, timeout)
+	// Keep heartbeating right up to the wall-clock deadline: the job is
+	// alive but hung, and the deadline must still fire.
+	at := now
+	for at.Before(now.Add(timeout)) {
+		at = at.Add(ttl / 2)
+		q.heartbeat(0, js.hash, at, ttl)
+	}
+	exp := q.expired(now.Add(timeout + time.Second))
+	if len(exp) != 1 || !strings.Contains(exp[0].reason, "wall-clock budget") {
+		t.Fatalf("deadline did not fire despite heartbeats: %+v", exp)
+	}
+}
+
+func TestQueueQuarantineAfterMaxFailures(t *testing.T) {
+	const maxFail = 3
+	q := newQueue(testJobs(2), nil, nil, maxFail)
+	now := time.Unix(0, 0)
+
+	var poisoned *jobState
+	for attempt := 1; attempt <= maxFail; attempt++ {
+		js := q.lease(0, now, time.Second, time.Hour)
+		if js == nil {
+			t.Fatalf("attempt %d: nothing to lease", attempt)
+		}
+		requeued, poison := q.fail(0, "worker exited: crash", now)
+		if attempt < maxFail {
+			if requeued == nil || poison != nil {
+				t.Fatalf("attempt %d: requeued=%v poison=%v", attempt, requeued, poison)
+			}
+			// FIFO fairness: the failed job goes to the back, behind job 1.
+			if q.pending[len(q.pending)-1] != requeued {
+				t.Fatal("failed job not requeued at the back")
+			}
+		} else {
+			if requeued != nil || poison == nil {
+				t.Fatalf("attempt %d: requeued=%v poison=%v", attempt, requeued, poison)
+			}
+			poisoned = poison
+		}
+		// Skip past the healthy job so the poison job leases again next.
+		if attempt < maxFail {
+			for q.pending[0] != requeued {
+				q.pending = append(q.pending[1:], q.pending[0])
+			}
+		}
+	}
+
+	qe := poisoned.quarantineEntry()
+	if len(qe.Failures) != maxFail {
+		t.Fatalf("failure history: %+v", qe.Failures)
+	}
+	for i, f := range qe.Failures {
+		if f.Attempt != i+1 || !strings.Contains(f.Reason, "crash") {
+			t.Fatalf("failure %d: %+v", i, f)
+		}
+	}
+	if qe.Hash != qe.Job.Hash() {
+		t.Fatal("quarantine entry hash does not bind to its spec")
+	}
+	// The poison job is gone; the healthy one remains.
+	if q.remaining() != 1 {
+		t.Fatalf("remaining=%d", q.remaining())
+	}
+}
+
+func TestQueueStaleCompletion(t *testing.T) {
+	q := newQueue(testJobs(1), nil, nil, 3)
+	now := time.Unix(0, 0)
+
+	js := q.lease(0, now, time.Second, time.Hour)
+	// The lease expires and the job is requeued, then leased to worker 1.
+	q.fail(0, "lease expired", now)
+	js2 := q.lease(1, now, time.Second, time.Hour)
+	if js2 == nil || js2.hash != js.hash {
+		t.Fatalf("re-lease: %+v", js2)
+	}
+	// Worker 0's late completion is stale: complete() refuses it.
+	if got := q.complete(0, js.hash); got != nil {
+		t.Fatalf("stale completion accepted: %+v", got)
+	}
+	// The dispatcher still commits the result and calls finished(), which
+	// removes the job from worker 1 and reports who held it.
+	if other := q.finished(js.hash); other != 1 {
+		t.Fatalf("finished returned worker %d, want 1", other)
+	}
+	if !q.idle() {
+		t.Fatal("queue not idle after stale completion resolved")
+	}
+}
+
+func TestQueueResumeSkipsJournaledJobs(t *testing.T) {
+	jobs := testJobs(3)
+	done := map[string]*Result{jobs[0].Hash(): {Hash: jobs[0].Hash(), Job: jobs[0]}}
+	quar := map[string]*QuarantineEntry{jobs[2].Hash(): {Hash: jobs[2].Hash(), Job: jobs[2]}}
+	q := newQueue(jobs, done, quar, 3)
+	if q.remaining() != 1 {
+		t.Fatalf("remaining=%d, want 1", q.remaining())
+	}
+	js := q.lease(0, time.Unix(0, 0), time.Second, time.Hour)
+	if js == nil || js.spec.Index != 1 {
+		t.Fatalf("leased %+v, want the one unjournaled job", js)
+	}
+}

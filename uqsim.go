@@ -41,6 +41,7 @@ import (
 	"uqsim/internal/control"
 	"uqsim/internal/des"
 	"uqsim/internal/dist"
+	"uqsim/internal/farm"
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
 	"uqsim/internal/monitor"
@@ -540,6 +541,59 @@ func RunChaos(opts ChaosOptions) (*ChaosResult, error) { return chaos.Run(opts) 
 func ReplayChaosFinding(configDir, entryDir string) (*ChaosReplayResult, error) {
 	return chaos.Replay(configDir, entryDir)
 }
+
+// ---- fault-tolerant experiment farm ----
+
+// FarmCampaign describes one experiment campaign — a load sweep or a
+// chaos search expanded into content-hashed, independently runnable job
+// specs and journaled to a durable spool directory.
+type FarmCampaign = farm.Campaign
+
+// FarmJobSpec is one unit of farm work: a single sweep point or chaos
+// trial, content-addressed so retries and duplicate completions are safe.
+type FarmJobSpec = farm.JobSpec
+
+// FarmOptions configures a dispatcher run: worker pool size, lease TTL,
+// per-job watchdog, poison-quarantine threshold, resume.
+type FarmOptions = farm.Options
+
+// FarmSummary is the accounting of one dispatcher run (commits, requeues,
+// quarantines, respawns).
+type FarmSummary = farm.Summary
+
+// FarmMerged is a campaign's results reassembled in campaign order —
+// byte-identical to a serial run at any worker count.
+type FarmMerged = farm.Merged
+
+// FarmAuditReport is the exactly-once accounting of a spool journal.
+type FarmAuditReport = farm.AuditReport
+
+// NewFarmSweepCampaign builds a load-sweep campaign over configDir,
+// pinning the exact configuration bytes into every job spec.
+func NewFarmSweepCampaign(configDir string, from, to, step float64) (*FarmCampaign, error) {
+	return farm.NewSweepCampaign(configDir, from, to, step)
+}
+
+// NewFarmChaosCampaign builds a chaos-search campaign over configDir.
+func NewFarmChaosCampaign(configDir string, seed uint64, trials, maxActions int) (*FarmCampaign, error) {
+	return farm.NewChaosCampaign(configDir, seed, trials, maxActions)
+}
+
+// RunFarm executes a campaign across a pool of crash-recovering worker
+// subprocesses behind a lease-based queue: leases expire back to the
+// queue, hung workers are killed by the per-job watchdog, crashed workers
+// respawn with backoff, poison jobs are quarantined after repeated
+// failures, and results commit idempotently. The same engine backs
+// cmd/uqsim-farm.
+func RunFarm(o FarmOptions, c *FarmCampaign) (*FarmSummary, error) { return farm.Run(o, c) }
+
+// MergeFarm replays a spool journal into campaign-order results.
+func MergeFarm(spoolDir string) (*FarmMerged, error) { return farm.Merge(spoolDir) }
+
+// AuditFarm checks a spool journal's exactly-once accounting: every job
+// committed or quarantined at most once, no conflicting or orphaned
+// journal entries.
+func AuditFarm(spoolDir string) (*FarmAuditReport, error) { return farm.Audit(spoolDir) }
 
 // ---- command-line plumbing ----
 
