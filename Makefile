@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput examples examples-run fuzz chaos farm
+.PHONY: check vet staticcheck build test race bench bench-engine bench-throughput bench-hybrid examples examples-run fuzz chaos farm
 
 # check is the tier-1 gate: everything CI runs.
 check: vet staticcheck build test race
@@ -44,6 +44,12 @@ bench-engine:
 bench-throughput:
 	$(GO) test -run xxx -bench 'BenchmarkSimulatorEventRate' -benchtime 5x .
 
+# bench-hybrid records the hybrid-fidelity speedup benchmark: simulated
+# users per wall-clock second at full DES vs. sampled fidelity.
+# BENCH_hybrid.json is the committed trajectory point.
+bench-hybrid:
+	$(GO) test -run xxx -bench 'BenchmarkHybridFidelity' -benchtime 1x . | tee BENCH_hybrid.json
+
 examples:
 	$(GO) build ./examples/...
 
@@ -75,6 +81,7 @@ fuzz:
 	$(GO) test ./internal/config -run xxx -fuzz FuzzClient -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/config -run xxx -fuzz FuzzPath -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/config -run xxx -fuzz FuzzService -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/config -run xxx -fuzz FuzzSessions -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/farm -run xxx -fuzz FuzzFarmJournal -fuzztime $(FUZZTIME)
 
 # chaos runs a short seeded fault-schedule search against the metastable

@@ -1,0 +1,74 @@
+package uqsim
+
+// Hybrid-fidelity speedup benchmark: how many simulated user-seconds per
+// wall-clock second the engine sustains at full fidelity versus a sampled
+// foreground over a fluid background. `make bench-hybrid` records the
+// result in BENCH_hybrid.json; the speedup_x metric is the committed
+// trajectory point for the "million-user workloads" claim.
+
+import (
+	"testing"
+	"time"
+)
+
+// hybridBenchSim assembles a session population over one exponential
+// service sized for rho ≈ 0.6 at 4 cores per 242 users.
+func hybridBenchSim(b *testing.B, users, cores int, hc *HybridConfig) *Sim {
+	b.Helper()
+	s := New(Options{Seed: 42})
+	s.AddMachine("m0", cores, DefaultFreqSpec)
+	if _, err := s.Deploy(SingleStageService("front", Exponential(10*Millisecond)),
+		RoundRobin, Placement{Machine: "m0", Cores: cores}); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SetTopology(LinearTopology("main", "front")); err != nil {
+		b.Fatal(err)
+	}
+	s.SetClient(ClientConfig{Sessions: &SessionConfig{
+		Users: users,
+		Journeys: []Journey{{Name: "browse", Weight: 1, Steps: []SessionStep{
+			{Tree: 0, Think: Exponential(Second)},
+			{Tree: 0, Think: Exponential(Second)},
+		}}},
+	}})
+	if hc != nil {
+		s.SetHybrid(*hc)
+	}
+	return s
+}
+
+func BenchmarkHybridFidelity(b *testing.B) {
+	const (
+		baseUsers = 242
+		baseCores = 4
+		bigUsers  = 100_000
+	)
+	grow := bigUsers / baseUsers
+	for i := 0; i < b.N; i++ {
+		full := hybridBenchSim(b, baseUsers, baseCores, nil)
+		start := time.Now()
+		if _, err := full.Run(Second, 5*Second); err != nil {
+			b.Fatal(err)
+		}
+		fullWall := time.Since(start)
+
+		sampled := hybridBenchSim(b, bigUsers, baseCores*grow,
+			&HybridConfig{SampleRate: float64(baseUsers) / bigUsers})
+		start = time.Now()
+		rep, err := sampled.Run(Second, 5*Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hybWall := time.Since(start)
+		if rep.BackgroundArrivals != rep.BackgroundCompletions+rep.BackgroundShed {
+			b.Fatalf("background conservation: %d != %d + %d",
+				rep.BackgroundArrivals, rep.BackgroundCompletions, rep.BackgroundShed)
+		}
+
+		fullRate := baseUsers / fullWall.Seconds()
+		hybRate := bigUsers / hybWall.Seconds()
+		b.ReportMetric(fullRate, "full_users_s/op")
+		b.ReportMetric(hybRate, "hybrid_users_s/op")
+		b.ReportMetric(hybRate/fullRate, "speedup_x")
+	}
+}

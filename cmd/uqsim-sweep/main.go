@@ -20,6 +20,7 @@ import (
 
 	"uqsim/internal/cli"
 	"uqsim/internal/experiments"
+	"uqsim/internal/sim"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, print the partial table, exit nonzero")
 	progress := flag.Bool("progress", false, "report each completed point on stderr")
+	fidelity := flag.String("fidelity", "", `override the engine fidelity for every point: "full" or "hybrid"`)
+	sampleRate := flag.Float64("sample-rate", 0, "hybrid foreground sample fraction in (0,1]")
 	flag.Parse()
 
 	if *cfgDir == "" {
@@ -41,18 +44,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uqsim-sweep: need step > 0 and to >= from")
 		os.Exit(cli.ExitUsage)
 	}
-	os.Exit(run(*cfgDir, *from, *to, *step, *csv, *maxWall, *progress))
+	os.Exit(run(*cfgDir, *from, *to, *step, *csv, *maxWall, *progress, *fidelity, *sampleRate))
 }
 
-func run(cfgDir string, from, to, step float64, csv bool, maxWall time.Duration, progress bool) int {
+func run(cfgDir string, from, to, step float64, csv bool, maxWall time.Duration, progress bool, fidelity string, sampleRate float64) int {
 	wd := cli.StartWatchdog(maxWall)
 	t := experiments.SweepTable(cfgDir)
 	grid := experiments.SweepGrid(from, to, step)
+	var mod func(*sim.Sim) error
+	if fidelity != "" || sampleRate != 0 {
+		mod = func(s *sim.Sim) error { return experiments.ApplyFidelity(s, fidelity, sampleRate) }
+	}
 	for i, qps := range grid {
 		if wd.Interrupted() {
 			break
 		}
-		row, err := experiments.SweepRow(cfgDir, qps)
+		row, err := experiments.SweepRowMod(cfgDir, qps, mod)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "uqsim-sweep:", err)
 			return cli.ExitPartial

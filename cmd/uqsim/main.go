@@ -36,6 +36,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	faults := flag.String("faults", "", "faults.json with resilience policies and a fault plan (overrides <config>/faults.json)")
 	maxWall := flag.Duration("max-wall", 0, "stop the run after this much wall-clock time, flush partial results, exit nonzero")
+	fidelity := flag.String("fidelity", "", `override the engine fidelity: "full" or "hybrid"`)
+	sampleRate := flag.Float64("sample-rate", 0, "hybrid foreground sample fraction in (0,1] (requires -fidelity hybrid or a hybrid config)")
 	flag.Parse()
 
 	if *cfgDir == "" {
@@ -44,7 +46,7 @@ func main() {
 		os.Exit(cli.ExitUsage)
 	}
 	wd := cli.StartWatchdog(*maxWall)
-	if err := run(*cfgDir, *faults, *qps, *warmup, *duration, *csv); err != nil {
+	if err := run(*cfgDir, *faults, *qps, *warmup, *duration, *csv, *fidelity, *sampleRate); err != nil {
 		fmt.Fprintln(os.Stderr, "uqsim:", err)
 		os.Exit(cli.ExitPartial)
 	}
@@ -54,7 +56,7 @@ func main() {
 	}
 }
 
-func run(cfgDir, faultsPath string, qps float64, warmup, duration time.Duration, csv bool) error {
+func run(cfgDir, faultsPath string, qps float64, warmup, duration time.Duration, csv bool, fidelity string, sampleRate float64) error {
 	var setup *config.Setup
 	var err error
 	if faultsPath != "" {
@@ -69,7 +71,11 @@ func run(cfgDir, faultsPath string, qps float64, warmup, duration time.Duration,
 		cc := setup.Sim.Client()
 		cc.Pattern = workload.ConstantRate(qps)
 		cc.ClosedUsers = 0
+		cc.Sessions = nil
 		setup.Sim.SetClient(cc)
+	}
+	if err := experiments.ApplyFidelity(setup.Sim, fidelity, sampleRate); err != nil {
+		return err
 	}
 	w, d := setup.Warmup, setup.Duration
 	if warmup > 0 {

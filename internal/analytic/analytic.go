@@ -45,9 +45,42 @@ func MM1MeanQueueLength(lambda, mu float64) float64 {
 	return rho / (1 - rho)
 }
 
+// Saturation sentinel. Every mean-value helper in this package returns
+// SaturatedWait (+Inf) when the queueing system has no stationary regime
+// (rho >= 1) or the inputs are degenerate (nonpositive service rate,
+// negative arrival rate). Callers that must branch — the hybrid fluid
+// tier switches from equilibrium injection to bottleneck shedding —
+// test the result with IsSaturated instead of comparing raw floats.
+var SaturatedWait = math.Inf(1)
+
+// IsSaturated reports whether a value returned by the queueing helpers is
+// the saturated sentinel: the system has no finite stationary answer.
+func IsSaturated(v float64) bool { return math.IsInf(v, 1) }
+
+// MMkSaturated reports whether an M/M/k system with arrival rate lambda
+// and per-server service rate mu has no stationary regime (lambda >= k·µ,
+// or degenerate inputs).
+func MMkSaturated(lambda, mu float64, k int) bool {
+	return k <= 0 || mu <= 0 || lambda < 0 || lambda >= float64(k)*mu
+}
+
+// MG1Saturated reports whether an M/G/1 system with arrival rate lambda
+// and mean service time es has no stationary regime (λ·E[S] >= 1, or
+// degenerate inputs).
+func MG1Saturated(lambda, es float64) bool {
+	return es <= 0 || lambda < 0 || lambda*es >= 1
+}
+
 // ErlangC is the probability an arrival waits in an M/M/k queue with k
-// servers and offered load a = λ/µ (in Erlangs).
+// servers and offered load a = λ/µ (in Erlangs). At or beyond saturation
+// (a >= k, or k <= 0) every arrival waits and ErlangC returns exactly 1 —
+// the probability-space face of the saturated sentinel; pair it with
+// MMkSaturated when the caller must distinguish "busy but stable" from
+// "no stationary regime". Negative offered load returns 0.
 func ErlangC(k int, a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
 	if k <= 0 {
 		return 1
 	}
@@ -65,13 +98,105 @@ func ErlangC(k int, a float64) float64 {
 }
 
 // MMkMeanWait is the mean queueing delay (excluding service) of M/M/k:
-// C(k,a) / (kµ − λ).
+// C(k,a) / (kµ − λ). Saturated or degenerate inputs return the
+// SaturatedWait sentinel (test with IsSaturated).
 func MMkMeanWait(lambda, mu float64, k int) float64 {
-	if lambda >= float64(k)*mu {
-		return math.Inf(1)
+	if MMkSaturated(lambda, mu, k) {
+		return SaturatedWait
 	}
 	a := lambda / mu
 	return ErlangC(k, a) / (float64(k)*mu - lambda)
+}
+
+// MMkWaitDist describes the full M/M/k waiting-time distribution at one
+// operating point: an arrival waits with probability pWait (Erlang-C)
+// and, conditioned on waiting, the wait is exponential with rate
+// condRate = kµ − λ per second. This is what a sampled-foreground tier
+// needs to draw per-request queue waits consistent with a fluid
+// background load. Saturated or degenerate inputs return (1, 0): every
+// arrival waits, unboundedly — the distribution-space face of the
+// saturated sentinel (condRate == 0 is the branch condition).
+func MMkWaitDist(lambda, mu float64, k int) (pWait, condRate float64) {
+	if MMkSaturated(lambda, mu, k) {
+		return 1, 0
+	}
+	return ErlangC(k, lambda/mu), float64(k)*mu - lambda
+}
+
+// MMkMeanQueueLength is the mean number of waiting (not in-service) jobs
+// of M/M/k by Little's law: Lq = λ·Wq. Saturated inputs return the
+// sentinel.
+func MMkMeanQueueLength(lambda, mu float64, k int) float64 {
+	w := MMkMeanWait(lambda, mu, k)
+	if IsSaturated(w) {
+		return SaturatedWait
+	}
+	return lambda * w
+}
+
+// MMkEquilibrium evaluates the stationary M/M/k state at one (λ, µ, k)
+// operating point — the per-epoch computation of a piecewise-constant
+// fluid trajectory, where the arrival envelope and the server count are
+// frozen within an epoch and re-evaluated at its boundary. Saturated
+// epochs report Saturated true with the mean-value fields pinned to the
+// sentinel; Rho is always the raw λ/(kµ) (it exceeds 1 past saturation,
+// which is exactly what a bottleneck-shedding law wants to see).
+type MMkPoint struct {
+	Rho       float64 // offered utilization λ/(kµ), uncapped
+	PWait     float64 // P(wait > 0): Erlang-C, 1 when saturated
+	MeanWaitS float64 // mean queue wait in seconds; sentinel when saturated
+	QueueLen  float64 // mean waiting jobs Lq; sentinel when saturated
+	Saturated bool
+}
+
+// MMkAt computes the equilibrium point; see MMkPoint.
+func MMkAt(lambda, mu float64, k int) MMkPoint {
+	p := MMkPoint{Saturated: MMkSaturated(lambda, mu, k)}
+	if mu > 0 && k > 0 {
+		p.Rho = lambda / (float64(k) * mu)
+	} else if lambda > 0 {
+		p.Rho = math.Inf(1)
+	}
+	if p.Saturated {
+		p.PWait = 1
+		p.MeanWaitS = SaturatedWait
+		p.QueueLen = SaturatedWait
+		return p
+	}
+	p.PWait = ErlangC(k, lambda/mu)
+	p.MeanWaitS = MMkMeanWait(lambda, mu, k)
+	p.QueueLen = lambda * p.MeanWaitS
+	return p
+}
+
+// ClosedMMkRate solves the closed-population fixed point of n users
+// cycling through think (mean thinkS seconds) and one M/M/k service
+// (mean service time es seconds, k servers): λ = n / (thinkS + es +
+// Wq(λ)). The iteration is damped and always converges to the unique
+// fixed point; the returned rate never exceeds the bottleneck capacity
+// k/es (a closed loop self-limits — users queue rather than vanish, so
+// there is no shed flow). Degenerate inputs return 0.
+func ClosedMMkRate(n, thinkS, es float64, k int) float64 {
+	if n <= 0 || es <= 0 || k <= 0 || thinkS < 0 {
+		return 0
+	}
+	mu := 1 / es
+	capacity := float64(k) * mu
+	// Start from the no-queueing estimate, clamped inside capacity.
+	lam := math.Min(n/(thinkS+es), 0.999*capacity)
+	for i := 0; i < 64; i++ {
+		w := MMkMeanWait(lam, mu, k)
+		if IsSaturated(w) {
+			lam = 0.999 * capacity
+			continue
+		}
+		next := n / (thinkS + es + w)
+		if next >= capacity {
+			next = 0.999 * capacity
+		}
+		lam = 0.5*lam + 0.5*next
+	}
+	return lam
 }
 
 // MMkMeanSojourn is the mean time in system of M/M/k.
@@ -104,13 +229,14 @@ func MD1MeanSojourn(lambda, d float64) float64 {
 }
 
 // MG1MeanWait is the Pollaczek–Khinchine mean queueing delay of M/G/1 with
-// service mean es and second moment es2: λ·E[S²] / (2(1−ρ)).
+// service mean es and second moment es2: λ·E[S²] / (2(1−ρ)). Saturated or
+// degenerate inputs return the SaturatedWait sentinel (test with
+// IsSaturated).
 func MG1MeanWait(lambda, es, es2 float64) float64 {
-	rho := lambda * es
-	if rho >= 1 {
-		return math.Inf(1)
+	if MG1Saturated(lambda, es) {
+		return SaturatedWait
 	}
-	return lambda * es2 / (2 * (1 - rho))
+	return lambda * es2 / (2 * (1 - lambda*es))
 }
 
 // MaxOfExponentialsMean is E[max of n iid Exp(mean)] = mean·H(n), the

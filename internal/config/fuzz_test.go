@@ -208,3 +208,36 @@ func FuzzService(f *testing.F) {
 		_, _ = Assemble(mach, data, graph, path, client)
 	})
 }
+
+// FuzzSessions feeds arbitrary bytes through the client.json decoder with
+// the sessions and fidelity blocks in play. Assembly may reject the
+// document, but it must never panic.
+func FuzzSessions(f *testing.F) {
+	mach, svc, graph, path, client := fuzzBaseDocs(f)
+	f.Add(client)
+	// Valid session populations: weighted journeys, phased ramps, flash
+	// crowds, on/off users, and a hybrid-fidelity split.
+	f.Add([]byte(`{"seed":1,"duration_s":0.5,"sessions":{"users":50,"journeys":[
+		{"name":"browse","weight":3,"steps":[
+			{"tree":"get","think":{"type":"exponential","mean_us":500}},{"tree":"get"}]},
+		{"name":"buy","steps":[{"tree":"get"}]}]}}`))
+	f.Add([]byte(`{"seed":1,"duration_s":0.5,"fidelity":"hybrid","sample_rate":0.05,
+		"sessions":{"users":100,
+		"journeys":[{"name":"j","steps":[{"tree":"get","think":{"type":"exponential","mean_us":1000}}]}],
+		"phases":[{"at_s":0.2,"users":400,"ramp_s":0.1}],
+		"flash_crowds":[{"at_s":0.3,"extra":200,"ramp_up_s":0.05,"hold_s":0.1,"ramp_down_s":0.05}],
+		"on_off":{"mean_on_s":0.2,"mean_off_s":0.1}}}`))
+	f.Add([]byte(`{"seed":1,"duration_s":0.5,"qps":500,"fidelity":"hybrid"}`))
+	// Pinned invalid inputs: unknown tree name, no journeys, sessions
+	// alongside closed_users, a misspelled fidelity mode, sample_rate
+	// without hybrid, and an out-of-range sample rate.
+	f.Add([]byte(`{"duration_s":1,"sessions":{"users":10,"journeys":[{"name":"j","steps":[{"tree":"got"}]}]}}`))
+	f.Add([]byte(`{"duration_s":1,"sessions":{"users":10,"journeys":[]}}`))
+	f.Add([]byte(`{"duration_s":1,"closed_users":5,"sessions":{"users":10,"journeys":[{"name":"j","steps":[{"tree":"get"}]}]}}`))
+	f.Add([]byte(`{"duration_s":1,"qps":100,"fidelity":"hybird"}`))
+	f.Add([]byte(`{"duration_s":1,"qps":100,"sample_rate":0.5}`))
+	f.Add([]byte(`{"duration_s":1,"qps":100,"fidelity":"hybrid","sample_rate":2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Assemble(mach, svc, graph, path, data)
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"uqsim/internal/dist"
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
+	"uqsim/internal/hybrid"
 	"uqsim/internal/netfault"
 	"uqsim/internal/pdes"
 	"uqsim/internal/queueing"
@@ -393,6 +394,12 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	if err := s.SetTopology(topo); err != nil {
 		return nil, err
 	}
+	treeIdx := make(map[string]int, len(topo.Trees))
+	treeNames := make([]string, len(topo.Trees))
+	for i := range topo.Trees {
+		treeIdx[topo.Trees[i].Name] = i
+		treeNames[i] = topo.Trees[i].Name
+	}
 
 	// Client.
 	cc := sim.ClientConfig{
@@ -415,16 +422,36 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 		return nil, fmt.Errorf("config: unknown arrival process %q", cf.Process)
 	}
 	if cf.Diurnal != nil {
-		cc.Pattern = workload.Diurnal{
+		d := workload.Diurnal{
 			Base:      cf.Diurnal.Base,
 			Amplitude: cf.Diurnal.Amplitude,
 			Period:    des.FromSeconds(cf.Diurnal.PeriodS),
 			Floor:     cf.Diurnal.Floor,
 		}
-	} else if cf.QPS > 0 {
-		cc.Pattern = workload.ConstantRate(cf.QPS)
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("config: client.json diurnal: %w", err)
+		}
+		cc.Pattern = d
+	} else if cf.QPS != 0 {
+		r := workload.ConstantRate(cf.QPS)
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("config: client.json qps: %w", err)
+		}
+		cc.Pattern = r
 	}
-	if cf.ClosedUsers > 0 {
+	if cf.Sessions != nil {
+		if cf.ClosedUsers > 0 {
+			return nil, fmt.Errorf("config: client.json: sessions and closed_users are mutually exclusive")
+		}
+		if cc.Pattern != nil {
+			return nil, fmt.Errorf("config: client.json: sessions and qps/diurnal are mutually exclusive")
+		}
+		sc, err := buildSessions(cf.Sessions, treeIdx, treeNames)
+		if err != nil {
+			return nil, err
+		}
+		cc.Sessions = sc
+	} else if cf.ClosedUsers > 0 {
 		cc.ClosedUsers = cf.ClosedUsers
 		if cf.Think != nil {
 			th, err := cf.Think.Build()
@@ -434,7 +461,7 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 			cc.Think = th
 		}
 	} else if cc.Pattern == nil {
-		return nil, fmt.Errorf("config: client.json needs qps, diurnal, or closed_users")
+		return nil, fmt.Errorf("config: client.json needs qps, diurnal, closed_users, or sessions")
 	}
 	if cf.Budget != nil && cf.BudgetMs != 0 {
 		return nil, fmt.Errorf("config: client.json: budget and budget_ms are mutually exclusive")
@@ -468,6 +495,32 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 	}
 	s.SetClient(cc)
 
+	// Fidelity.
+	switch strings.ToLower(cf.Fidelity) {
+	case "", "full":
+		if cf.SampleRate != 0 {
+			return nil, fmt.Errorf("config: client.json: sample_rate requires fidelity \"hybrid\"")
+		}
+		if cf.HybridEpochMs != 0 {
+			return nil, fmt.Errorf("config: client.json: hybrid_epoch_ms requires fidelity \"hybrid\"")
+		}
+	case "hybrid":
+		rate := cf.SampleRate
+		if rate == 0 {
+			rate = 0.01
+		}
+		if cf.HybridEpochMs < 0 {
+			return nil, fmt.Errorf("config: client.json: hybrid_epoch_ms must be >= 0")
+		}
+		hc := hybrid.Config{SampleRate: rate, Epoch: des.FromSeconds(cf.HybridEpochMs / 1000)}
+		if err := hc.Validate(); err != nil {
+			return nil, fmt.Errorf("config: client.json: %w", err)
+		}
+		s.SetHybrid(hc)
+	default:
+		return nil, unknownName("client.json", "fidelity", "fidelity mode", cf.Fidelity, []string{"full", "hybrid"})
+	}
+
 	// Faults (last: policies and plans reference deployments + topology).
 	if ff != nil {
 		if err := applyFaults(s, ff); err != nil {
@@ -480,6 +533,67 @@ func assemble(mf *MachinesFile, sf *ServicesFile, gf *GraphFile, pf *PathsFile, 
 		Warmup:   des.FromSeconds(cf.WarmupS),
 		Duration: des.FromSeconds(cf.DurationS),
 	}, nil
+}
+
+// buildSessions resolves client.json's sessions block into a workload
+// SessionConfig: journey steps name path.json trees (with did-you-mean on
+// unknown names), times are seconds, and the assembled config is validated
+// before it reaches the simulator.
+func buildSessions(spec *SessionsSpec, treeIdx map[string]int, treeNames []string) (*workload.SessionConfig, error) {
+	sc := &workload.SessionConfig{
+		Users:   spec.Users,
+		PopTick: des.FromSeconds(spec.PopTickMs / 1000),
+	}
+	for _, js := range spec.Journeys {
+		w := js.Weight
+		if w == 0 {
+			w = 1
+		}
+		j := workload.Journey{Name: js.Name, Weight: w}
+		for si, ss := range js.Steps {
+			idx, ok := treeIdx[ss.Tree]
+			if !ok {
+				return nil, unknownName("client.json",
+					fmt.Sprintf("sessions journey %q step %d", js.Name, si), "tree", ss.Tree, treeNames)
+			}
+			step := workload.SessionStep{Tree: idx}
+			if ss.Think != nil {
+				th, err := ss.Think.Build()
+				if err != nil {
+					return nil, fmt.Errorf("config: sessions journey %q step %d think: %w", js.Name, si, err)
+				}
+				step.Think = th
+			}
+			j.Steps = append(j.Steps, step)
+		}
+		sc.Journeys = append(sc.Journeys, j)
+	}
+	for _, ps := range spec.Phases {
+		sc.Phases = append(sc.Phases, workload.PopPhase{
+			At:    des.FromSeconds(ps.AtS),
+			Users: ps.Users,
+			Ramp:  des.FromSeconds(ps.RampS),
+		})
+	}
+	for _, fs := range spec.FlashCrowds {
+		sc.Crowds = append(sc.Crowds, workload.FlashCrowd{
+			At:       des.FromSeconds(fs.AtS),
+			Extra:    fs.Extra,
+			RampUp:   des.FromSeconds(fs.RampUpS),
+			Hold:     des.FromSeconds(fs.HoldS),
+			RampDown: des.FromSeconds(fs.RampDownS),
+		})
+	}
+	if spec.OnOff != nil {
+		sc.OnOff = &workload.OnOff{
+			MeanOn:  des.FromSeconds(spec.OnOff.MeanOnS),
+			MeanOff: des.FromSeconds(spec.OnOff.MeanOffS),
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("config: client.json: %w", err)
+	}
+	return sc, nil
 }
 
 // buildEngine resolves machines.json's optional engine section. Nil (or

@@ -233,6 +233,23 @@ type ClientFile struct {
 	ClosedUsers int        `json:"closed_users,omitempty"`
 	Think       *dist.Spec `json:"think,omitempty"`
 
+	// Sessions switches to a session-based client: a population of users
+	// walking weighted multi-step journeys over the topology's trees.
+	// Mutually exclusive with qps/diurnal/closed_users.
+	Sessions *SessionsSpec `json:"sessions,omitempty"`
+
+	// Fidelity selects the engine tier: "" or "full" simulates every
+	// request at stage-level DES fidelity; "hybrid" simulates only
+	// sample_rate of them and drives the rest as fluid background load
+	// from the analytic M/M/k equilibrium.
+	Fidelity string `json:"fidelity,omitempty"`
+	// SampleRate is the hybrid foreground fraction in (0, 1]
+	// (default 0.01). Requires fidelity "hybrid".
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	// HybridEpochMs is the fluid tier's equilibrium re-evaluation
+	// interval (default 50ms). Requires fidelity "hybrid".
+	HybridEpochMs float64 `json:"hybrid_epoch_ms,omitempty"`
+
 	// Region homes the client in one of topology.regions: entry traffic
 	// prefers that region and cross-origin reads of replicated services
 	// count as stale while the serving region lags.
@@ -261,6 +278,64 @@ type DiurnalSpec struct {
 	Amplitude float64 `json:"amplitude"`
 	PeriodS   float64 `json:"period_s"`
 	Floor     float64 `json:"floor,omitempty"`
+}
+
+// SessionsSpec is client.json's session-based population: journeys of
+// tree-targeting steps with think times, a phased population envelope,
+// transient flash crowds, and per-user on/off burstiness.
+type SessionsSpec struct {
+	// Users is the base population (required >= 1 unless phases set one).
+	Users    int           `json:"users,omitempty"`
+	Journeys []JourneySpec `json:"journeys"`
+	// Phases ramp the population to new targets over time (sorted by at_s).
+	Phases []PopPhaseSpec `json:"phases,omitempty"`
+	// FlashCrowds superimpose transient extra-user trapezoids.
+	FlashCrowds []FlashCrowdSpec `json:"flash_crowds,omitempty"`
+	// OnOff makes every user bursty: exponential active/silent cycles.
+	OnOff *OnOffSpec `json:"on_off,omitempty"`
+	// PopTickMs is the population-control poll interval (default 10ms;
+	// only polled when phases or flash crowds are present).
+	PopTickMs float64 `json:"pop_tick_ms,omitempty"`
+}
+
+// JourneySpec is one weighted user flow, e.g. browse → search → buy.
+type JourneySpec struct {
+	Name string `json:"name"`
+	// Weight is the journey's selection weight (default 1).
+	Weight float64    `json:"weight,omitempty"`
+	Steps  []StepSpec `json:"steps"`
+}
+
+// StepSpec is one journey step: think, then issue the named request tree.
+type StepSpec struct {
+	// Tree names a path.json tree.
+	Tree string `json:"tree"`
+	// Think samples the pre-request think time (spec durations in µs).
+	Think *dist.Spec `json:"think,omitempty"`
+}
+
+// PopPhaseSpec ramps the population linearly to users over
+// [at_s, at_s+ramp_s] (ramp_s 0: step change).
+type PopPhaseSpec struct {
+	AtS   float64 `json:"at_s"`
+	Users int     `json:"users"`
+	RampS float64 `json:"ramp_s,omitempty"`
+}
+
+// FlashCrowdSpec is a transient trapezoid of extra users.
+type FlashCrowdSpec struct {
+	AtS       float64 `json:"at_s"`
+	Extra     int     `json:"extra"`
+	RampUpS   float64 `json:"ramp_up_s,omitempty"`
+	HoldS     float64 `json:"hold_s,omitempty"`
+	RampDownS float64 `json:"ramp_down_s,omitempty"`
+}
+
+// OnOffSpec alternates every user between exponential active and silent
+// periods.
+type OnOffSpec struct {
+	MeanOnS  float64 `json:"mean_on_s"`
+	MeanOffS float64 `json:"mean_off_s"`
 }
 
 // FaultsFile is the optional faults.json schema: per-edge resilience

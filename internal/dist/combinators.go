@@ -191,3 +191,14 @@ func (c *Choice) Pick(r *rng.Source) int {
 
 // N reports the number of alternatives.
 func (c *Choice) N() int { return len(c.cum) }
+
+// P reports the probability of alternative i (0 when out of range).
+func (c *Choice) P(i int) float64 {
+	if i < 0 || i >= len(c.cum) {
+		return 0
+	}
+	if i == 0 {
+		return c.cum[0]
+	}
+	return c.cum[i] - c.cum[i-1]
+}

@@ -383,3 +383,20 @@ func TestChaosSmoke(t *testing.T) {
 		t.Fatalf("replay: %q", tb.Rows[2][3])
 	}
 }
+
+func TestMillionUserSmoke(t *testing.T) {
+	tb := smoke(t, "millionuser")
+	// 3×(full,hybrid) + unit-rate equivalence + million-user scale row.
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows %d, want 8", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "0" {
+			t.Fatalf("leak column %v", row)
+		}
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[11] == "-" {
+		t.Fatalf("scale row missing speedup: %v", last)
+	}
+}

@@ -63,6 +63,18 @@ func ReportTables(rep *sim.Report) []*Table {
 	}
 	out := []*Table{sum, tiers, insts}
 
+	if rep.SampleRate < 1 {
+		hy := NewTable("Hybrid fidelity (foreground above is the sampled fraction)",
+			"sample_rate", "bg_arrivals", "bg_completions", "bg_shed", "saturated_epochs")
+		hy.Add(
+			fmt.Sprintf("%g", rep.SampleRate),
+			fmt.Sprintf("%d", rep.BackgroundArrivals),
+			fmt.Sprintf("%d", rep.BackgroundCompletions),
+			fmt.Sprintf("%d", rep.BackgroundShed),
+			fmt.Sprintf("%d", rep.SaturatedEpochs))
+		out = append(out, hy)
+	}
+
 	if rep.CrossRegionCalls > 0 || rep.StaleReads > 0 {
 		xr := NewTable("Cross-region traffic", "xregion_calls", "stale_reads")
 		xr.Add(fmt.Sprintf("%d", rep.CrossRegionCalls), fmt.Sprintf("%d", rep.StaleReads))

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"uqsim/internal/config"
+	"uqsim/internal/hybrid"
+	"uqsim/internal/sim"
 	"uqsim/internal/workload"
 )
 
@@ -36,6 +39,14 @@ func SweepGrid(from, to, step float64) []float64 {
 // are independent: any subset can run anywhere, in any order, and still
 // match a serial sweep.
 func SweepRow(cfgDir string, qps float64) ([]string, error) {
+	return SweepRowMod(cfgDir, qps, nil)
+}
+
+// SweepRowMod is SweepRow with a hook to adjust the assembled simulation
+// before it runs (fidelity overrides, attached monitors). The
+// byte-identical serial-vs-farm contract extends to any deterministic mod
+// applied equally on both paths.
+func SweepRowMod(cfgDir string, qps float64, mod func(*sim.Sim) error) ([]string, error) {
 	setup, err := config.LoadDir(cfgDir)
 	if err != nil {
 		return nil, err
@@ -43,7 +54,13 @@ func SweepRow(cfgDir string, qps float64) ([]string, error) {
 	cc := setup.Sim.Client()
 	cc.Pattern = workload.ConstantRate(qps)
 	cc.ClosedUsers = 0
+	cc.Sessions = nil
 	setup.Sim.SetClient(cc)
+	if mod != nil {
+		if err := mod(setup.Sim); err != nil {
+			return nil, err
+		}
+	}
 	rep, err := setup.Sim.Run(setup.Warmup, setup.Duration)
 	if err != nil {
 		return nil, err
@@ -57,6 +74,52 @@ func SweepRow(cfgDir string, qps float64) ([]string, error) {
 		fmt.Sprintf("%.3f", rep.Latency.P99().Millis()),
 		fmt.Sprintf("%d", rep.InFlight),
 	}, nil
+}
+
+// ApplyFidelity applies the CLI -fidelity/-sample-rate overrides to an
+// assembled simulation: "full" clears any configured hybrid split,
+// "hybrid" installs one (sample rate defaults to the config's, else 0.01),
+// and a bare sample-rate override retunes an already-hybrid setup.
+func ApplyFidelity(s *sim.Sim, fidelity string, sampleRate float64) error {
+	switch strings.ToLower(fidelity) {
+	case "":
+		if sampleRate == 0 {
+			return nil
+		}
+		hc := s.HybridConfig()
+		if hc == nil {
+			return fmt.Errorf("-sample-rate requires -fidelity hybrid or a hybrid config")
+		}
+		c := *hc
+		c.SampleRate = sampleRate
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		s.SetHybrid(c)
+	case "full":
+		if sampleRate != 0 {
+			return fmt.Errorf("-sample-rate conflicts with -fidelity full")
+		}
+		s.ClearHybrid()
+	case "hybrid":
+		var c hybrid.Config
+		if hc := s.HybridConfig(); hc != nil {
+			c = *hc
+		}
+		if sampleRate != 0 {
+			c.SampleRate = sampleRate
+		}
+		if c.SampleRate == 0 {
+			c.SampleRate = 0.01
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		s.SetHybrid(c)
+	default:
+		return fmt.Errorf("unknown fidelity %q (want \"full\" or \"hybrid\")", fidelity)
+	}
+	return nil
 }
 
 // SweepTable builds the table cmd/uqsim-sweep prints, ready for rows from

@@ -1,0 +1,377 @@
+// Package hybrid is the fluid/mean-field fidelity tier: instead of running
+// every request as a full stage-level DES job, a configurable sampled
+// fraction runs through the real `internal/sim` path while the remaining
+// background traffic loads each service's queues *statistically*, from the
+// `internal/analytic` M/M/k equilibrium machinery. The equilibrium is
+// piecewise-constant: re-evaluated every epoch as the arrival envelope
+// (diurnal/burst patterns, session populations) and the live replica
+// counts (control-plane scaling, failures) change.
+//
+// Contract with the DES layer:
+//
+//   - Sampled (foreground) requests run the full simulation path; at each
+//     service admission the tier injects an extra queue-wait draw from the
+//     M/M/k waiting-time distribution evaluated at the TOTAL offered load
+//     (foreground + background), so sampled latencies reflect contention
+//     with traffic that is not individually simulated. The small
+//     double-count — sampled requests also queue behind each other inside
+//     the DES — scales with the sample rate and is negligible at the small
+//     rates the tier is built for.
+//   - Background requests are accrued fractionally per epoch
+//     ((1−p)·λ(t)·Δt, left rule) and resolved into the conservation
+//     identity at report time: BgArrivals == BgCompletions + BgShed, by
+//     construction. Open-loop background traffic beyond the bottleneck
+//     capacity is shed at the bottleneck rate; closed (session) traffic
+//     self-limits instead (users queue, they don't vanish).
+//   - Every random draw comes from streams split off the client seed
+//     ("hybrid", ...), so the determinism fingerprint covers the tier and
+//     a sample-rate of 1.0 — which disables every draw and every accrual —
+//     is bit-identical to a pure-DES run.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"uqsim/internal/analytic"
+	"uqsim/internal/des"
+	"uqsim/internal/rng"
+	"uqsim/internal/stats"
+)
+
+// GaugeRegistry is the slice of internal/monitor's Monitor the fluid tier
+// uses to publish its series. Declared here (not imported) so sim can
+// depend on hybrid without dragging the monitor package into its import
+// graph.
+type GaugeRegistry interface {
+	WatchGauge(name string, fn func(now des.Time) float64) *stats.TimeSeries
+}
+
+// Config selects the fidelity split.
+type Config struct {
+	// SampleRate is the fraction of requests simulated at full DES
+	// fidelity, in (0, 1]. 1.0 disables the fluid tier entirely.
+	SampleRate float64
+	// Epoch is the re-evaluation interval of the piecewise equilibrium
+	// (default 50ms of virtual time).
+	Epoch des.Time
+	// MaxWaitFactor caps the injected wait at MaxWaitFactor × mean
+	// service time when a service is saturated and the equilibrium wait
+	// is unbounded (default 100).
+	MaxWaitFactor float64
+	// Closed marks the background flow as a closed population (sessions):
+	// it self-limits at the bottleneck instead of shedding.
+	Closed bool
+}
+
+// Validate rejects sample rates outside (0, 1] and negative knobs.
+func (c Config) Validate() error {
+	if math.IsNaN(c.SampleRate) || c.SampleRate <= 0 || c.SampleRate > 1 {
+		return fmt.Errorf("hybrid: sample rate must be in (0, 1], got %v", c.SampleRate)
+	}
+	if c.Epoch < 0 {
+		return fmt.Errorf("hybrid: epoch must be >= 0, got %v", c.Epoch)
+	}
+	if c.MaxWaitFactor < 0 {
+		return fmt.Errorf("hybrid: max wait factor must be >= 0, got %v", c.MaxWaitFactor)
+	}
+	return nil
+}
+
+// Service describes one service's fluid model: how often a request visits
+// it, how long a visit holds a server, and how many servers are live right
+// now (queried every epoch, so autoscaling and failures feed back).
+type Service struct {
+	Name string
+	// Visits is the mean number of visits per end-to-end request
+	// (path-probability-weighted, across request trees).
+	Visits float64
+	// MeanServiceS is the mean busy time per visit in seconds.
+	MeanServiceS float64
+	// Servers reports the live server count. Required.
+	Servers func() int
+}
+
+// point is one service's frozen equilibrium for the current epoch.
+// evalKey memoizes one service's equilibrium inputs: M/M/k evaluation is
+// O(k) (Erlang-C sums over servers), which dominates epochs on large
+// deployments even though the inputs rarely change between epochs.
+type evalKey struct {
+	lambda float64
+	k      int
+	valid  bool
+}
+
+type point struct {
+	analytic.MMkPoint
+	condRate float64 // kµ − λ, for wait draws
+	capped   des.Time
+}
+
+// State is the live fluid tier of one run.
+type State struct {
+	cfg      Config
+	services []Service
+	// rate reports the TOTAL offered request rate (requests/s entering
+	// the system, before sampling) at virtual time t.
+	rate  func(t des.Time) float64
+	split *rng.Splitter
+
+	eng       des.Scheduler
+	warmupEnd des.Time
+
+	points  []point
+	memo    []evalKey
+	streams []*rng.Source
+
+	lastEval  des.Time // start of the current epoch
+	lastRate  float64  // offered rate frozen at lastEval
+	lastServe float64  // fraction of background flow served (1 unless saturated open-loop)
+	accrued   bool     // accrual window has begun
+
+	bgArr  float64 // background arrivals accrued in the measured window
+	bgShed float64 // background arrivals shed at the bottleneck
+
+	satEpochs int
+	stopped   bool
+}
+
+// New builds the fluid tier. rate must report the total offered request
+// rate at any (nondecreasing) virtual time; services need positive
+// MeanServiceS and a Servers callback.
+func New(cfg Config, services []Service, rate func(t des.Time) float64, split *rng.Splitter) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rate == nil {
+		return nil, fmt.Errorf("hybrid: rate function is required")
+	}
+	if len(services) == 0 {
+		return nil, fmt.Errorf("hybrid: at least one service is required")
+	}
+	for _, s := range services {
+		if s.Servers == nil {
+			return nil, fmt.Errorf("hybrid: service %q needs a Servers callback", s.Name)
+		}
+		if s.MeanServiceS <= 0 || math.IsNaN(s.MeanServiceS) || math.IsInf(s.MeanServiceS, 0) {
+			return nil, fmt.Errorf("hybrid: service %q mean service time must be positive and finite, got %v",
+				s.Name, s.MeanServiceS)
+		}
+		if s.Visits < 0 || math.IsNaN(s.Visits) {
+			return nil, fmt.Errorf("hybrid: service %q visit factor must be >= 0, got %v", s.Name, s.Visits)
+		}
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 50 * des.Millisecond
+	}
+	if cfg.MaxWaitFactor == 0 {
+		cfg.MaxWaitFactor = 100
+	}
+	st := &State{
+		cfg:      cfg,
+		services: services,
+		rate:     rate,
+		split:    split,
+		points:   make([]point, len(services)),
+		memo:     make([]evalKey, len(services)),
+		streams:  make([]*rng.Source, len(services)),
+	}
+	for i, s := range services {
+		st.streams[i] = split.Stream("hybrid", s.Name)
+	}
+	return st, nil
+}
+
+// Active reports whether the fluid tier does anything at all: at sample
+// rate 1.0 it is inert (no draws, no accrual) so a full-fidelity run stays
+// bit-identical to one with no hybrid attached.
+func (st *State) Active() bool { return st.cfg.SampleRate < 1 }
+
+// SampleRate is the configured foreground fraction.
+func (st *State) SampleRate() float64 { return st.cfg.SampleRate }
+
+// ServiceIndex maps a service name to its wait-injection index (-1 when
+// the service has no fluid model).
+func (st *State) ServiceIndex(name string) int {
+	for i, s := range st.services {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Start begins the epoch loop. Background accrual covers [warmupEnd, end)
+// to match the simulator's measured-window accounting; equilibrium
+// injection is live from `at` so warmup traffic also sees background load.
+func (st *State) Start(eng des.Scheduler, at, warmupEnd des.Time) {
+	if !st.Active() {
+		return
+	}
+	st.eng = eng
+	st.warmupEnd = warmupEnd
+	st.eval(at)
+	epoch := st.cfg.Epoch
+	var tick func(t des.Time)
+	tick = func(t des.Time) {
+		if st.stopped {
+			return
+		}
+		st.accrue(t)
+		st.eval(t)
+		eng.Post(t+epoch, tick)
+	}
+	eng.Post(at+epoch, tick)
+}
+
+// eval freezes the equilibrium for the epoch starting at t.
+func (st *State) eval(t des.Time) {
+	offered := math.Max(st.rate(t), 0)
+	st.lastEval = t
+	st.lastRate = offered
+	st.lastServe = 1
+	anySat := false
+	for i, s := range st.services {
+		lambda := offered * s.Visits
+		mu := 1 / s.MeanServiceS
+		k := s.Servers()
+		if m := &st.memo[i]; !m.valid || m.lambda != lambda || m.k != k {
+			p := analytic.MMkAt(lambda, mu, k)
+			_, cond := analytic.MMkWaitDist(lambda, mu, k)
+			st.points[i] = point{
+				MMkPoint: p,
+				condRate: cond,
+				capped:   des.FromNanos(st.cfg.MaxWaitFactor * s.MeanServiceS * 1e9),
+			}
+			*m = evalKey{lambda: lambda, k: k, valid: true}
+		}
+		if st.points[i].Saturated {
+			anySat = true
+			// Open-loop background flow beyond this bottleneck is shed:
+			// the service serves capacity/λ of its offered traffic, and
+			// end-to-end conservation is governed by the worst service.
+			if !st.cfg.Closed && lambda > 0 && k > 0 && mu > 0 {
+				if served := float64(k) * mu / lambda; served < st.lastServe {
+					st.lastServe = served
+				}
+			} else if !st.cfg.Closed {
+				st.lastServe = 0
+			}
+		}
+	}
+	if anySat {
+		st.satEpochs++
+	}
+}
+
+// accrue folds the epoch that just ended, [lastEval, t), into the
+// background counters, clipped to the measured window.
+func (st *State) accrue(t des.Time) {
+	from := st.lastEval
+	if from < st.warmupEnd {
+		from = st.warmupEnd
+	}
+	if t <= from {
+		return
+	}
+	dt := float64(t-from) / 1e9
+	bg := st.lastRate * (1 - st.cfg.SampleRate) * dt
+	st.bgArr += bg
+	st.bgShed += bg * (1 - st.lastServe)
+}
+
+// Finish folds the final partial epoch up to the measurement horizon.
+func (st *State) Finish(end des.Time) {
+	if !st.Active() {
+		return
+	}
+	st.stopped = true
+	st.accrue(end)
+	st.lastEval = end
+}
+
+// WaitFor draws the background-contention queue wait a sampled request
+// experiences when admitted at service index idx: with probability
+// Erlang-C an Exp(kµ−λ) wait, zero otherwise. Saturated services return
+// the capped wait (every arrival waits, the equilibrium wait is
+// unbounded). Inert (sample rate 1.0) returns 0 without consuming
+// randomness.
+func (st *State) WaitFor(idx int) des.Time {
+	if !st.Active() || idx < 0 || idx >= len(st.points) {
+		return 0
+	}
+	p := &st.points[idx]
+	r := st.streams[idx]
+	if p.Saturated {
+		return p.capped
+	}
+	if p.PWait <= 0 {
+		return 0
+	}
+	if r.Float64() >= p.PWait {
+		return 0
+	}
+	w := des.FromNanos(r.ExpFloat64() / p.condRate * 1e9)
+	if w > p.capped {
+		w = p.capped
+	}
+	return w
+}
+
+// Point reports service idx's current epoch equilibrium.
+func (st *State) Point(idx int) analytic.MMkPoint {
+	if idx < 0 || idx >= len(st.points) {
+		return analytic.MMkPoint{}
+	}
+	return st.points[idx].MMkPoint
+}
+
+// Snapshot is the background tier's contribution to the run report,
+// resolved to whole requests. Completions are arrivals minus shed by
+// construction — the conservation identity the validator asserts.
+type Snapshot struct {
+	Arrivals        int64
+	Completions     int64
+	Shed            int64
+	SaturatedEpochs int
+}
+
+// Snapshot resolves the accrued background flow.
+func (st *State) Snapshot() Snapshot {
+	arr := int64(math.Round(st.bgArr))
+	shed := int64(math.Round(st.bgShed))
+	if shed > arr {
+		shed = arr
+	}
+	return Snapshot{
+		Arrivals:        arr,
+		Completions:     arr - shed,
+		Shed:            shed,
+		SaturatedEpochs: st.satEpochs,
+	}
+}
+
+// Attach registers background-tier gauges on the monitor so dashboards
+// can separate fluid load from sampled load: the offered background rate
+// and each service's equilibrium utilization and queue length.
+func (st *State) Attach(m GaugeRegistry) {
+	if !st.Active() {
+		return
+	}
+	m.WatchGauge("hybrid.bg_qps", func(des.Time) float64 {
+		return st.lastRate * (1 - st.cfg.SampleRate)
+	})
+	for i, s := range st.services {
+		idx := i
+		m.WatchGauge("hybrid.rho."+s.Name, func(des.Time) float64 {
+			return st.points[idx].Rho
+		})
+		m.WatchGauge("hybrid.qlen."+s.Name, func(des.Time) float64 {
+			q := st.points[idx].QueueLen
+			if analytic.IsSaturated(q) {
+				return -1 // sentinel: unbounded
+			}
+			return q
+		})
+	}
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"uqsim/internal/analytic"
+	"uqsim/internal/des"
+	"uqsim/internal/hybrid"
+	"uqsim/internal/service"
+	"uqsim/internal/workload"
+)
+
+// SetHybrid enables hybrid fidelity for the run: a sampled fraction of
+// requests (cfg.SampleRate) runs through the full stage-level DES path
+// while the rest loads every service's queues statistically via the
+// internal/hybrid fluid tier. Call before Run; the fluid model is built
+// at Run time from the live client config and deployments, so fault-plan
+// load steps and client overrides are reflected. Sample rate 1.0 is
+// exactly a full-fidelity run: no extra random draws, no background
+// accounting, bit-identical fingerprint.
+func (s *Sim) SetHybrid(cfg hybrid.Config) {
+	c := cfg
+	s.hybridCfg = &c
+}
+
+// HybridConfig reports the configured fidelity split (nil: full DES).
+func (s *Sim) HybridConfig() *hybrid.Config { return s.hybridCfg }
+
+// ClearHybrid reverts the run to full DES fidelity (CLI -fidelity full
+// overriding a hybrid config file).
+func (s *Sim) ClearHybrid() { s.hybridCfg = nil }
+
+// SetHybridMonitor attaches m's gauges to the fluid tier when the run
+// starts (background offered rate, per-service equilibrium rho and queue
+// length) so dashboards separate fluid load from sampled load. m is
+// typically an *internal/monitor.Monitor.
+func (s *Sim) SetHybridMonitor(m hybrid.GaugeRegistry) { s.hybridMon = m }
+
+// Fluid exposes the live fluid tier (nil before Run or at sample rate 1).
+func (s *Sim) Fluid() *hybrid.State { return s.fluid }
+
+// thinnedPattern scales an arrival pattern by the foreground sample rate:
+// thinning a Poisson process by p yields a Poisson process at p·λ, so the
+// sampled foreground is statistically exact, not an approximation. It
+// composes with the fault plan's scaledPattern (load steps scale the
+// total offered rate; the thinning always applies on top).
+type thinnedPattern struct {
+	base workload.Pattern
+	f    float64
+}
+
+func (p *thinnedPattern) RateAt(t des.Time) float64 { return p.base.RateAt(t) * p.f }
+
+// setupHybrid builds the fluid tier at Run time. Inert configurations
+// (sample rate 1.0) leave the simulation untouched.
+func (s *Sim) setupHybrid(warmupEnd des.Time) error {
+	cfg := *s.hybridCfg
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.SampleRate >= 1 {
+		return nil
+	}
+	if s.clientCfg.ClosedUsers > 0 {
+		return fmt.Errorf("sim: hybrid fidelity needs an open-loop or session client (closed_users thins poorly; model the population as sessions instead)")
+	}
+
+	// Visit factors: how many times a request visits each service,
+	// weighted by tree selection probabilities. Brancher-pruned subtrees
+	// are counted as always taken — a documented upper bound.
+	weights := s.fluidTreeWeights()
+	visits := make(map[string]float64)
+	for ti := range s.topo.Trees {
+		w := weights[ti]
+		if w <= 0 {
+			continue
+		}
+		for i := range s.topo.Trees[ti].Nodes {
+			visits[s.topo.Trees[ti].Nodes[i].Service] += w
+		}
+	}
+
+	meanKB := 0.0
+	if s.clientCfg.SizeKB != nil {
+		meanKB = s.clientCfg.SizeKB.Mean()
+	}
+	var svcs []hybrid.Service
+	s.fluidIdx = make(map[string]int)
+	for _, name := range s.depOrder {
+		v := visits[name]
+		if v <= 0 {
+			continue // never visited: carries no background load
+		}
+		dep := s.deployments[name]
+		ms, err := meanServiceSeconds(dep.BP, meanKB)
+		if err != nil {
+			return err
+		}
+		s.fluidIdx[name] = len(svcs)
+		svcs = append(svcs, hybrid.Service{
+			Name:         name,
+			Visits:       v,
+			MeanServiceS: ms,
+			Servers: func() int {
+				k := 0
+				for _, in := range dep.Healthy() {
+					k += in.Alloc.Cores
+				}
+				return k
+			},
+		})
+	}
+	if len(svcs) == 0 {
+		return fmt.Errorf("sim: hybrid fidelity found no visited services to model")
+	}
+
+	// The offered-rate envelope the fluid tier follows. Open-loop clients
+	// report the unthinned pattern (including any fault-plan load scale);
+	// session clients resolve the population envelope through the closed
+	// multi-service fixed point — closed traffic self-limits, it never
+	// sheds.
+	var rate func(t des.Time) float64
+	if s.clientCfg.Sessions != nil {
+		cfg.Closed = true
+		sc := s.clientCfg.Sessions
+		think := sc.MeanThinkS()
+		fpSvcs := svcs
+		// The fixed point costs O(iterations × total cores) via ErlangC;
+		// the envelope is piecewise-constant, so memoize on the population
+		// and the deployment's live core counts (which faults can change).
+		var memoPop, memoRate float64
+		var memoSig uint64
+		memoPop = -1
+		rate = func(t des.Time) float64 {
+			n := float64(sc.PopulationAt(t))
+			sig := uint64(0)
+			for _, sv := range fpSvcs {
+				sig = sig*1000003 + uint64(sv.Servers())
+			}
+			if n != memoPop || sig != memoSig {
+				memoPop, memoSig = n, sig
+				memoRate = closedPopulationRate(n, think, fpSvcs)
+			}
+			return memoRate
+		}
+	} else {
+		base := s.clientCfg.Pattern
+		rate = func(t des.Time) float64 { return base.RateAt(t) }
+		s.clientCfg.Pattern = &thinnedPattern{base: base, f: cfg.SampleRate}
+	}
+
+	st, err := hybrid.New(cfg, svcs, rate, s.split)
+	if err != nil {
+		return err
+	}
+	s.fluid = st
+	s.sampleRNG = s.split.Stream("hybrid", "sample")
+	if s.hybridMon != nil {
+		st.Attach(s.hybridMon)
+	}
+	st.Start(s.eng, 0, warmupEnd)
+	return nil
+}
+
+// fluidTreeWeights resolves the probability each request targets each
+// topology tree: the session journeys' step frequencies when sessions
+// drive the client, else the client's tree-choice weights.
+func (s *Sim) fluidTreeWeights() []float64 {
+	n := len(s.topo.Trees)
+	w := make([]float64, n)
+	if s.clientCfg.Sessions != nil {
+		for i, tw := range s.clientCfg.Sessions.TreeWeights() {
+			if i < n {
+				w[i] = tw
+			}
+		}
+		return w
+	}
+	if s.treeChoice != nil && s.treeChoice.N() > 1 {
+		for i := 0; i < n; i++ {
+			w[i] = s.treeChoice.P(i)
+		}
+		return w
+	}
+	if n > 0 {
+		w[0] = 1
+	}
+	return w
+}
+
+// meanServiceSeconds estimates one visit's mean busy time from the
+// blueprint: path-probability-weighted sums of stage means plus the
+// per-KB cost at the client's mean payload. Per-dispatch (batch) costs
+// count in full — a deliberate upper bound, since batching amortizes
+// them under load.
+func meanServiceSeconds(bp *service.Blueprint, meanKB float64) (float64, error) {
+	stageNs := func(idx int) float64 {
+		st := &bp.Stages[idx]
+		ns := st.PerKB * meanKB
+		if st.Base != nil {
+			ns += st.Base.Mean()
+		}
+		if st.PerJob != nil {
+			ns += st.PerJob.Mean()
+		}
+		return ns
+	}
+	pathNs := func(p *service.PathSpec) float64 {
+		ns := 0.0
+		for _, idx := range p.Stages {
+			ns += stageNs(idx)
+		}
+		return ns
+	}
+	var ns float64
+	if len(bp.PathProbs) == len(bp.Paths) && len(bp.PathProbs) > 0 {
+		var total float64
+		for _, p := range bp.PathProbs {
+			total += p
+		}
+		for i := range bp.Paths {
+			ns += bp.PathProbs[i] / total * pathNs(&bp.Paths[i])
+		}
+	} else {
+		ns = pathNs(&bp.Paths[0])
+	}
+	if math.IsNaN(ns) || math.IsInf(ns, 0) || ns <= 0 {
+		return 0, fmt.Errorf("sim: hybrid fidelity needs a finite positive mean service time for %q (got %vns; heavy-tailed stages without a mean cannot be fluid-modeled)", bp.Name, ns)
+	}
+	return ns / 1e9, nil
+}
+
+// closedPopulationRate solves the closed-population fixed point over the
+// full service chain: n users cycling through think time Z and every
+// service's queue, λ = n / (Z + Σ visits·(E[S] + Wq)). Like
+// analytic.ClosedMMkRate but multi-service; the returned rate never
+// exceeds the bottleneck capacity.
+func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
+	if n <= 0 {
+		return 0
+	}
+	capacity := math.Inf(1)
+	base := thinkS
+	for i := range svcs {
+		sv := &svcs[i]
+		base += sv.Visits * sv.MeanServiceS
+		if k := sv.Servers(); k > 0 && sv.Visits > 0 {
+			if c := float64(k) / sv.MeanServiceS / sv.Visits; c < capacity {
+				capacity = c
+			}
+		}
+	}
+	if base <= 0 {
+		return 0
+	}
+	lam := n / base
+	if !math.IsInf(capacity, 1) && lam > 0.999*capacity {
+		lam = 0.999 * capacity
+	}
+	for i := 0; i < 64; i++ {
+		r := thinkS
+		saturated := false
+		for j := range svcs {
+			sv := &svcs[j]
+			r += sv.Visits * sv.MeanServiceS
+			if sv.Visits <= 0 {
+				continue
+			}
+			w := analytic.MMkMeanWait(lam*sv.Visits, 1/sv.MeanServiceS, sv.Servers())
+			if analytic.IsSaturated(w) {
+				saturated = true
+				break
+			}
+			r += sv.Visits * w
+		}
+		if saturated {
+			lam = 0.999 * capacity
+			continue
+		}
+		next := n / r
+		if !math.IsInf(capacity, 1) && next > 0.999*capacity {
+			next = 0.999 * capacity
+		}
+		lam = 0.5*lam + 0.5*next
+	}
+	return lam
+}

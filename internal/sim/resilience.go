@@ -373,8 +373,14 @@ func (s *Sim) failRequest(now des.Time, req *job.Request, out job.Outcome) {
 	if s.OnRequestDone != nil {
 		s.OnRequestDone(now, req)
 	}
-	if s.closedLoop != nil && !req.TimedOut {
+	if req.TimedOut {
+		return
+	}
+	if s.closedLoop != nil {
 		s.closedLoop.RequestDone(now)
+	} else if s.sessions != nil && st != nil && st.user >= 0 {
+		// A failed step still advances the session user's journey.
+		s.sessions.Done(now, st.user)
 	}
 }
 

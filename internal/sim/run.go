@@ -17,12 +17,17 @@ func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
 	if s.topo == nil {
 		return nil, fmt.Errorf("sim: no topology installed")
 	}
-	if s.clientCfg.Pattern == nil && s.clientCfg.ClosedUsers <= 0 {
+	if s.clientCfg.Pattern == nil && s.clientCfg.ClosedUsers <= 0 && s.clientCfg.Sessions == nil {
 		return nil, fmt.Errorf("sim: no client installed")
 	}
 	s.warmupEnd = warmup
 	horizon := warmup + duration
 	s.installOverload()
+	if s.hybridCfg != nil {
+		if err := s.setupHybrid(warmup); err != nil {
+			return nil, err
+		}
+	}
 
 	if s.clientCfg.ClosedUsers > 0 {
 		s.closedLoop = workload.NewClosedLoop(s.eng, s.clientRNG, s.clientCfg.ClosedUsers, s.onArrival)
@@ -31,6 +36,30 @@ func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
 			s.closedLoop.Think = think.Sample
 		}
 		s.closedLoop.Start(0)
+	} else if s.clientCfg.Sessions != nil {
+		for _, jn := range s.clientCfg.Sessions.Journeys {
+			for _, step := range jn.Steps {
+				if step.Tree < 0 || step.Tree >= len(s.topo.Trees) {
+					return nil, fmt.Errorf("sim: session journey %q targets tree %d, topology has %d",
+						jn.Name, step.Tree, len(s.topo.Trees))
+				}
+			}
+		}
+		sess, err := workload.NewSessions(s.eng, s.split.Child("sessions"), *s.clientCfg.Sessions,
+			func(now des.Time, user, tree int) { s.admitAs(now, 0, tree, user) })
+		if err != nil {
+			return nil, err
+		}
+		if s.fluid != nil {
+			// Hybrid fidelity samples whole users, not requests: an
+			// unsampled user's entire journey belongs to the fluid tier,
+			// so sampled journeys keep their step-to-step correlation.
+			rate := s.fluid.SampleRate()
+			sess.SampleUser = func(int) bool { return s.sampleRNG.Float64() < rate }
+		}
+		s.sessions = sess
+		sess.Start(0)
+		defer sess.Stop()
 	} else {
 		gen := workload.NewOpenLoop(s.eng, s.clientRNG, s.clientCfg.Pattern, s.onArrival)
 		gen.Proc = s.clientCfg.Proc
@@ -47,6 +76,9 @@ func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
 			end = now
 		}
 	}
+	if s.fluid != nil {
+		s.fluid.Finish(end)
+	}
 	return s.report(end), nil
 }
 
@@ -57,9 +89,20 @@ func (s *Sim) onArrival(now des.Time) {
 
 // admit starts one request (attempt 0) or retry (attempt > 0).
 func (s *Sim) admit(now des.Time, attempt int) {
-	treeIdx := 0
-	if s.treeChoice.N() > 1 {
-		treeIdx = s.treeChoice.Pick(s.clientRNG)
+	s.admitAs(now, attempt, -1, -1)
+}
+
+// admitAs is admit with session context: forceTree >= 0 pins the topology
+// tree (session journey steps target specific trees; -1 samples the
+// client's tree choice), and user >= 0 ties the request to the session
+// user whose journey advances when it terminates.
+func (s *Sim) admitAs(now des.Time, attempt, forceTree, user int) {
+	treeIdx := forceTree
+	if treeIdx < 0 {
+		treeIdx = 0
+		if s.treeChoice.N() > 1 {
+			treeIdx = s.treeChoice.Pick(s.clientRNG)
+		}
 	}
 	tree := &s.topo.Trees[treeIdx]
 
@@ -72,7 +115,7 @@ func (s *Sim) admit(now des.Time, attempt int) {
 	req.Conn = int(req.ID) % s.clientCfg.Connections
 	req.LeavesRemaining = len(tree.Leaves())
 
-	st := &reqState{tree: tree, treeIdx: treeIdx, arrived: make([]int, len(tree.Nodes)), at: now}
+	st := &reqState{tree: tree, treeIdx: treeIdx, arrived: make([]int, len(tree.Nodes)), at: now, user: user}
 	s.inflight[req.ID] = st
 	if now >= s.warmupEnd {
 		s.arrivals++
@@ -100,8 +143,10 @@ func (s *Sim) onTimeout(now des.Time, req *job.Request) {
 		return
 	}
 	req.TimedOut = true
+	user, userTree := -1, -1
 	if st, ok := s.inflight[req.ID]; ok {
 		st.timedOut = true
+		user, userTree = st.user, st.treeIdx
 	}
 	// The latency sample belongs to the measurement window it lands in;
 	// the outcome bucket is gated on the request's arrival instead, so
@@ -114,10 +159,19 @@ func (s *Sim) onTimeout(now des.Time, req *job.Request) {
 		s.timeouts++
 	}
 	if req.Attempt < s.clientCfg.MaxRetries {
-		s.admit(now, req.Attempt+1)
+		// A session user's retry stays on the same journey step (same
+		// tree, same user); an anonymous client re-samples the tree.
+		if user >= 0 {
+			s.admitAs(now, req.Attempt+1, userTree, user)
+		} else {
+			s.admit(now, req.Attempt+1)
+		}
 	} else if s.closedLoop != nil {
 		// The user gave up; in a closed loop they move on.
 		s.closedLoop.RequestDone(now)
+	} else if s.sessions != nil && user >= 0 {
+		// The session user gives up on this step and moves on.
+		s.sessions.Done(now, user)
 	}
 }
 
@@ -224,11 +278,21 @@ func (s *Sim) newNodeJob(req *job.Request, st *reqState, nodeID, conn int, dep *
 // entering the cluster always pay the receive pass; same-machine hops use
 // loopback and skip it.
 func (s *Sim) deliver(now des.Time, j *job.Job, in *service.Instance, srcMachine string) {
+	var delay des.Time
 	if len(s.edgeExtra) > 0 {
-		if extra := s.edgeExtra[in.BP.Name]; extra > 0 {
-			s.eng.At(now+extra, func(t des.Time) { s.deliverDirect(t, j, in, srcMachine) })
-			return
+		delay += s.edgeExtra[in.BP.Name]
+	}
+	if s.fluid != nil {
+		// Hybrid fidelity: the sampled request queues behind the fluid
+		// tier's background traffic — an equilibrium wait draw at the
+		// total (foreground + background) offered load.
+		if idx, ok := s.fluidIdx[in.BP.Name]; ok {
+			delay += s.fluid.WaitFor(idx)
 		}
+	}
+	if delay > 0 {
+		s.eng.At(now+delay, func(t des.Time) { s.deliverDirect(t, j, in, srcMachine) })
+		return
 	}
 	s.deliverDirect(now, j, in, srcMachine)
 }
@@ -447,9 +511,14 @@ func (s *Sim) finalizeLeaf(now des.Time, j *job.Job) {
 		return
 	}
 	req.Finish = now
+	st := s.inflight[req.ID]
 	if s.overloadOn {
 		// Disarm the completed request's deadline and timeout events.
-		s.cleanupRequest(s.inflight[req.ID])
+		s.cleanupRequest(st)
+	}
+	user := -1
+	if st != nil {
+		user = st.user
 	}
 	delete(s.inflight, req.ID)
 	if !req.TimedOut {
@@ -479,9 +548,15 @@ func (s *Sim) finalizeLeaf(now des.Time, j *job.Job) {
 		s.OnRequestDone(now, req)
 	}
 	// A timed-out request already released its closed-loop user (and its
-	// client-visible latency) at the timeout instant.
-	if s.closedLoop != nil && !req.TimedOut {
+	// client-visible latency) at the timeout instant; likewise a session
+	// user already advanced past a timed-out step.
+	if req.TimedOut {
+		return
+	}
+	if s.closedLoop != nil {
 		s.closedLoop.RequestDone(now)
+	} else if s.sessions != nil && user >= 0 {
+		s.sessions.Done(now, user)
 	}
 }
 
@@ -590,6 +665,21 @@ type Report struct {
 	// work of client-timed-out requests is excluded: those requests are
 	// already counted in Timeouts.
 	InFlight int
+	// SampleRate is the hybrid-fidelity foreground fraction (1 for a
+	// full-DES run). The Arrivals/Completions/... buckets above cover
+	// only the sampled foreground; the fluid tier's unsimulated traffic
+	// is accounted separately below with its own conservation identity:
+	// BackgroundArrivals == BackgroundCompletions + BackgroundShed.
+	SampleRate            float64
+	BackgroundArrivals    uint64
+	BackgroundCompletions uint64
+	// BackgroundShed counts background flow beyond the bottleneck
+	// capacity during saturated epochs (open-loop only; session
+	// populations self-limit and never shed).
+	BackgroundShed uint64
+	// SaturatedEpochs counts fluid-tier epochs with at least one
+	// saturated service.
+	SaturatedEpochs int
 }
 
 func (s *Sim) report(horizon des.Time) *Report {
@@ -615,6 +705,16 @@ func (s *Sim) report(horizon des.Time) *Report {
 
 		Latency: s.latency,
 		PerTier: s.perTier,
+
+		SampleRate: 1,
+	}
+	if s.fluid != nil {
+		r.SampleRate = s.fluid.SampleRate()
+		snap := s.fluid.Snapshot()
+		r.BackgroundArrivals = uint64(snap.Arrivals)
+		r.BackgroundCompletions = uint64(snap.Completions)
+		r.BackgroundShed = uint64(snap.Shed)
+		r.SaturatedEpochs = snap.SaturatedEpochs
 	}
 	if s.net != nil {
 		r.LinkDrops = s.net.LinkDrops()

@@ -21,6 +21,7 @@ import (
 	"uqsim/internal/dist"
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
+	"uqsim/internal/hybrid"
 	"uqsim/internal/job"
 	"uqsim/internal/netfault"
 	"uqsim/internal/rng"
@@ -99,6 +100,13 @@ type ClientConfig struct {
 	// work runs on abandoned), an expired budget actively reclaims
 	// capacity. Samples are drawn from a dedicated RNG stream.
 	Budget dist.Sampler
+	// Sessions switches to a session-based client: a population of
+	// stateful users walking multi-step journeys across the topology's
+	// trees, with think times, on/off cycles, population ramps, and flash
+	// crowds. Takes effect when ClosedUsers is zero; Pattern is then
+	// ignored. Each terminated request (completed, timed out with retries
+	// exhausted, or failed) advances its user's journey.
+	Sessions *workload.SessionConfig
 	// Region homes the client in one of the geography's regions. Entry
 	// hops then prefer that region's instances, pay WAN latency when the
 	// nearest healthy replica lives elsewhere, and a served read of a
@@ -160,6 +168,17 @@ type Sim struct {
 	clientCfg  ClientConfig
 	clientRNG  *rng.Source
 	closedLoop *workload.ClosedLoop
+	sessions   *workload.Sessions
+
+	// Hybrid fidelity: nil until SetHybrid opts in. fluid is the live
+	// background tier (built at Run, nil at sample rate 1.0); fluidIdx
+	// maps service names to wait-injection indices; sampleRNG drives the
+	// per-user Bernoulli sampling split.
+	hybridCfg *hybrid.Config
+	fluid     *hybrid.State
+	fluidIdx  map[string]int
+	sampleRNG *rng.Source
+	hybridMon hybrid.GaugeRegistry
 	// loadScale multiplies the open-loop arrival rate; nil until the
 	// first LoadStep fault wraps the client pattern. LoadStep events
 	// write through it, so the generator sees rate changes live.
@@ -242,6 +261,7 @@ type reqState struct {
 	treeIdx  int
 	arrived  []int    // per-node parent-completion counts
 	at       des.Time // the request's arrival instant
+	user     int      // owning session user (-1: no session client)
 	timedOut bool     // client gave up; server work continues abandoned
 
 	// Overload-control bookkeeping (only maintained when a budget,

@@ -27,5 +27,11 @@ func Conservation(rep *sim.Report) error {
 			l, rep.Arrivals, rep.Completions, rep.Timeouts, rep.DeadlineExpired,
 			rep.Shed, rep.Dropped, rep.Unreachable, rep.InFlight)
 	}
+	// The hybrid fluid tier keeps its own books: background traffic never
+	// enters the sampled buckets above, and must balance on its own.
+	if rep.BackgroundArrivals != rep.BackgroundCompletions+rep.BackgroundShed {
+		return fmt.Errorf("validate: background conservation violated: arrivals=%d != completions=%d + shed=%d",
+			rep.BackgroundArrivals, rep.BackgroundCompletions, rep.BackgroundShed)
+	}
 	return nil
 }

@@ -34,5 +34,12 @@ func Fingerprint(rep *sim.Report) string {
 		fp += fmt.Sprintf(" %s:%d/%d/%d/%d/%d",
 			ir.Name, ir.Completed, ir.Shed, ir.Dropped, ir.Canceled, ir.Wasted)
 	}
+	// Hybrid-fidelity background accounting, appended only when present so
+	// full-DES fingerprints — including every committed chaos corpus
+	// scenario — keep their historical byte format.
+	if rep.BackgroundArrivals+rep.BackgroundShed > 0 {
+		fp += fmt.Sprintf(" bg=%d/%d/%d",
+			rep.BackgroundArrivals, rep.BackgroundCompletions, rep.BackgroundShed)
+	}
 	return fp
 }

@@ -1,0 +1,94 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"uqsim/internal/cluster"
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/graph"
+	"uqsim/internal/hybrid"
+	"uqsim/internal/service"
+	"uqsim/internal/sim"
+	"uqsim/internal/workload"
+)
+
+// hybridScenario builds the shared two-service scenario for the
+// fingerprint-identity properties; cfg nil runs pure full DES.
+func hybridScenario(seed uint64, cfg *hybrid.Config) (*sim.Report, error) {
+	s := sim.New(sim.Options{Seed: seed})
+	s.AddMachine("m0", 6, cluster.FreqSpec{})
+	if _, err := s.Deploy(service.SingleStage("front", dist.NewExponential(100*1000)),
+		sim.RoundRobin, sim.Placement{Machine: "m0", Cores: 2}); err != nil {
+		return nil, err
+	}
+	if _, err := s.Deploy(service.SingleStage("back", dist.NewExponential(200*1000)),
+		sim.RoundRobin, sim.Placement{Machine: "m0", Cores: 4}); err != nil {
+		return nil, err
+	}
+	if err := s.SetTopology(graph.Linear("main", "front", "back")); err != nil {
+		return nil, err
+	}
+	s.SetClient(sim.ClientConfig{Pattern: workload.ConstantRate(8000), Timeout: 50 * des.Millisecond})
+	if cfg != nil {
+		s.SetHybrid(*cfg)
+	}
+	return s.Run(200*des.Millisecond, des.Second)
+}
+
+// TestSampleRateOneBitIdentical is the ISSUE's equivalence property: a
+// hybrid configuration at sample rate 1.0 must be byte-for-byte
+// indistinguishable from a run with no hybrid engine attached — no extra
+// random draws, no thinning, no background accounting, same fingerprint.
+func TestSampleRateOneBitIdentical(t *testing.T) {
+	full, err := hybridScenario(11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := hybridScenario(11, &hybrid.Config{SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpFull, fpOne := Fingerprint(full), Fingerprint(one)
+	if fpFull != fpOne {
+		t.Fatalf("sample rate 1.0 perturbed the run:\nfull:   %s\nhybrid: %s", fpFull, fpOne)
+	}
+	if strings.Contains(fpFull, " bg=") {
+		t.Fatalf("full-DES fingerprint grew a background section: %s", fpFull)
+	}
+	if one.SampleRate != 1 {
+		t.Fatalf("inert hybrid report sample rate %v, want 1", one.SampleRate)
+	}
+}
+
+// TestHybridFingerprintDeterminism: the fingerprint covers the hybrid
+// tier's sampling and wait-draw streams — same seed reproduces the run
+// bit-for-bit, a different seed diverges.
+func TestHybridFingerprintDeterminism(t *testing.T) {
+	cfg := &hybrid.Config{SampleRate: 0.2}
+	a, err := hybridScenario(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hybridScenario(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("same-seed hybrid runs diverged:\n%s\n%s", Fingerprint(a), Fingerprint(b))
+	}
+	c, err := hybridScenario(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("different seeds produced identical hybrid fingerprints")
+	}
+	if !strings.Contains(Fingerprint(a), " bg=") {
+		t.Fatalf("hybrid fingerprint missing background section: %s", Fingerprint(a))
+	}
+	if err := Conservation(a); err != nil {
+		t.Fatal(err)
+	}
+}

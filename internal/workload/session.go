@@ -1,0 +1,495 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"uqsim/internal/des"
+	"uqsim/internal/dist"
+	"uqsim/internal/rng"
+)
+
+// Session-based user flows: instead of a bare arrival rate, the workload is
+// a population of users, each walking multi-step journeys (think → request
+// → think chains over the topology's request trees). The population itself
+// is a first-class signal — phased ramps, flash crowds, and on/off bursty
+// users — so "a million users" is a workload spec, not just a higher
+// lambda. Every user owns a dedicated RNG stream split from the client
+// seed, so the determinism fingerprint covers each user's think times,
+// journey choices, and on/off phase independently of every other user.
+
+// SessionStep is one request in a journey: think for Think (nanoseconds),
+// then issue the request tree with topology index Tree and wait for its
+// completion.
+type SessionStep struct {
+	Tree  int
+	Think dist.Sampler // nil: zero think
+}
+
+// Journey is a weighted multi-step user flow (e.g. browse → search → buy).
+// After the last step completes, the user draws a fresh journey.
+type Journey struct {
+	Name   string
+	Weight float64
+	Steps  []SessionStep
+}
+
+// PopPhase is one knot of the piecewise-linear population envelope: ramp
+// linearly from the previous target to Users over [At, At+Ramp]. Phases
+// must be sorted by At; ramps must not overlap the next phase's start.
+type PopPhase struct {
+	At    des.Time
+	Users int
+	Ramp  des.Time // 0: step change
+}
+
+// FlashCrowd superimposes a transient trapezoid of Extra users on the
+// phase envelope: ramp up over RampUp starting at At, hold for Hold, ramp
+// down over RampDown.
+type FlashCrowd struct {
+	At       des.Time
+	Extra    int
+	RampUp   des.Time
+	Hold     des.Time
+	RampDown des.Time
+}
+
+// OnOff makes every user bursty: active periods of mean MeanOn alternate
+// with silent periods of mean MeanOff (both exponential, per-user stream).
+// A user entering a silent period pauses at its next step boundary.
+type OnOff struct {
+	MeanOn  des.Time
+	MeanOff des.Time
+}
+
+// SessionConfig specifies a session-driven client population.
+type SessionConfig struct {
+	// Users is the base population before any phases apply. Required >= 1
+	// unless Phases set a target.
+	Users    int
+	Journeys []Journey
+	Phases   []PopPhase
+	Crowds   []FlashCrowd
+	OnOff    *OnOff
+	// PopTick is the population-control poll interval (default 10ms).
+	// Only polled when Phases or Crowds are present.
+	PopTick des.Time
+}
+
+// Validate rejects degenerate session specs: empty journeys, nonpositive
+// weights, negative think means, empty steps, unsorted phases, zero/negative
+// ramp populations, and flash crowds with nonpositive extra or negative
+// durations.
+func (c *SessionConfig) Validate() error {
+	if c.Users < 0 {
+		return fmt.Errorf("workload: sessions users must be >= 0, got %d", c.Users)
+	}
+	if c.Users == 0 && len(c.Phases) == 0 {
+		return fmt.Errorf("workload: sessions need users >= 1 or a population phase")
+	}
+	if len(c.Journeys) == 0 {
+		return fmt.Errorf("workload: sessions need at least one journey")
+	}
+	totalW := 0.0
+	for i, j := range c.Journeys {
+		if j.Weight < 0 || math.IsNaN(j.Weight) || math.IsInf(j.Weight, 0) {
+			return fmt.Errorf("workload: journey %q weight must be finite and >= 0, got %v", j.Name, j.Weight)
+		}
+		totalW += j.Weight
+		if len(j.Steps) == 0 {
+			return fmt.Errorf("workload: journey %q has no steps", j.Name)
+		}
+		for s, st := range j.Steps {
+			if st.Tree < 0 {
+				return fmt.Errorf("workload: journey %q step %d has negative tree index", j.Name, s)
+			}
+			if st.Think != nil {
+				if m := st.Think.Mean(); math.IsNaN(m) || m < 0 {
+					return fmt.Errorf("workload: journey %q step %d think mean must be >= 0, got %v", j.Name, s, m)
+				}
+			}
+		}
+		_ = i
+	}
+	if totalW <= 0 {
+		return fmt.Errorf("workload: journey weights sum to %v; at least one must be positive", totalW)
+	}
+	for i, p := range c.Phases {
+		if p.Users < 0 {
+			return fmt.Errorf("workload: population phase %d target must be >= 0, got %d", i, p.Users)
+		}
+		if p.At < 0 || p.Ramp < 0 {
+			return fmt.Errorf("workload: population phase %d times must be >= 0", i)
+		}
+		if i > 0 && p.At < c.Phases[i-1].At {
+			return fmt.Errorf("workload: population phases must be sorted by time (phase %d at %v after phase %d at %v)",
+				i-1, c.Phases[i-1].At, i, p.At)
+		}
+	}
+	for i, f := range c.Crowds {
+		if f.Extra <= 0 {
+			return fmt.Errorf("workload: flash crowd %d extra users must be positive, got %d", i, f.Extra)
+		}
+		if f.At < 0 || f.RampUp < 0 || f.Hold < 0 || f.RampDown < 0 {
+			return fmt.Errorf("workload: flash crowd %d times must be >= 0", i)
+		}
+	}
+	if c.OnOff != nil {
+		if c.OnOff.MeanOn <= 0 || c.OnOff.MeanOff <= 0 {
+			return fmt.Errorf("workload: on/off mean_on and mean_off must be positive, got %v/%v",
+				c.OnOff.MeanOn, c.OnOff.MeanOff)
+		}
+	}
+	if c.PopTick < 0 {
+		return fmt.Errorf("workload: sessions pop_tick must be >= 0, got %v", c.PopTick)
+	}
+	return nil
+}
+
+// PopulationAt evaluates the target population at virtual time t: the
+// piecewise-linear phase envelope plus every flash crowd's trapezoid.
+func (c *SessionConfig) PopulationAt(t des.Time) int {
+	base := float64(c.Users)
+	prev := base
+	for _, p := range c.Phases {
+		if t < p.At {
+			break
+		}
+		if p.Ramp > 0 && t < p.At+p.Ramp {
+			frac := float64(t-p.At) / float64(p.Ramp)
+			base = prev + (float64(p.Users)-prev)*frac
+			prev = float64(p.Users)
+			continue
+		}
+		base = float64(p.Users)
+		prev = base
+	}
+	for _, f := range c.Crowds {
+		base += f.extraAt(t)
+	}
+	if base < 0 {
+		return 0
+	}
+	return int(math.Round(base))
+}
+
+func (f FlashCrowd) extraAt(t des.Time) float64 {
+	if t < f.At {
+		return 0
+	}
+	x := t - f.At
+	if f.RampUp > 0 && x < f.RampUp {
+		return float64(f.Extra) * float64(x) / float64(f.RampUp)
+	}
+	x -= f.RampUp
+	if x < f.Hold {
+		return float64(f.Extra)
+	}
+	x -= f.Hold
+	if f.RampDown > 0 && x < f.RampDown {
+		return float64(f.Extra) * (1 - float64(x)/float64(f.RampDown))
+	}
+	return 0
+}
+
+// MeanThinkS is the journey-weighted mean think time per step, in seconds —
+// the Z of the closed-population fixed point the fluid tier solves.
+func (c *SessionConfig) MeanThinkS() float64 {
+	var wSum, tSum float64
+	for _, j := range c.Journeys {
+		if j.Weight <= 0 || len(j.Steps) == 0 {
+			continue
+		}
+		var jt float64
+		for _, st := range j.Steps {
+			if st.Think != nil {
+				jt += st.Think.Mean()
+			}
+		}
+		wSum += j.Weight
+		tSum += j.Weight * jt / float64(len(j.Steps))
+	}
+	if wSum <= 0 {
+		return 0
+	}
+	return tSum / wSum / 1e9 // samplers return nanoseconds
+}
+
+// TreeWeights is the long-run fraction of issued requests that target each
+// topology tree (journey-weighted step frequencies), sized to cover the
+// largest tree index. The fluid tier uses it to split background user
+// traffic across request trees.
+func (c *SessionConfig) TreeWeights() []float64 {
+	maxTree := -1
+	for _, j := range c.Journeys {
+		for _, st := range j.Steps {
+			if st.Tree > maxTree {
+				maxTree = st.Tree
+			}
+		}
+	}
+	if maxTree < 0 {
+		return nil
+	}
+	w := make([]float64, maxTree+1)
+	var total float64
+	for _, j := range c.Journeys {
+		if j.Weight <= 0 {
+			continue
+		}
+		for _, st := range j.Steps {
+			w[st.Tree] += j.Weight
+			total += j.Weight
+		}
+	}
+	if total > 0 {
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	return w
+}
+
+// sessionUser is one live simulated (foreground-sampled) user.
+type sessionUser struct {
+	r        *rng.Source
+	journey  int
+	step     int
+	offAt    des.Time // end of the current on-period (OnOff only)
+	lastIss  des.Time
+	issued   bool // lastIss is meaningful
+	inflight bool // a request is outstanding; Done will advance
+	retiring bool // depart at the next step boundary
+	gone     bool
+}
+
+// Sessions drives a population of journey-walking users. The sim layer
+// must call Done for every completion (success, failure, or timeout
+// exhaustion) attributed to a session user, mirroring the closed-loop
+// contract.
+type Sessions struct {
+	// Emit issues one request for user on the given topology tree.
+	// Required.
+	Emit func(now des.Time, user, tree int)
+	// SampleUser, when non-nil, decides at spawn whether a user runs at
+	// full DES fidelity. Unsampled users never Emit — the hybrid fluid
+	// tier carries their load analytically — but still count toward the
+	// population. nil: every user is simulated.
+	SampleUser func(user int) bool
+
+	cfg   SessionConfig
+	eng   des.Scheduler
+	split *rng.Splitter
+
+	users    map[int]*sessionUser
+	order    []int // spawn order, for LIFO retirement
+	nextID   int
+	bgUsers  int
+	jCum     []float64
+	stopTick bool
+}
+
+// NewSessions builds a session source. The splitter must be dedicated to
+// this source (each user's stream is split from it by id).
+func NewSessions(eng des.Scheduler, split *rng.Splitter, cfg SessionConfig, emit func(now des.Time, user, tree int)) (*Sessions, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("workload: sessions need an emit callback")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sessions{
+		Emit:  emit,
+		cfg:   cfg,
+		eng:   eng,
+		split: split,
+		users: make(map[int]*sessionUser),
+	}
+	s.jCum = make([]float64, len(cfg.Journeys))
+	cum := 0.0
+	for i, j := range cfg.Journeys {
+		cum += math.Max(j.Weight, 0)
+		s.jCum[i] = cum
+	}
+	return s, nil
+}
+
+// Config returns the validated session spec.
+func (s *Sessions) Config() SessionConfig { return s.cfg }
+
+// Start spawns the initial population and, when the population envelope is
+// dynamic, begins the control poll.
+func (s *Sessions) Start(at des.Time) {
+	s.adjust(at)
+	if len(s.cfg.Phases) > 0 || len(s.cfg.Crowds) > 0 {
+		tick := s.cfg.PopTick
+		if tick <= 0 {
+			tick = 10 * des.Millisecond
+		}
+		var poll func(t des.Time)
+		poll = func(t des.Time) {
+			if s.stopTick {
+				return
+			}
+			s.adjust(t)
+			s.eng.Post(t+tick, poll)
+		}
+		s.eng.Post(at+tick, poll)
+	}
+}
+
+// Stop halts population control and retires every user at its next step
+// boundary (inflight requests drain normally).
+func (s *Sessions) Stop() {
+	s.stopTick = true
+	for _, u := range s.users {
+		u.retiring = true
+	}
+}
+
+// ActiveUsers is the current population (simulated + background).
+func (s *Sessions) ActiveUsers() int { return len(s.users) + s.bgUsers }
+
+// BackgroundUsers is the count of users carried by the fluid tier.
+func (s *Sessions) BackgroundUsers() int { return s.bgUsers }
+
+// SimulatedUsers is the count of full-fidelity users.
+func (s *Sessions) SimulatedUsers() int { return len(s.users) }
+
+// adjust reconciles the live population with the target at time t.
+func (s *Sessions) adjust(now des.Time) {
+	target := s.cfg.PopulationAt(now)
+	cur := s.ActiveUsers()
+	for cur < target {
+		s.spawn(now)
+		cur++
+	}
+	if cur > target {
+		s.retire(cur - target)
+	}
+}
+
+func (s *Sessions) spawn(now des.Time) {
+	id := s.nextID
+	s.nextID++
+	if s.SampleUser != nil && !s.SampleUser(id) {
+		s.bgUsers++
+		s.order = append(s.order, -id-1) // negative marker: background user
+		return
+	}
+	u := &sessionUser{r: s.split.Stream("user", fmt.Sprint(id))}
+	u.journey = s.pickJourney(u.r)
+	u.step = 0
+	if s.cfg.OnOff != nil {
+		u.offAt = now + expTime(u.r, s.cfg.OnOff.MeanOn)
+	}
+	s.users[id] = u
+	s.order = append(s.order, id)
+	s.issueAfterThink(now, id, u)
+}
+
+// retire removes n users, newest first. Background users vanish
+// immediately; simulated users depart at their next step boundary so
+// inflight requests drain and conservation holds.
+func (s *Sessions) retire(n int) {
+	for i := len(s.order) - 1; i >= 0 && n > 0; i-- {
+		key := s.order[i]
+		if key < 0 { // background marker
+			if s.bgUsers > 0 {
+				s.bgUsers--
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				n--
+			}
+			continue
+		}
+		u, ok := s.users[key]
+		if !ok || u.retiring {
+			continue
+		}
+		u.retiring = true
+		n--
+	}
+}
+
+func (s *Sessions) pickJourney(r *rng.Source) int {
+	total := s.jCum[len(s.jCum)-1]
+	x := r.Float64() * total
+	return sort.SearchFloat64s(s.jCum, x)
+}
+
+// issueAfterThink schedules user id's next request after the current
+// step's think time (plus any off-period pause).
+func (s *Sessions) issueAfterThink(now des.Time, id int, u *sessionUser) {
+	j := s.cfg.Journeys[u.journey]
+	st := j.Steps[u.step]
+	gap := des.Time(0)
+	if st.Think != nil {
+		gap = des.FromNanos(st.Think.Sample(u.r))
+	}
+	// A zero-think user completing instantly (e.g. shed at admission)
+	// would otherwise re-issue at the same virtual instant forever,
+	// wedging the event loop without advancing time.
+	if gap <= 0 && u.issued && now <= u.lastIss {
+		gap = des.Millisecond
+	}
+	if s.cfg.OnOff != nil && now+gap >= u.offAt {
+		// Entering a silent period: pause for Exp(MeanOff), then start a
+		// fresh on-period.
+		pause := expTime(u.r, s.cfg.OnOff.MeanOff)
+		gap += pause
+		u.offAt = now + gap + expTime(u.r, s.cfg.OnOff.MeanOn)
+	}
+	s.eng.Post(now+gap, func(t des.Time) {
+		if u.gone {
+			return
+		}
+		if u.retiring {
+			s.depart(id, u)
+			return
+		}
+		u.inflight = true
+		u.lastIss = t
+		u.issued = true
+		s.Emit(t, id, s.cfg.Journeys[u.journey].Steps[u.step].Tree)
+	})
+}
+
+// Done advances user id past its current step: the sim layer calls it
+// exactly once per completed (or abandoned) session request.
+func (s *Sessions) Done(now des.Time, user int) {
+	u, ok := s.users[user]
+	if !ok || !u.inflight {
+		return
+	}
+	u.inflight = false
+	if u.retiring {
+		s.depart(user, u)
+		return
+	}
+	u.step++
+	if u.step >= len(s.cfg.Journeys[u.journey].Steps) {
+		u.journey = s.pickJourney(u.r)
+		u.step = 0
+	}
+	s.issueAfterThink(now, user, u)
+}
+
+func (s *Sessions) depart(id int, u *sessionUser) {
+	u.gone = true
+	delete(s.users, id)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func expTime(r *rng.Source, mean des.Time) des.Time {
+	d := des.FromNanos(r.ExpFloat64() * float64(mean))
+	if d < des.Millisecond {
+		d = des.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"uqsim/internal/des"
+	"uqsim/internal/rng"
+)
+
+// Regression tests for the zero/negative-rate and zero-duration edge cases
+// the pattern validators reject: before validation existed, a zero-period
+// diurnal silently flatlined, a zero mean-hold burst was silently repaired
+// to one second, and negative rates idled the generator forever.
+
+func TestConstantRateValidate(t *testing.T) {
+	cases := []struct {
+		rate ConstantRate
+		want string
+	}{
+		{0, ""},
+		{1000, ""},
+		{-1, "must be >= 0"},
+		{ConstantRate(math.NaN()), "must be finite"},
+		{ConstantRate(math.Inf(1)), "must be finite"},
+	}
+	for _, c := range cases {
+		err := c.rate.Validate()
+		if c.want == "" && err != nil {
+			t.Errorf("ConstantRate(%v).Validate() = %v, want nil", float64(c.rate), err)
+		}
+		if c.want != "" && (err == nil || !strings.Contains(err.Error(), c.want)) {
+			t.Errorf("ConstantRate(%v).Validate() = %v, want %q", float64(c.rate), err, c.want)
+		}
+	}
+}
+
+func TestDiurnalValidate(t *testing.T) {
+	valid := Diurnal{Base: 1000, Amplitude: 500, Period: des.Second, Floor: 10}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid diurnal rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Diurnal)
+		want string
+	}{
+		{"zero period", func(d *Diurnal) { d.Period = 0 }, "period must be positive"},
+		{"negative period", func(d *Diurnal) { d.Period = -des.Second }, "period must be positive"},
+		{"negative base", func(d *Diurnal) { d.Base = -1 }, "base must be >= 0"},
+		{"negative amplitude", func(d *Diurnal) { d.Amplitude = -1 }, "amplitude must be >= 0"},
+		{"negative floor", func(d *Diurnal) { d.Floor = -1 }, "floor must be >= 0"},
+		{"nan base", func(d *Diurnal) { d.Base = math.NaN() }, "must be finite"},
+		{"inf amplitude", func(d *Diurnal) { d.Amplitude = math.Inf(1) }, "must be finite"},
+	}
+	for _, c := range cases {
+		d := valid
+		c.mut(&d)
+		err := d.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBurstValidate(t *testing.T) {
+	valid := Burst{BaseRate: 1000, BurstRate: 5000, MeanOn: des.Second, MeanOff: 2 * des.Second}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid burst rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Burst)
+		want string
+	}{
+		{"negative base", func(b *Burst) { b.BaseRate = -1 }, "base_rate must be >= 0"},
+		{"negative burst", func(b *Burst) { b.BurstRate = -1 }, "burst_rate must be >= 0"},
+		{"zero mean on", func(b *Burst) { b.MeanOn = 0 }, "mean_on must be positive"},
+		{"negative mean on", func(b *Burst) { b.MeanOn = -des.Second }, "mean_on must be positive"},
+		{"zero mean off", func(b *Burst) { b.MeanOff = 0 }, "mean_off must be positive"},
+		{"nan rate", func(b *Burst) { b.BaseRate = math.NaN() }, "must be finite"},
+	}
+	for _, c := range cases {
+		b := valid
+		c.mut(&b)
+		err := b.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestOpenLoopRejectsInvalidPattern pins that construction fails fast on a
+// degenerate pattern rather than deferring misbehaviour to mid-run.
+func TestOpenLoopRejectsInvalidPattern(t *testing.T) {
+	eng := des.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOpenLoop accepted a zero-period diurnal")
+		}
+	}()
+	NewOpenLoop(eng, rng.New(1), Diurnal{Base: 100, Period: 0}, func(des.Time) {})
+}
+
+// TestOpenLoopZeroConstantRate: a zero-rate constant pattern is valid and
+// must poll rather than divide by zero or busy-loop at one instant.
+func TestOpenLoopZeroConstantRate(t *testing.T) {
+	eng := des.New()
+	n := 0
+	g := NewOpenLoop(eng, rng.New(1), ConstantRate(0), func(des.Time) { n++ })
+	g.Start(0)
+	eng.RunUntil(100 * des.Millisecond) // must terminate
+	if n != 0 {
+		t.Fatalf("zero-rate generator emitted %d arrivals", n)
+	}
+}

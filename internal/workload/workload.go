@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 
 	"uqsim/internal/des"
@@ -17,11 +18,32 @@ type Pattern interface {
 	RateAt(t des.Time) float64
 }
 
+// Validator is implemented by patterns that can reject degenerate
+// parameters. Config loaders call it to return errors; NewOpenLoop calls
+// it to panic early on programmatic misuse, so a bad flash-crowd ramp or
+// zero-period diurnal fails at construction instead of looping or dividing
+// by zero mid-run.
+type Validator interface {
+	Validate() error
+}
+
 // ConstantRate is a fixed requests-per-second target.
 type ConstantRate float64
 
 // RateAt implements Pattern.
 func (c ConstantRate) RateAt(des.Time) float64 { return float64(c) }
+
+// Validate rejects negative or non-finite rates. Zero is allowed: it is a
+// legitimate "no load" source (the generator idles and polls).
+func (c ConstantRate) Validate() error {
+	if math.IsNaN(float64(c)) || math.IsInf(float64(c), 0) {
+		return fmt.Errorf("workload: constant rate must be finite, got %v", float64(c))
+	}
+	if c < 0 {
+		return fmt.Errorf("workload: constant rate must be >= 0, got %v", float64(c))
+	}
+	return nil
+}
 
 // Diurnal is a sinusoidal day/night load pattern (the paper's Fig. 15):
 // rate(t) = Base + Amplitude · sin(2π·t/Period + Phase), floored at Floor.
@@ -40,6 +62,34 @@ func (d Diurnal) RateAt(t des.Time) float64 {
 	}
 	r := d.Base + d.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(d.Period)+d.Phase)
 	return math.Max(r, d.Floor)
+}
+
+// Validate rejects a zero or negative period (the pattern would silently
+// flatline at Base) and parameters that could yield negative or non-finite
+// rates. The amplitude may exceed the base only when a nonnegative floor
+// clamps the trough.
+func (d Diurnal) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"base", d.Base}, {"amplitude", d.Amplitude}, {"phase", d.Phase}, {"floor", d.Floor}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("workload: diurnal %s must be finite, got %v", f.name, f.v)
+		}
+	}
+	if d.Period <= 0 {
+		return fmt.Errorf("workload: diurnal period must be positive, got %v", d.Period)
+	}
+	if d.Base < 0 {
+		return fmt.Errorf("workload: diurnal base must be >= 0, got %v", d.Base)
+	}
+	if d.Amplitude < 0 {
+		return fmt.Errorf("workload: diurnal amplitude must be >= 0, got %v (shift the phase instead)", d.Amplitude)
+	}
+	if d.Floor < 0 {
+		return fmt.Errorf("workload: diurnal floor must be >= 0, got %v", d.Floor)
+	}
+	return nil
 }
 
 // Burst is a two-state Markov-modulated (ON/OFF) rate pattern: the load
@@ -81,6 +131,31 @@ func (b *Burst) RateAt(t des.Time) float64 {
 		return b.BaseRate + b.BurstRate
 	}
 	return b.BaseRate
+}
+
+// Validate rejects negative rates and nonpositive mean phase durations.
+// RateAt substitutes defensively (a zero mean hold would otherwise flip
+// states forever at one instant), but configuration should be rejected
+// up front, not silently repaired.
+func (b *Burst) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"base_rate", b.BaseRate}, {"burst_rate", b.BurstRate}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("workload: burst %s must be finite, got %v", f.name, f.v)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("workload: burst %s must be >= 0, got %v", f.name, f.v)
+		}
+	}
+	if b.MeanOn <= 0 {
+		return fmt.Errorf("workload: burst mean_on must be positive, got %v", b.MeanOn)
+	}
+	if b.MeanOff <= 0 {
+		return fmt.Errorf("workload: burst mean_off must be positive, got %v", b.MeanOff)
+	}
+	return nil
 }
 
 func (b *Burst) holdTime() des.Time {
@@ -127,9 +202,16 @@ type OpenLoop struct {
 }
 
 // NewOpenLoop builds a generator on the engine with a dedicated stream.
+// Patterns implementing Validator are checked here; config loaders should
+// validate first to surface the error instead of the panic.
 func NewOpenLoop(eng des.Scheduler, r *rng.Source, pattern Pattern, emit func(now des.Time)) *OpenLoop {
 	if pattern == nil || emit == nil {
 		panic("workload: open-loop generator needs a pattern and an emit callback")
+	}
+	if v, ok := pattern.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			panic(err.Error())
+		}
 	}
 	return &OpenLoop{Emit: emit, Pattern: pattern, eng: eng, r: r}
 }

@@ -44,6 +44,7 @@ import (
 	"uqsim/internal/farm"
 	"uqsim/internal/fault"
 	"uqsim/internal/graph"
+	"uqsim/internal/hybrid"
 	"uqsim/internal/monitor"
 	"uqsim/internal/netfault"
 	"uqsim/internal/pdes"
@@ -248,6 +249,40 @@ const (
 	Poisson = workload.Poisson
 	Uniform = workload.Uniform
 )
+
+// ---- session-based user flows ----
+
+// SessionConfig drives the client with a population of journey-walking
+// users instead of a bare arrival rate; set it as ClientConfig.Sessions.
+// The population is a first-class signal: phased ramps, flash crowds, and
+// on/off bursty users compose into the offered load.
+type SessionConfig = workload.SessionConfig
+
+// Journey is a weighted multi-step user flow (browse → search → buy).
+type Journey = workload.Journey
+
+// SessionStep is one step of a journey: think, then issue a request tree.
+type SessionStep = workload.SessionStep
+
+// PopPhase is one knot of the piecewise-linear population envelope.
+type PopPhase = workload.PopPhase
+
+// FlashCrowd superimposes a transient trapezoid of extra users.
+type FlashCrowd = workload.FlashCrowd
+
+// OnOff makes every user alternate active and silent periods.
+type OnOff = workload.OnOff
+
+// ---- hybrid fidelity ----
+
+// HybridConfig splits the workload into a sampled foreground simulated at
+// full discrete-event fidelity and a fluid background carried as per-epoch
+// M/M/k equilibria that inject queueing wait into sampled requests;
+// install with Sim.SetHybrid. SampleRate 1.0 is bit-identical to full
+// fidelity; smaller rates trade per-request variance for the capacity to
+// carry million-user populations. Report.BackgroundArrivals/
+// BackgroundCompletions/BackgroundShed account the fluid tier's traffic.
+type HybridConfig = hybrid.Config
 
 // ---- measurements ----
 
