@@ -226,7 +226,13 @@ func (st *State) Start(eng des.Scheduler, at, warmupEnd des.Time) {
 
 // eval freezes the equilibrium for the epoch starting at t.
 func (st *State) eval(t des.Time) {
-	offered := math.Max(st.rate(t), 0)
+	offered := st.rate(t)
+	if math.IsNaN(offered) || math.IsInf(offered, 0) || offered < 0 {
+		// A misbehaving rate function (e.g. a degenerate fixed point) must
+		// not poison the accrual integrals: a non-finite rate accrued once
+		// would corrupt every later Snapshot.
+		offered = 0
+	}
 	st.lastEval = t
 	st.lastRate = offered
 	st.lastServe = 1
@@ -338,8 +344,8 @@ type Snapshot struct {
 
 // Snapshot resolves the accrued background flow.
 func (st *State) Snapshot() Snapshot {
-	arr := int64(math.Round(st.bgArr))
-	shed := int64(math.Round(st.bgShed))
+	arr := roundCount(st.bgArr)
+	shed := roundCount(st.bgShed)
 	if shed > arr {
 		shed = arr
 	}
@@ -349,6 +355,19 @@ func (st *State) Snapshot() Snapshot {
 		Shed:            shed,
 		SaturatedEpochs: st.satEpochs,
 	}
+}
+
+// roundCount resolves a fractional accrual to a whole-request count,
+// saturating instead of invoking the undefined float→int64 conversion on
+// non-finite or overflowing values.
+func roundCount(v float64) int64 {
+	switch {
+	case math.IsNaN(v) || v <= 0:
+		return 0
+	case v >= float64(1<<62):
+		return 1 << 62
+	}
+	return int64(math.Round(v))
 }
 
 // Attach registers background-tier gauges on the monitor so dashboards

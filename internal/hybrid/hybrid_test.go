@@ -175,6 +175,48 @@ func TestInertAtFullSampleRate(t *testing.T) {
 	}
 }
 
+// TestNonFiniteRateClamped: a degenerate rate function (Inf, NaN, or
+// negative — e.g. a fixed point solved under total outage) must not poison
+// the accrual integrals; the snapshot stays at finite, conserving counts.
+func TestNonFiniteRateClamped(t *testing.T) {
+	for _, bad := range []float64{math.Inf(1), math.NaN(), -5} {
+		eng := des.New()
+		st, err := New(Config{SampleRate: 0.1}, oneService(4, 0.010),
+			func(des.Time) float64 { return bad }, rng.NewSplitter(3).Child("hybrid"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Start(eng, 0, 0)
+		eng.RunUntil(des.Second)
+		st.Finish(des.Second)
+		snap := st.Snapshot()
+		if snap.Arrivals != 0 || snap.Completions != 0 || snap.Shed != 0 {
+			t.Fatalf("rate %v: snapshot %+v, want zero counts", bad, snap)
+		}
+	}
+}
+
+// TestRoundCountSaturates: the float→int64 resolution must clamp rather
+// than hit the undefined conversion on non-finite or overflowing values.
+func TestRoundCountSaturates(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0},
+		{-3, 0},
+		{math.NaN(), 0},
+		{2.6, 3},
+		{math.Inf(1), 1 << 62},
+		{1e300, 1 << 62},
+	}
+	for _, c := range cases {
+		if got := roundCount(c.in); got != c.want {
+			t.Errorf("roundCount(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
 // TestSaturatedWaitCapped: saturated services inject the capped wait, not
 // an unbounded draw.
 func TestSaturatedWaitCapped(t *testing.T) {

@@ -147,7 +147,10 @@ func (s *Sim) setupHybrid(warmupEnd des.Time) error {
 	} else {
 		base := s.clientCfg.Pattern
 		rate = func(t des.Time) float64 { return base.RateAt(t) }
-		s.clientCfg.Pattern = &thinnedPattern{base: base, f: cfg.SampleRate}
+		// The thinned pattern is run-local: mutating the stored client
+		// config would compound the thinning (rate · sampleRate²) on a
+		// subsequent Run of the same Sim.
+		s.fgPattern = &thinnedPattern{base: base, f: cfg.SampleRate}
 	}
 
 	st, err := hybrid.New(cfg, svcs, rate, s.split)
@@ -244,11 +247,19 @@ func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
 	base := thinkS
 	for i := range svcs {
 		sv := &svcs[i]
+		if sv.Visits <= 0 {
+			continue
+		}
 		base += sv.Visits * sv.MeanServiceS
-		if k := sv.Servers(); k > 0 && sv.Visits > 0 {
-			if c := float64(k) / sv.MeanServiceS / sv.Visits; c < capacity {
-				capacity = c
-			}
+		k := sv.Servers()
+		if k <= 0 {
+			// Total outage of a required service (every replica down under
+			// a fault plan): closed users pile up behind it and the system
+			// delivers nothing until it recovers.
+			return 0
+		}
+		if c := float64(k) / sv.MeanServiceS / sv.Visits; c < capacity {
+			capacity = c
 		}
 	}
 	if base <= 0 {
@@ -275,6 +286,12 @@ func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
 			r += sv.Visits * w
 		}
 		if saturated {
+			if math.IsInf(capacity, 1) {
+				// No finite bottleneck to clamp to (defensive: the zero-
+				// server scan above should have caught this) — report zero
+				// throughput rather than letting Inf leak into accrual.
+				return 0
+			}
 			lam = 0.999 * capacity
 			continue
 		}
@@ -283,6 +300,9 @@ func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
 			next = 0.999 * capacity
 		}
 		lam = 0.5*lam + 0.5*next
+	}
+	if math.IsNaN(lam) || math.IsInf(lam, 0) || lam < 0 {
+		return 0
 	}
 	return lam
 }

@@ -23,6 +23,7 @@ func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
 	s.warmupEnd = warmup
 	horizon := warmup + duration
 	s.installOverload()
+	s.fgPattern = nil
 	if s.hybridCfg != nil {
 		if err := s.setupHybrid(warmup); err != nil {
 			return nil, err
@@ -61,7 +62,11 @@ func (s *Sim) Run(warmup, duration des.Time) (*Report, error) {
 		sess.Start(0)
 		defer sess.Stop()
 	} else {
-		gen := workload.NewOpenLoop(s.eng, s.clientRNG, s.clientCfg.Pattern, s.onArrival)
+		pat := s.clientCfg.Pattern
+		if s.fgPattern != nil {
+			pat = s.fgPattern // hybrid fidelity: sampled-foreground thinning
+		}
+		gen := workload.NewOpenLoop(s.eng, s.clientRNG, pat, s.onArrival)
 		gen.Proc = s.clientCfg.Proc
 		gen.Start(0)
 		defer gen.Stop()

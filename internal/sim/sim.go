@@ -179,6 +179,10 @@ type Sim struct {
 	fluidIdx  map[string]int
 	sampleRNG *rng.Source
 	hybridMon hybrid.GaugeRegistry
+	// fgPattern is the run-local thinned arrival pattern the open-loop
+	// generator uses under hybrid fidelity; the stored client config keeps
+	// the unthinned pattern so it is never thinned twice.
+	fgPattern workload.Pattern
 	// loadScale multiplies the open-loop arrival rate; nil until the
 	// first LoadStep fault wraps the client pattern. LoadStep events
 	// write through it, so the generator sees rate changes live.

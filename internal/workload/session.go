@@ -126,6 +126,10 @@ func (c *SessionConfig) Validate() error {
 			return fmt.Errorf("workload: population phases must be sorted by time (phase %d at %v after phase %d at %v)",
 				i-1, c.Phases[i-1].At, i, p.At)
 		}
+		if i > 0 && c.Phases[i-1].At+c.Phases[i-1].Ramp > p.At {
+			return fmt.Errorf("workload: population phase %d ramp ends at %v, overlapping phase %d start %v",
+				i-1, c.Phases[i-1].At+c.Phases[i-1].Ramp, i, p.At)
+		}
 	}
 	for i, f := range c.Crowds {
 		if f.Extra <= 0 {
@@ -282,12 +286,16 @@ type Sessions struct {
 	eng   des.Scheduler
 	split *rng.Splitter
 
-	users    map[int]*sessionUser
-	order    []int // spawn order, for LIFO retirement
-	nextID   int
-	bgUsers  int
-	jCum     []float64
-	stopTick bool
+	users   map[int]*sessionUser
+	order   []int // spawn order, for LIFO retirement
+	nextID  int
+	bgUsers int
+	// pendingRetire counts simulated users marked retiring but not yet
+	// departed: they still hold map slots until their next step boundary,
+	// so population control must not count them as excess again.
+	pendingRetire int
+	jCum          []float64
+	stopTick      bool
 }
 
 // NewSessions builds a session source. The splitter must be dedicated to
@@ -344,7 +352,10 @@ func (s *Sessions) Start(at des.Time) {
 func (s *Sessions) Stop() {
 	s.stopTick = true
 	for _, u := range s.users {
-		u.retiring = true
+		if !u.retiring {
+			u.retiring = true
+			s.pendingRetire++
+		}
 	}
 }
 
@@ -358,9 +369,14 @@ func (s *Sessions) BackgroundUsers() int { return s.bgUsers }
 func (s *Sessions) SimulatedUsers() int { return len(s.users) }
 
 // adjust reconciles the live population with the target at time t.
+// Retiring users still occupy their slots until the next step boundary —
+// with think times longer than the poll tick that can span many ticks —
+// so the deficit is measured against the settled population (live minus
+// pending retirements); counting retirees as excess every tick would
+// cascade a small ramp-down into retiring the whole population.
 func (s *Sessions) adjust(now des.Time) {
 	target := s.cfg.PopulationAt(now)
-	cur := s.ActiveUsers()
+	cur := s.ActiveUsers() - s.pendingRetire
 	for cur < target {
 		s.spawn(now)
 		cur++
@@ -408,14 +424,21 @@ func (s *Sessions) retire(n int) {
 			continue
 		}
 		u.retiring = true
+		s.pendingRetire++
 		n--
 	}
 }
 
 func (s *Sessions) pickJourney(r *rng.Source) int {
-	total := s.jCum[len(s.jCum)-1]
-	x := r.Float64() * total
-	return sort.SearchFloat64s(s.jCum, x)
+	return s.journeyAt(r.Float64() * s.jCum[len(s.jCum)-1])
+}
+
+// journeyAt maps a draw x ∈ [0, total) to the journey whose cumulative
+// weight interval contains it. The search is strictly-greater so a draw
+// landing exactly on a boundary belongs to the next interval — zero-weight
+// journeys have empty intervals and are unreachable for every draw.
+func (s *Sessions) journeyAt(x float64) int {
+	return sort.Search(len(s.jCum), func(i int) bool { return s.jCum[i] > x })
 }
 
 // issueAfterThink schedules user id's next request after the current
@@ -477,6 +500,9 @@ func (s *Sessions) Done(now des.Time, user int) {
 
 func (s *Sessions) depart(id int, u *sessionUser) {
 	u.gone = true
+	if u.retiring && s.pendingRetire > 0 {
+		s.pendingRetire--
+	}
 	delete(s.users, id)
 	for i := len(s.order) - 1; i >= 0; i-- {
 		if s.order[i] == id {

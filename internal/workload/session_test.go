@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -54,6 +55,18 @@ func TestSessionConfigValidate(t *testing.T) {
 		{"negative ramp", func(c *SessionConfig) {
 			c.Phases = []PopPhase{{At: des.Second, Users: 3, Ramp: -des.Second}}
 		}, "times must be >= 0"},
+		{"overlapping ramp", func(c *SessionConfig) {
+			c.Phases = []PopPhase{
+				{At: des.Second, Users: 10, Ramp: 3 * des.Second},
+				{At: 2 * des.Second, Users: 20},
+			}
+		}, "overlapping phase"},
+		{"ramp ending at next start", func(c *SessionConfig) {
+			c.Phases = []PopPhase{
+				{At: des.Second, Users: 10, Ramp: des.Second},
+				{At: 2 * des.Second, Users: 20},
+			}
+		}, ""},
 		{"flash crowd zero extra", func(c *SessionConfig) {
 			c.Crowds = []FlashCrowd{{At: des.Second, Extra: 0}}
 		}, "extra users must be positive"},
@@ -260,6 +273,72 @@ func TestSessionsPopulationControl(t *testing.T) {
 	eng.RunUntil(des.Second) // long after ramp-down; retirees need a step boundary
 	if got := sess.ActiveUsers(); got != 5 {
 		t.Fatalf("post-crowd population %d, want 5", got)
+	}
+}
+
+// TestSessionsRampDownNoChurn: a ramp-down retires exactly the excess
+// users. Retirees linger until their next step boundary — with think times
+// longer than the population poll tick that spans many ticks — and must
+// not be re-counted as excess, which would cascade into retiring the whole
+// population and respawning fresh users (visible as user ids beyond the
+// initial cohort).
+func TestSessionsRampDownNoChurn(t *testing.T) {
+	eng := des.New()
+	cfg := SessionConfig{
+		Users: 20,
+		Journeys: []Journey{{Name: "browse", Weight: 1, Steps: []SessionStep{
+			{Tree: 0, Think: dist.NewExponential(50e6)}, // 50ms mean ≫ 10ms pop tick
+		}}},
+		Phases: []PopPhase{{At: 100 * des.Millisecond, Users: 10}},
+	}
+	maxUser := -1
+	var sess *Sessions
+	emit := func(now des.Time, user, tree int) {
+		if user > maxUser {
+			maxUser = user
+		}
+		eng.Post(now+des.Millisecond, func(t des.Time) { sess.Done(t, user) })
+	}
+	sess, err := NewSessions(eng, rng.NewSplitter(5).Child("sessions"), cfg, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Start(0)
+	eng.RunUntil(des.Second)
+	if got := sess.ActiveUsers(); got != 10 {
+		t.Fatalf("post-ramp-down population %d, want 10", got)
+	}
+	if maxUser >= 20 {
+		t.Fatalf("saw user id %d: ramp-down churned the population instead of retiring 10 users", maxUser)
+	}
+}
+
+// TestJourneyAtBoundaries: zero-weight journeys are unreachable and a draw
+// landing exactly on a cumulative boundary belongs to the next interval.
+func TestJourneyAtBoundaries(t *testing.T) {
+	build := func(weights ...float64) *Sessions {
+		cfg := SessionConfig{Users: 1}
+		for i, w := range weights {
+			cfg.Journeys = append(cfg.Journeys, Journey{
+				Name: fmt.Sprint("j", i), Weight: w, Steps: []SessionStep{{Tree: 0}},
+			})
+		}
+		s, err := NewSessions(des.New(), rng.NewSplitter(1).Child("sessions"), cfg,
+			func(des.Time, int, int) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	zeroFirst := build(0, 1)
+	if got := zeroFirst.journeyAt(0); got != 1 {
+		t.Errorf("journeyAt(0) with weights [0,1] = %d, want 1 (zero-weight journey unreachable)", got)
+	}
+	zeroMid := build(1, 0, 1)
+	for x, want := range map[float64]int{0: 0, 0.5: 0, 1: 2, 1.5: 2} {
+		if got := zeroMid.journeyAt(x); got != want {
+			t.Errorf("journeyAt(%v) with weights [1,0,1] = %d, want %d", x, got, want)
+		}
 	}
 }
 
