@@ -87,7 +87,10 @@ fuzz:
 # chaos runs a short seeded fault-schedule search against the metastable
 # config as a smoke (CI runs this); findings land in a throwaway corpus so
 # the committed one only changes deliberately. Exit 3 (findings exist) is
-# expected on this intentionally fragile config. Longer local hunts:
+# expected on this intentionally fragile config. A second short search
+# runs in hybrid mode against the robust config, where any finding —
+# including a cross-fidelity fingerprint divergence — is a hard failure.
+# Longer local hunts:
 #   make chaos CHAOS_TRIALS=200 CHAOS_MAX_WALL=10m
 CHAOS_TRIALS ?= 3
 CHAOS_MAX_WALL ?= 2m
@@ -96,8 +99,12 @@ chaos:
 	$(GO) build -o $$out/uqsim-chaos ./cmd/uqsim-chaos || exit 1; \
 	$$out/uqsim-chaos -config configs/metastable -trials $(CHAOS_TRIALS) \
 		-seed 1 -corpus $$out/corpus -max-wall $(CHAOS_MAX_WALL); rc=$$?; \
+	if [ $$rc -ne 0 ] && [ $$rc -ne 3 ]; then rm -rf $$out; exit $$rc; fi; \
+	$$out/uqsim-chaos -config configs/robust -fidelity hybrid -sample-rate 0.25 \
+		-trials $(CHAOS_TRIALS) -seed 1 -corpus $$out/corpus-hybrid \
+		-max-wall $(CHAOS_MAX_WALL); rc=$$?; \
 	rm -rf $$out; \
-	if [ $$rc -ne 0 ] && [ $$rc -ne 3 ]; then exit $$rc; fi
+	if [ $$rc -ne 0 ]; then echo "hybrid-mode chaos search must stay clean"; exit $$rc; fi
 
 # farm smoke-tests the fault-tolerant experiment farm end to end: a small
 # sweep fanned out across FARM_WORKERS crash-recovering workers with the

@@ -8,6 +8,7 @@
 //	uqsim-chaos -config configs/metastable -trials 50
 //	uqsim-chaos -config configs/metastable -seed 7 -corpus corpus/
 //	uqsim-chaos -config configs/metastable -max-wall 2m
+//	uqsim-chaos -config configs/metastable -fidelity hybrid -sample-rate 0.2
 //	uqsim-chaos -replay configs/metastable/corpus/trial0000-recovery-goodput -config configs/metastable
 //
 // SIGINT/SIGTERM and the -max-wall watchdog stop the current simulation
@@ -38,6 +39,8 @@ func main() {
 	maxWall := flag.Duration("max-wall", 0, "stop after this much wall-clock time, keep partial corpus, exit nonzero")
 	maxActions := flag.Int("max-actions", 0, "max fault actions per scenario (default 6)")
 	replay := flag.String("replay", "", "replay one corpus entry directory instead of searching")
+	fidelity := flag.String("fidelity", "", `fidelity scenarios run at: "full" or "hybrid" (hybrid also checks the cross-fidelity invariant)`)
+	sampleRate := flag.Float64("sample-rate", 0, "hybrid foreground sample rate override (requires -fidelity hybrid or a hybrid config)")
 	quiet := flag.Bool("q", false, "suppress per-trial progress")
 	flag.Parse()
 
@@ -48,7 +51,7 @@ func main() {
 	wd := cli.StartWatchdog(*maxWall)
 
 	if *replay != "" {
-		runReplay(*configDir, *replay)
+		runReplay(*configDir, *replay, *fidelity, *sampleRate)
 		return
 	}
 
@@ -68,6 +71,8 @@ func main() {
 		Trials:      *trials,
 		CorpusDir:   *corpus,
 		MaxActions:  *maxActions,
+		Fidelity:    *fidelity,
+		SampleRate:  *sampleRate,
 		Interrupted: wd.Interrupted,
 		Logf:        logf,
 	})
@@ -98,8 +103,8 @@ func main() {
 
 // runReplay re-runs one corpus entry and reports whether it still
 // reproduces the recorded finding bit-for-bit.
-func runReplay(configDir, entry string) {
-	res, err := chaos.Replay(configDir, entry)
+func runReplay(configDir, entry, fidelity string, sampleRate float64) {
+	res, err := chaos.ReplayWith(configDir, entry, fidelity, sampleRate)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uqsim-chaos:", err)
 		os.Exit(cli.ExitPartial)

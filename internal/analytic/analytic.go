@@ -123,6 +123,42 @@ func MMkWaitDist(lambda, mu float64, k int) (pWait, condRate float64) {
 	return ErlangC(k, lambda/mu), float64(k)*mu - lambda
 }
 
+// MMkTimeoutProb is the probability an M/M/k queue wait exceeds timeoutS
+// seconds: P(W > t) = C(k, a)·e^{−(kµ−λ)t}, the tail of the Erlang-C
+// mixed distribution (an atom at zero plus an Exp(kµ−λ) excess). The
+// timeout is compared against queueing delay only — an attempt that
+// reaches a server is assumed to finish — which makes it the natural
+// per-attempt failure probability for a mean-field retry model. Saturated
+// or degenerate inputs return 1: every attempt waits forever and times
+// out. A non-positive timeout with retries configured would mean every
+// attempt fails instantly; it also returns 1.
+func MMkTimeoutProb(lambda, mu float64, k int, timeoutS float64) float64 {
+	if timeoutS <= 0 {
+		return 1
+	}
+	pWait, condRate := MMkWaitDist(lambda, mu, k)
+	if condRate <= 0 {
+		return pWait // saturated: (1, 0) — the whole mass times out
+	}
+	return pWait * math.Exp(-condRate*timeoutS)
+}
+
+// RetryAttempts is the expected number of attempts of an RPC edge that
+// retries up to `retries` times with per-attempt failure probability p:
+// E[attempts] = Σ_{j=0..retries} p^j = (1 − p^{retries+1}) / (1 − p).
+// This is the mean-field amplification factor retry storms apply to a
+// service's offered rate. p is clamped into [0, 1]; p == 1 returns the
+// full retries+1 budget.
+func RetryAttempts(p float64, retries int) float64 {
+	if retries <= 0 || p <= 0 || math.IsNaN(p) {
+		return 1
+	}
+	if p >= 1 {
+		return float64(retries + 1)
+	}
+	return (1 - math.Pow(p, float64(retries+1))) / (1 - p)
+}
+
 // MMkMeanQueueLength is the mean number of waiting (not in-service) jobs
 // of M/M/k by Little's law: Lq = λ·Wq. Saturated inputs return the
 // sentinel.

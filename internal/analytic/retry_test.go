@@ -1,0 +1,50 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMMkTimeoutProb pins the equilibrium per-attempt timeout probability
+// P[W > t] = pWait·e^(−(kµ−λ)t) and its edge cases.
+func TestMMkTimeoutProb(t *testing.T) {
+	const mu, k = 100.0, 4
+	pWait, cond := MMkWaitDist(240, mu, k)
+	want := pWait * math.Exp(-cond*0.010)
+	if got := MMkTimeoutProb(240, mu, k, 0.010); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("timeout prob = %v, want %v", got, want)
+	}
+	if got := MMkTimeoutProb(240, mu, k, 0); got != 1 {
+		t.Fatalf("zero timeout prob = %v, want 1 (every attempt expires)", got)
+	}
+	if got := MMkTimeoutProb(500, mu, k, 0.010); got != 1 {
+		t.Fatalf("saturated timeout prob = %v, want 1", got)
+	}
+	if got := MMkTimeoutProb(1, mu, k, 10); got > 1e-12 {
+		t.Fatalf("idle long-timeout prob = %v, want ~0", got)
+	}
+}
+
+// TestRetryAttempts pins E[attempts] = (1−p^(R+1))/(1−p) under a
+// per-attempt failure probability p and R retries.
+func TestRetryAttempts(t *testing.T) {
+	cases := []struct {
+		p       float64
+		retries int
+		want    float64
+	}{
+		{0, 3, 1},
+		{0.5, 0, 1},
+		{0.5, 1, 1.5},
+		{0.5, 3, 1.875},
+		{1, 3, 4},
+		{1.5, 3, 4}, // clamped: p cannot exceed certainty
+		{math.NaN(), 3, 1},
+		{-0.2, 3, 1},
+	}
+	for _, c := range cases {
+		if got := RetryAttempts(c.p, c.retries); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RetryAttempts(%v, %d) = %v, want %v", c.p, c.retries, got, c.want)
+		}
+	}
+}

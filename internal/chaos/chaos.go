@@ -63,6 +63,15 @@ type Options struct {
 	// Workers lists the parallel-engine worker counts checked against the
 	// sequential fingerprint (default 2 and 4).
 	Workers []int
+	// Fidelity selects the fidelity every scenario runs at: "" or "full"
+	// for pure DES, "hybrid" for sampled-foreground + fluid-background
+	// (see config.ApplyFidelity). Hybrid mode additionally checks the
+	// cross-fidelity invariant: a sample-rate-1.0 hybrid run must stay
+	// bit-identical to full DES under every generated fault schedule.
+	Fidelity string
+	// SampleRate overrides the hybrid foreground sample rate (default
+	// 0.01 when Fidelity is "hybrid").
+	SampleRate float64
 	// Interrupted, when non-nil, is polled between runs (wire it to
 	// cli.Watchdog.Interrupted) so a signal stops the search cleanly.
 	Interrupted func() bool

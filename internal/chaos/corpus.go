@@ -168,6 +168,15 @@ func (r *ReplayResult) Matches() bool {
 // committed corpus is replayed in CI, so every archived chaos finding
 // stays a live regression test.
 func Replay(configDir, entryDir string) (*ReplayResult, error) {
+	return ReplayWith(configDir, entryDir, "", 0)
+}
+
+// ReplayWith is Replay at an explicit fidelity (see config.ApplyFidelity):
+// "hybrid" with sample rate 1.0 must still Match the recorded full-DES
+// finding bit-for-bit (the inertness contract), while sampled rates
+// re-judge the invariants — conservation in particular — on the hybrid
+// tier's own books and are not expected to reproduce the fingerprint.
+func ReplayWith(configDir, entryDir, fidelity string, sampleRate float64) (*ReplayResult, error) {
 	metaData, err := os.ReadFile(filepath.Join(entryDir, "meta.json"))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
@@ -184,7 +193,7 @@ func Replay(configDir, entryDir string) (*ReplayResult, error) {
 	if err := json.Unmarshal(faultsJSON, &ff); err != nil {
 		return nil, fmt.Errorf("chaos: %s/faults.json: %w", entryDir, err)
 	}
-	h, err := NewHarness(Options{ConfigDir: configDir})
+	h, err := NewHarness(Options{ConfigDir: configDir, Fidelity: fidelity, SampleRate: sampleRate})
 	if err != nil {
 		return nil, err
 	}

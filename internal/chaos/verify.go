@@ -47,7 +47,7 @@ func (h *Harness) Verify(sc Scenario) (*Violation, string, error) {
 func (h *Harness) verifyFaults(seed uint64, faultsJSON []byte, ff *config.FaultsFile) (*Violation, string, error) {
 	winStart := h.recoveryWindowStart(ff)
 
-	run, err := h.runOnce(h.docs, seed, 1, faultsJSON, winStart)
+	run, err := h.runOnce(h.docs, seed, 1, faultsJSON, winStart, h.opts.Fidelity, h.opts.SampleRate)
 	if err != nil {
 		return nil, "", err
 	}
@@ -110,7 +110,7 @@ func (h *Harness) verifyFaults(seed uint64, faultsJSON []byte, ff *config.Faults
 	// Determinism: the parallel engine must reproduce the sequential
 	// fingerprint bit-for-bit at every worker count.
 	for _, w := range h.opts.Workers {
-		prun, err := h.runOnce(h.docs, seed, w, faultsJSON, 0)
+		prun, err := h.runOnce(h.docs, seed, w, faultsJSON, 0, h.opts.Fidelity, h.opts.SampleRate)
 		if err != nil {
 			return nil, "", err
 		}
@@ -121,8 +121,32 @@ func (h *Harness) verifyFaults(seed uint64, faultsJSON []byte, ff *config.Faults
 			}, fp, nil
 		}
 	}
+	// Cross-fidelity: in hybrid mode, a sample-rate-1.0 hybrid run is
+	// contractually inert — no extra random draws, no background
+	// accounting — so its fingerprint must match full DES bit-for-bit
+	// under this fault schedule too.
+	if h.hybridMode() {
+		full, err := h.runOnce(h.docs, seed, 1, faultsJSON, 0, "full", 0)
+		if err != nil {
+			return nil, "", err
+		}
+		inert, err := h.runOnce(h.docs, seed, 1, faultsJSON, 0, "hybrid", 1)
+		if err != nil {
+			return nil, "", err
+		}
+		if inert.fingerprint != full.fingerprint {
+			return &Violation{
+				ID:     "cross-fidelity",
+				Detail: fmt.Sprintf("hybrid sample-rate-1.0 fingerprint diverges from full DES:\n  full:   %s\n  hybrid: %s", full.fingerprint, inert.fingerprint),
+			}, fp, nil
+		}
+	}
 	return nil, fp, nil
 }
+
+// hybridMode reports whether the search runs its scenarios at hybrid
+// fidelity, which arms the cross-fidelity invariant.
+func (h *Harness) hybridMode() bool { return strings.EqualFold(h.opts.Fidelity, "hybrid") }
 
 // runResult is one completed simulation plus its measurements.
 type runResult struct {
@@ -156,10 +180,11 @@ func (r *runResult) drain(h *Harness) error {
 }
 
 // runOnce assembles and runs one simulation: the given seed and engine
-// worker count, the materialized fault plan, and — when winStart > 0 — a
+// worker count, the materialized fault plan, the fidelity overrides
+// (passed through config.ApplyFidelity), and — when winStart > 0 — a
 // recovery-window measurement hook counting goodput and latencies of
 // requests finishing at or after winStart.
-func (h *Harness) runOnce(docs *config.BaseDocs, seed uint64, workers int, faultsJSON []byte, winStart des.Time) (*runResult, error) {
+func (h *Harness) runOnce(docs *config.BaseDocs, seed uint64, workers int, faultsJSON []byte, winStart des.Time, fidelity string, sampleRate float64) (*runResult, error) {
 	if h.opts.Interrupted() {
 		return nil, ErrInterrupted
 	}
@@ -173,6 +198,9 @@ func (h *Harness) runOnce(docs *config.BaseDocs, seed uint64, workers int, fault
 	}
 	setup, err := seeded.Assemble(faultsJSON)
 	if err != nil {
+		return nil, err
+	}
+	if err := config.ApplyFidelity(setup.Sim, fidelity, sampleRate); err != nil {
 		return nil, err
 	}
 	res := &runResult{sim: setup.Sim, horizon: setup.Warmup + setup.Duration}
@@ -221,7 +249,7 @@ func (h *Harness) baseline(seed uint64, winStart des.Time) (*windowStats, error)
 	if err != nil {
 		return nil, err
 	}
-	run, err := h.runOnce(h.docs, seed, 1, faultsJSON, winStart)
+	run, err := h.runOnce(h.docs, seed, 1, faultsJSON, winStart, h.opts.Fidelity, h.opts.SampleRate)
 	if err != nil {
 		return nil, err
 	}

@@ -16,16 +16,20 @@ func init() {
 
 // chaosConfigDir locates configs/metastable whether the caller runs from
 // the repo root (the binaries) or from a package directory (go test).
-func chaosConfigDir() (string, error) {
+func chaosConfigDir() (string, error) { return configDir("metastable") }
+
+// configDir locates configs/<name> from the repo root or a package
+// directory.
+func configDir(name string) (string, error) {
 	for _, dir := range []string{
-		filepath.Join("configs", "metastable"),
-		filepath.Join("..", "..", "configs", "metastable"),
+		filepath.Join("configs", name),
+		filepath.Join("..", "..", "configs", name),
 	} {
 		if _, err := os.Stat(filepath.Join(dir, "client.json")); err == nil {
 			return dir, nil
 		}
 	}
-	return "", fmt.Errorf("experiments: configs/metastable not found from %s", cwd())
+	return "", fmt.Errorf("experiments: configs/%s not found from %s", name, cwd())
 }
 
 func cwd() string {

@@ -384,6 +384,33 @@ func TestChaosSmoke(t *testing.T) {
 	}
 }
 
+func TestHybridFaultSmoke(t *testing.T) {
+	tb := smoke(t, "hybridfault")
+	// during(full,hybrid) + after(full,hybrid) + equiv + attrib + chaos.
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows %d, want 7", len(tb.Rows))
+	}
+	leakCol := len(tb.Columns) - 1
+	rows := map[string][]string{}
+	for _, r := range tb.Rows {
+		if r[leakCol] != "0" {
+			t.Fatalf("%s/%s leaked %s requests", r[0], r[1], r[leakCol])
+		}
+		rows[r[0]+"/"+r[1]] = r
+	}
+	// Attribution must carry the full fault vocabulary even at smoke scale
+	// (the runner already enforces nonzero buckets and the exact sum).
+	attr := rows["attrib/hybrid"][10]
+	for _, cause := range []string{"degrade_freq", "partition", "gray_link"} {
+		if !strings.Contains(attr, cause+":") {
+			t.Fatalf("attribution %q missing %s", attr, cause)
+		}
+	}
+	if got := rows["chaos/hybrid"][8]; got != "pass" {
+		t.Fatalf("hybrid chaos search verdict %q", got)
+	}
+}
+
 func TestMillionUserSmoke(t *testing.T) {
 	tb := smoke(t, "millionuser")
 	// 3×(full,hybrid) + unit-rate equivalence + million-user scale row.

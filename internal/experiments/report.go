@@ -65,12 +65,15 @@ func ReportTables(rep *sim.Report) []*Table {
 
 	if rep.SampleRate < 1 {
 		hy := NewTable("Hybrid fidelity (foreground above is the sampled fraction)",
-			"sample_rate", "bg_arrivals", "bg_completions", "bg_shed", "saturated_epochs")
+			"sample_rate", "bg_arrivals", "bg_completions", "bg_shed", "bg_unreachable",
+			"bg_lost_by_cause", "saturated_epochs")
 		hy.Add(
 			fmt.Sprintf("%g", rep.SampleRate),
 			fmt.Sprintf("%d", rep.BackgroundArrivals),
 			fmt.Sprintf("%d", rep.BackgroundCompletions),
 			fmt.Sprintf("%d", rep.BackgroundShed),
+			fmt.Sprintf("%d", rep.BackgroundUnreachable),
+			formatByCause(rep.BackgroundShedByCause),
 			fmt.Sprintf("%d", rep.SaturatedEpochs))
 		out = append(out, hy)
 	}

@@ -2,10 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"uqsim/internal/config"
-	"uqsim/internal/hybrid"
 	"uqsim/internal/sim"
 	"uqsim/internal/workload"
 )
@@ -79,47 +77,11 @@ func SweepRowMod(cfgDir string, qps float64, mod func(*sim.Sim) error) ([]string
 // ApplyFidelity applies the CLI -fidelity/-sample-rate overrides to an
 // assembled simulation: "full" clears any configured hybrid split,
 // "hybrid" installs one (sample rate defaults to the config's, else 0.01),
-// and a bare sample-rate override retunes an already-hybrid setup.
+// and a bare sample-rate override retunes an already-hybrid setup. The
+// logic lives in internal/config so the chaos harness (which this package
+// imports) can share it without an import cycle.
 func ApplyFidelity(s *sim.Sim, fidelity string, sampleRate float64) error {
-	switch strings.ToLower(fidelity) {
-	case "":
-		if sampleRate == 0 {
-			return nil
-		}
-		hc := s.HybridConfig()
-		if hc == nil {
-			return fmt.Errorf("-sample-rate requires -fidelity hybrid or a hybrid config")
-		}
-		c := *hc
-		c.SampleRate = sampleRate
-		if err := c.Validate(); err != nil {
-			return err
-		}
-		s.SetHybrid(c)
-	case "full":
-		if sampleRate != 0 {
-			return fmt.Errorf("-sample-rate conflicts with -fidelity full")
-		}
-		s.ClearHybrid()
-	case "hybrid":
-		var c hybrid.Config
-		if hc := s.HybridConfig(); hc != nil {
-			c = *hc
-		}
-		if sampleRate != 0 {
-			c.SampleRate = sampleRate
-		}
-		if c.SampleRate == 0 {
-			c.SampleRate = 0.01
-		}
-		if err := c.Validate(); err != nil {
-			return err
-		}
-		s.SetHybrid(c)
-	default:
-		return fmt.Errorf("unknown fidelity %q (want \"full\" or \"hybrid\")", fidelity)
-	}
-	return nil
+	return config.ApplyFidelity(s, fidelity, sampleRate)
 }
 
 // SweepTable builds the table cmd/uqsim-sweep prints, ready for rows from

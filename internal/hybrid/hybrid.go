@@ -19,10 +19,18 @@
 //     rates the tier is built for.
 //   - Background requests are accrued fractionally per epoch
 //     ((1−p)·λ(t)·Δt, left rule) and resolved into the conservation
-//     identity at report time: BgArrivals == BgCompletions + BgShed, by
-//     construction. Open-loop background traffic beyond the bottleneck
-//     capacity is shed at the bottleneck rate; closed (session) traffic
-//     self-limits instead (users queue, they don't vanish).
+//     identity at report time: BgArrivals == BgCompletions + BgShed +
+//     BgUnreachable, by construction. Open-loop background traffic
+//     beyond the bottleneck capacity is shed at the bottleneck rate;
+//     closed (session) traffic self-limits instead (users queue, they
+//     don't vanish). Flow on machine pairs severed by a partition or
+//     dropped on a gray link accrues as unreachable, and every lost
+//     request is attributed to its causing fault family (ByCause).
+//   - Faults couple into the equilibrium itself: DVFS degrades scale the
+//     effective µ, capacity losses shrink k, resilience policies inflate
+//     λ to λ·E[attempts] (retry storms, gated by breaker thresholds),
+//     and fault/heal boundaries re-solve event-driven via Resolve — not
+//     just at the next epoch edge.
 //   - Every random draw comes from streams split off the client seed
 //     ("hybrid", ...), so the determinism fingerprint covers the tier and
 //     a sample-rate of 1.0 — which disables every draw and every accrual —
@@ -32,11 +40,34 @@ package hybrid
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"uqsim/internal/analytic"
 	"uqsim/internal/des"
 	"uqsim/internal/rng"
 	"uqsim/internal/stats"
+)
+
+// Cause labels bucket lost background flow by the fault family that
+// caused it — the per-fault attribution the run report and the extended
+// background conservation identity carry. One deterministic cause is
+// charged per epoch per bucket (the bottleneck's dominant condition), so
+// the buckets always sum exactly to the shed + unreachable totals.
+const (
+	// CauseOverload: the offered rate alone exceeds healthy capacity.
+	CauseOverload = "overload"
+	// CauseDegradeFreq: the bottleneck's effective µ is DVFS-degraded.
+	CauseDegradeFreq = "degrade_freq"
+	// CauseCapacity: the bottleneck lost servers (instance kills, machine
+	// or domain crashes) relative to its high-water replica count.
+	CauseCapacity = "capacity"
+	// CauseRetryStorm: stable at one attempt per request, saturated only
+	// by the mean-field retry amplification λ·E[attempts].
+	CauseRetryStorm = "retry_storm"
+	// CausePartition: flow on machine pairs severed by a partition.
+	CausePartition = "partition"
+	// CauseGrayLink: flow dropped probabilistically on lossy links.
+	CauseGrayLink = "gray_link"
 )
 
 // GaugeRegistry is the slice of internal/monitor's Monitor the fluid tier
@@ -90,22 +121,61 @@ type Service struct {
 	MeanServiceS float64
 	// Servers reports the live server count. Required.
 	Servers func() int
+	// Speed reports the service's current effective speed multiplier:
+	// 1 at nominal frequency, < 1 while DVFS-underclocked (the
+	// healthy-core-weighted mean of 1/SpeedFactor). Optional; nil means
+	// nominal speed. Effective µ is Speed()/MeanServiceS, so frequency
+	// degrades re-solve the equilibrium exactly like capacity changes.
+	Speed func() float64
+	// Loss reports the network-fault loss on this service's incoming
+	// background edges: cut is the fraction of caller→callee machine
+	// pairs currently severed by partitions, drop the mean gray-link
+	// drop probability over the reachable pairs. Optional; nil means a
+	// perfect fabric.
+	Loss func() (cut, drop float64)
+	// Policy is the resilience policy guarding the edge into this
+	// service, applied to background flow in mean field: timeouts and
+	// retries inflate the effective offered rate λ·E[attempts], and a
+	// breaker threshold gates the amplification when the equilibrium
+	// failure rate would hold the breaker open. Optional.
+	Policy *Policy
+}
+
+// Policy is the fluid tier's mean-field view of a fault.Policy: enough to
+// compute the equilibrium per-attempt timeout probability and the
+// resulting retry amplification. Declared here (not imported from
+// internal/fault) to keep the hybrid package free of the DES-layer types.
+type Policy struct {
+	// TimeoutS bounds one attempt's queue wait, in seconds.
+	TimeoutS float64
+	// MaxRetries re-issues a timed-out attempt up to this many times.
+	MaxRetries int
+	// BreakerThreshold is the breaker's error-rate trip point (0: no
+	// breaker). When the equilibrium per-attempt failure probability
+	// meets it, the breaker is open in mean field and retries fail fast
+	// instead of amplifying the offered rate.
+	BreakerThreshold float64
 }
 
 // point is one service's frozen equilibrium for the current epoch.
 // evalKey memoizes one service's equilibrium inputs: M/M/k evaluation is
 // O(k) (Erlang-C sums over servers), which dominates epochs on large
-// deployments even though the inputs rarely change between epochs.
+// deployments even though the inputs rarely change between epochs. The
+// key covers every input the solution depends on — λ after network-loss
+// thinning, the live server count, and the effective per-server rate µ —
+// so a mid-run DVFS change invalidates the memo like a capacity change.
 type evalKey struct {
 	lambda float64
 	k      int
+	mu     float64
 	valid  bool
 }
 
 type point struct {
 	analytic.MMkPoint
-	condRate float64 // kµ − λ, for wait draws
+	condRate float64 // kµ_eff − λ_eff, for wait draws
 	capped   des.Time
+	amp      float64 // mean-field retry amplification E[attempts]
 }
 
 // State is the live fluid tier of one run.
@@ -126,11 +196,30 @@ type State struct {
 
 	lastEval  des.Time // start of the current epoch
 	lastRate  float64  // offered rate frozen at lastEval
-	lastServe float64  // fraction of background flow served (1 unless saturated open-loop)
+	lastServe float64  // fraction of reachable background flow served (1 unless saturated open-loop)
 	accrued   bool     // accrual window has begun
 
-	bgArr  float64 // background arrivals accrued in the measured window
-	bgShed float64 // background arrivals shed at the bottleneck
+	// Network-fault coupling frozen at lastEval: the end-to-end fraction
+	// of background flow failing unreachable, its partition/gray-link
+	// attribution weights, and the bottleneck's shed cause.
+	lastUnreach   float64
+	lastWPart     float64
+	lastWGray     float64
+	lastShedCause string
+
+	bgArr     float64 // background arrivals accrued in the measured window
+	bgShed    float64 // background arrivals shed at the bottleneck
+	bgUnreach float64 // background arrivals lost to partitions / gray links
+
+	// Per-cause attribution accruals; resolved to whole requests by
+	// largest remainder in ByCause so buckets sum exactly.
+	shedCause    map[string]float64
+	unreachCause map[string]float64
+
+	// baseK is each service's high-water live server count — the
+	// reference that classifies a saturated bottleneck as capacity loss
+	// rather than plain overload.
+	baseK []int
 
 	satEpochs int
 	stopped   bool
@@ -168,13 +257,16 @@ func New(cfg Config, services []Service, rate func(t des.Time) float64, split *r
 		cfg.MaxWaitFactor = 100
 	}
 	st := &State{
-		cfg:      cfg,
-		services: services,
-		rate:     rate,
-		split:    split,
-		points:   make([]point, len(services)),
-		memo:     make([]evalKey, len(services)),
-		streams:  make([]*rng.Source, len(services)),
+		cfg:          cfg,
+		services:     services,
+		rate:         rate,
+		split:        split,
+		points:       make([]point, len(services)),
+		memo:         make([]evalKey, len(services)),
+		streams:      make([]*rng.Source, len(services)),
+		baseK:        make([]int, len(services)),
+		shedCause:    make(map[string]float64),
+		unreachCause: make(map[string]float64),
 	}
 	for i, s := range services {
 		st.streams[i] = split.Stream("hybrid", s.Name)
@@ -224,7 +316,11 @@ func (st *State) Start(eng des.Scheduler, at, warmupEnd des.Time) {
 	eng.Post(at+epoch, tick)
 }
 
-// eval freezes the equilibrium for the epoch starting at t.
+// eval freezes the equilibrium for the epoch starting at t. Per service
+// it composes the fault couplings: network loss thins the offered λ
+// (severed pairs and gray-link drops carry no background flow), DVFS
+// degradation scales the effective µ, and the resilience policy's retry
+// amplification inflates λ to λ·E[attempts] before the M/M/k solve.
 func (st *State) eval(t des.Time) {
 	offered := st.rate(t)
 	if math.IsNaN(offered) || math.IsInf(offered, 0) || offered < 0 {
@@ -236,38 +332,128 @@ func (st *State) eval(t des.Time) {
 	st.lastEval = t
 	st.lastRate = offered
 	st.lastServe = 1
+	st.lastUnreach = 0
+	st.lastWPart, st.lastWGray = 0, 0
+	st.lastShedCause = ""
+	survive := 1.0
 	anySat := false
-	for i, s := range st.services {
-		lambda := offered * s.Visits
-		mu := 1 / s.MeanServiceS
+	for i := range st.services {
+		s := &st.services[i]
+		cut, drop := 0.0, 0.0
+		if s.Loss != nil {
+			cut, drop = clamp01(s.Loss())
+		}
+		loss := cut + (1-cut)*drop
+		speed := 1.0
+		if s.Speed != nil {
+			speed = s.Speed()
+			if math.IsNaN(speed) || speed < 0 {
+				speed = 0
+			}
+		}
+		lambda := offered * s.Visits * (1 - loss)
+		mu := speed / s.MeanServiceS
 		k := s.Servers()
-		if m := &st.memo[i]; !m.valid || m.lambda != lambda || m.k != k {
-			p := analytic.MMkAt(lambda, mu, k)
-			_, cond := analytic.MMkWaitDist(lambda, mu, k)
+		if k > st.baseK[i] {
+			st.baseK[i] = k
+		}
+		if s.Visits > 0 {
+			// End-to-end survival treats each visited service's incoming
+			// edge as an independent delivery requirement — exact for
+			// chains, an approximation for branchy trees.
+			survive *= 1 - loss
+			st.lastWPart += cut
+			st.lastWGray += (1 - cut) * drop
+		}
+		if m := &st.memo[i]; !m.valid || m.lambda != lambda || m.k != k || m.mu != mu {
+			amp := amplification(lambda, mu, k, s.Policy)
+			p := analytic.MMkAt(lambda*amp, mu, k)
+			_, cond := analytic.MMkWaitDist(lambda*amp, mu, k)
 			st.points[i] = point{
 				MMkPoint: p,
 				condRate: cond,
 				capped:   des.FromNanos(st.cfg.MaxWaitFactor * s.MeanServiceS * 1e9),
+				amp:      amp,
 			}
-			*m = evalKey{lambda: lambda, k: k, valid: true}
+			*m = evalKey{lambda: lambda, k: k, mu: mu, valid: true}
 		}
 		if st.points[i].Saturated {
 			anySat = true
 			// Open-loop background flow beyond this bottleneck is shed:
-			// the service serves capacity/λ of its offered traffic, and
-			// end-to-end conservation is governed by the worst service.
-			if !st.cfg.Closed && lambda > 0 && k > 0 && mu > 0 {
-				if served := float64(k) * mu / lambda; served < st.lastServe {
-					st.lastServe = served
+			// the service serves capacity/λ_eff of its offered traffic
+			// (retries consume capacity too), and end-to-end conservation
+			// is governed by the worst service.
+			if !st.cfg.Closed {
+				served := 0.0
+				if lamEff := lambda * st.points[i].amp; lamEff > 0 && k > 0 && mu > 0 {
+					served = float64(k) * mu / lamEff
 				}
-			} else if !st.cfg.Closed {
-				st.lastServe = 0
+				if served < st.lastServe {
+					st.lastServe = served
+					st.lastShedCause = st.shedCauseFor(i, lambda, mu, k, speed)
+				}
 			}
 		}
 	}
+	st.lastUnreach = 1 - survive
 	if anySat {
 		st.satEpochs++
 	}
+}
+
+// shedCauseFor classifies why service i's equilibrium saturated, charging
+// one deterministic dominant cause: DVFS degradation first (effective µ
+// below nominal), then capacity loss (live servers below the high-water
+// count), then a retry storm (stable at one attempt per request,
+// saturated only by amplification), else plain overload.
+func (st *State) shedCauseFor(i int, lambda, mu float64, k int, speed float64) string {
+	switch {
+	case speed < 1:
+		return CauseDegradeFreq
+	case k < st.baseK[i]:
+		return CauseCapacity
+	case k > 0 && mu > 0 && lambda < float64(k)*mu:
+		return CauseRetryStorm
+	default:
+		return CauseOverload
+	}
+}
+
+// amplification solves the mean-field retry fixed point for one service:
+// the per-attempt timeout probability at the amplified rate feeds the
+// expected attempt count, which feeds the rate. Damped iteration from
+// amp=1 converges to the stable fixed point from below (matching a
+// system entering the storm). With a breaker threshold, an equilibrium
+// failure rate at or above it holds the breaker open in mean field:
+// retries fail fast and the amplification collapses back toward 1.
+func amplification(lambda, mu float64, k int, pol *Policy) float64 {
+	if pol == nil || pol.MaxRetries <= 0 || lambda <= 0 || k <= 0 || mu <= 0 {
+		return 1
+	}
+	amp := 1.0
+	for iter := 0; iter < 32; iter++ {
+		pTO := analytic.MMkTimeoutProb(lambda*amp, mu, k, pol.TimeoutS)
+		next := analytic.RetryAttempts(pTO, pol.MaxRetries)
+		if pol.BreakerThreshold > 0 && pTO >= pol.BreakerThreshold {
+			next = 1
+		}
+		amp = 0.5*amp + 0.5*next
+	}
+	return amp
+}
+
+// clamp01 clamps a Loss callback's pair into [0, 1].
+func clamp01(cut, drop float64) (float64, float64) {
+	c1 := func(v float64) float64 {
+		if math.IsNaN(v) || v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	return c1(cut), c1(drop)
 }
 
 // accrue folds the epoch that just ended, [lastEval, t), into the
@@ -283,7 +469,39 @@ func (st *State) accrue(t des.Time) {
 	dt := float64(t-from) / 1e9
 	bg := st.lastRate * (1 - st.cfg.SampleRate) * dt
 	st.bgArr += bg
-	st.bgShed += bg * (1 - st.lastServe)
+	if unreach := bg * st.lastUnreach; unreach > 0 {
+		st.bgUnreach += unreach
+		if w := st.lastWPart + st.lastWGray; w > 0 {
+			st.unreachCause[CausePartition] += unreach * st.lastWPart / w
+			st.unreachCause[CauseGrayLink] += unreach * st.lastWGray / w
+		} else {
+			st.unreachCause[CausePartition] += unreach
+		}
+	}
+	if shed := bg * (1 - st.lastUnreach) * (1 - st.lastServe); shed > 0 {
+		st.bgShed += shed
+		cause := st.lastShedCause
+		if cause == "" {
+			cause = CauseOverload
+		}
+		st.shedCause[cause] += shed
+	}
+}
+
+// Resolve re-solves the background equilibrium mid-epoch: the elapsed
+// fraction of the current epoch accrues under the outgoing equilibrium
+// and a fresh one is frozen from t. Fault and heal boundaries call this
+// so partitions, DVFS degrades, gray links, and capacity changes act on
+// background flow the instant they fire — not at the next epoch edge.
+// Purely analytic (no RNG), so an extra Resolve never perturbs the
+// determinism fingerprint's random streams; calls before Start, after
+// Finish, or at an already-frozen instant are no-ops.
+func (st *State) Resolve(t des.Time) {
+	if !st.Active() || st.stopped || st.eng == nil || t < st.lastEval {
+		return
+	}
+	st.accrue(t)
+	st.eval(t)
 }
 
 // Finish folds the final partial epoch up to the measurement horizon.
@@ -333,27 +551,99 @@ func (st *State) Point(idx int) analytic.MMkPoint {
 }
 
 // Snapshot is the background tier's contribution to the run report,
-// resolved to whole requests. Completions are arrivals minus shed by
-// construction — the conservation identity the validator asserts.
+// resolved to whole requests. Completions are arrivals minus shed minus
+// unreachable by construction — the conservation identity the validator
+// asserts.
 type Snapshot struct {
 	Arrivals        int64
 	Completions     int64
 	Shed            int64
+	Unreachable     int64
 	SaturatedEpochs int
 }
 
 // Snapshot resolves the accrued background flow.
 func (st *State) Snapshot() Snapshot {
 	arr := roundCount(st.bgArr)
+	unreach := roundCount(st.bgUnreach)
+	if unreach > arr {
+		unreach = arr
+	}
 	shed := roundCount(st.bgShed)
-	if shed > arr {
-		shed = arr
+	if shed > arr-unreach {
+		shed = arr - unreach
 	}
 	return Snapshot{
 		Arrivals:        arr,
-		Completions:     arr - shed,
+		Completions:     arr - shed - unreach,
 		Shed:            shed,
+		Unreachable:     unreach,
 		SaturatedEpochs: st.satEpochs,
+	}
+}
+
+// ByCause buckets the snapshot's lost background flow (Shed +
+// Unreachable) by causing fault family. Whole-request resolution uses
+// largest-remainder apportionment within each family against the same
+// rounded totals Snapshot reports, so the buckets sum exactly to
+// Shed + Unreachable — the extended background conservation identity.
+// Zero-valued causes are omitted; an inert tier returns an empty map.
+func (st *State) ByCause() map[string]int64 {
+	snap := st.Snapshot()
+	out := make(map[string]int64)
+	apportion(out, st.shedCause, snap.Shed, CauseOverload)
+	apportion(out, st.unreachCause, snap.Unreachable, CausePartition)
+	for k, v := range out {
+		if v == 0 {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+// apportion distributes total whole requests over float weights by
+// largest remainder (ties broken by key, iteration in sorted-key order,
+// so the result is deterministic); an empty or degenerate weight map
+// books everything under the fallback cause.
+func apportion(out map[string]int64, weights map[string]float64, total int64, fallback string) {
+	if total <= 0 {
+		return
+	}
+	keys := make([]string, 0, len(weights))
+	sum := 0.0
+	for k, w := range weights {
+		if w > 0 && !math.IsNaN(w) && !math.IsInf(w, 0) {
+			keys = append(keys, k)
+			sum += w
+		}
+	}
+	if len(keys) == 0 || sum <= 0 {
+		out[fallback] += total
+		return
+	}
+	sort.Strings(keys)
+	type rem struct {
+		key  string
+		frac float64
+	}
+	rems := make([]rem, 0, len(keys))
+	left := total
+	for _, k := range keys {
+		exact := float64(total) * weights[k] / sum
+		base := int64(math.Floor(exact))
+		out[k] += base
+		left -= base
+		rems = append(rems, rem{key: k, frac: exact - float64(base)})
+	}
+	sort.SliceStable(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].key < rems[j].key
+	})
+	for i := 0; left > 0; i++ {
+		out[rems[i%len(rems)].key]++
+		left--
 	}
 }
 
@@ -380,10 +670,16 @@ func (st *State) Attach(m GaugeRegistry) {
 	m.WatchGauge("hybrid.bg_qps", func(des.Time) float64 {
 		return st.lastRate * (1 - st.cfg.SampleRate)
 	})
+	m.WatchGauge("hybrid.bg_unreach_frac", func(des.Time) float64 {
+		return st.lastUnreach
+	})
 	for i, s := range st.services {
 		idx := i
 		m.WatchGauge("hybrid.rho."+s.Name, func(des.Time) float64 {
 			return st.points[idx].Rho
+		})
+		m.WatchGauge("hybrid.amp."+s.Name, func(des.Time) float64 {
+			return st.points[idx].amp
 		})
 		m.WatchGauge("hybrid.qlen."+s.Name, func(des.Time) float64 {
 			q := st.points[idx].QueueLen

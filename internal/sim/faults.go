@@ -89,8 +89,14 @@ func (s *Sim) InstallFaults(plan fault.Plan) error {
 	return nil
 }
 
-// applyFault executes one fault event at virtual time now.
+// applyFault executes one fault event at virtual time now. Every path
+// that changes fluid-visible state (capacity, frequency, reachability,
+// link loss, offered load) ends in fluidResolve so the background tier
+// re-solves its equilibrium at the fault boundary itself rather than
+// coasting on a stale solution until the next epoch edge; heal closures
+// do the same at the heal boundary.
 func (s *Sim) applyFault(now des.Time, ev fault.Event) {
+	defer s.fluidResolve(now)
 	switch ev.Kind {
 	case fault.KillInstance:
 		dep := s.deployments[ev.Service]
@@ -172,6 +178,7 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 				for i, a := range allocs {
 					a.SetFreq(old[i])
 				}
+				s.fluidResolve(t)
 			})
 		}
 	case fault.EdgeLatency:
@@ -185,19 +192,26 @@ func (s *Sim) applyFault(now des.Time, ev fault.Event) {
 		if ev.Until > now {
 			s.eng.At(ev.Until, func(t des.Time) {
 				s.net.HealPartition(ev.GroupA, ev.GroupB, ev.OneWay)
+				s.fluidResolve(t)
 			})
 		}
 	case fault.SetLink:
 		s.netState().SetLink(ev.Src, ev.Dst, netfault.Link{Drop: ev.Drop, Dup: ev.Dup})
 		if ev.Until > now {
-			s.eng.At(ev.Until, func(t des.Time) { s.net.ClearLink(ev.Src, ev.Dst) })
+			s.eng.At(ev.Until, func(t des.Time) {
+				s.net.ClearLink(ev.Src, ev.Dst)
+				s.fluidResolve(t)
+			})
 		}
 	case fault.LoadStep:
 		*s.loadScale = ev.Factor
 		if ev.Until > now {
 			// Overlapping steps are last-writer-wins; healing restores the
 			// nominal rate, not the previous step's.
-			s.eng.At(ev.Until, func(t des.Time) { *s.loadScale = 1 })
+			s.eng.At(ev.Until, func(t des.Time) {
+				*s.loadScale = 1
+				s.fluidResolve(t)
+			})
 		}
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"uqsim/internal/analytic"
 	"uqsim/internal/des"
@@ -39,6 +40,16 @@ func (s *Sim) SetHybridMonitor(m hybrid.GaugeRegistry) { s.hybridMon = m }
 
 // Fluid exposes the live fluid tier (nil before Run or at sample rate 1).
 func (s *Sim) Fluid() *hybrid.State { return s.fluid }
+
+// fluidResolve re-solves the background equilibrium at a fault or heal
+// boundary. No-op outside hybrid runs; inside one, the fluid tier
+// accrues the old solution up to now and solves the new one immediately
+// instead of waiting out the rest of the 50ms epoch with stale rates.
+func (s *Sim) fluidResolve(now des.Time) {
+	if s.fluid != nil {
+		s.fluid.Resolve(now)
+	}
+}
 
 // thinnedPattern scales an arrival pattern by the foreground sample rate:
 // thinning a Poisson process by p yields a Poisson process at p·λ, so the
@@ -85,6 +96,7 @@ func (s *Sim) setupHybrid(warmupEnd des.Time) error {
 	if s.clientCfg.SizeKB != nil {
 		meanKB = s.clientCfg.SizeKB.Mean()
 	}
+	callers := s.fluidCallers(weights)
 	var svcs []hybrid.Service
 	s.fluidIdx = make(map[string]int)
 	for _, name := range s.depOrder {
@@ -109,6 +121,9 @@ func (s *Sim) setupHybrid(warmupEnd des.Time) error {
 				}
 				return k
 			},
+			Speed:  s.fluidSpeed(dep),
+			Loss:   s.fluidLoss(dep, callers[name]),
+			Policy: s.fluidPolicy(name),
 		})
 	}
 	if len(svcs) == 0 {
@@ -137,6 +152,9 @@ func (s *Sim) setupHybrid(warmupEnd des.Time) error {
 			sig := uint64(0)
 			for _, sv := range fpSvcs {
 				sig = sig*1000003 + uint64(sv.Servers())
+				if sv.Speed != nil {
+					sig = sig*1000003 + math.Float64bits(sv.Speed())
+				}
 			}
 			if n != memoPop || sig != memoSig {
 				memoPop, memoSig = n, sig
@@ -164,6 +182,141 @@ func (s *Sim) setupHybrid(warmupEnd des.Time) error {
 	}
 	st.Start(s.eng, 0, warmupEnd)
 	return nil
+}
+
+// fluidCallers maps each service to the sorted set of services whose
+// instances issue RPCs into it, across every tree the client can select.
+// Root services (called straight from the client) have no entry: client
+// hops enter from outside the fabric and are exempt from network faults,
+// matching the foreground dispatch path.
+func (s *Sim) fluidCallers(weights []float64) map[string][]string {
+	seen := make(map[string]map[string]bool)
+	for ti := range s.topo.Trees {
+		if ti < len(weights) && weights[ti] <= 0 {
+			continue
+		}
+		tr := &s.topo.Trees[ti]
+		for i := range tr.Nodes {
+			svc := tr.Nodes[i].Service
+			for _, pid := range tr.Parents(i) {
+				p := tr.Nodes[pid].Service
+				if p == svc {
+					continue
+				}
+				if seen[svc] == nil {
+					seen[svc] = make(map[string]bool)
+				}
+				seen[svc][p] = true
+			}
+		}
+	}
+	out := make(map[string][]string, len(seen))
+	for svc, set := range seen {
+		names := make([]string, 0, len(set))
+		for p := range set {
+			names = append(names, p)
+		}
+		sort.Strings(names)
+		out[svc] = names
+	}
+	return out
+}
+
+// fluidSpeed builds the DVFS coupling for one deployment: the healthy-
+// core-weighted mean of 1/SpeedFactor, so a service with half its cores
+// at half frequency serves at 75% nominal rate. No healthy cores means
+// Servers() already reports zero capacity; speed 1 keeps µ well-defined.
+func (s *Sim) fluidSpeed(dep *Deployment) func() float64 {
+	return func() float64 {
+		num, den := 0.0, 0.0
+		for _, in := range dep.Healthy() {
+			c := float64(in.Alloc.Cores)
+			den += c
+			num += c / in.Alloc.SpeedFactor()
+		}
+		if den <= 0 {
+			return 1
+		}
+		return num / den
+	}
+}
+
+// fluidLoss builds the network coupling for one deployment: the fraction
+// of caller-instance → callee-instance machine pairs currently severed
+// (partitions, region loss) and the mean gray-link drop probability over
+// the still-reachable pairs. Callers is the sorted caller-service list
+// from fluidCallers; services called only by the client see no network
+// faults (client hops bypass the fabric in the foreground path too).
+func (s *Sim) fluidLoss(dep *Deployment, callers []string) func() (float64, float64) {
+	if len(callers) == 0 {
+		return nil
+	}
+	return func() (float64, float64) {
+		if s.net == nil {
+			return 0, 0
+		}
+		pairs, cutN := 0, 0
+		dropSum := 0.0
+		for _, cs := range callers {
+			cdep := s.deployments[cs]
+			if cdep == nil {
+				continue
+			}
+			for _, pin := range cdep.Healthy() {
+				src := pin.Alloc.Machine.Name
+				for _, in := range dep.Healthy() {
+					dst := in.Alloc.Machine.Name
+					pairs++
+					if !s.net.Reachable(src, dst) {
+						cutN++
+						continue
+					}
+					if src != dst {
+						if l, ok := s.net.LinkFor(src, dst); ok {
+							dropSum += l.Drop
+						}
+					}
+				}
+			}
+		}
+		if pairs == 0 {
+			// All caller or callee replicas down: capacity coupling
+			// (Servers()==0) owns that failure mode, not reachability.
+			return 0, 0
+		}
+		cut := float64(cutN) / float64(pairs)
+		drop := 0.0
+		if reach := pairs - cutN; reach > 0 {
+			drop = dropSum / float64(reach)
+		}
+		return cut, drop
+	}
+}
+
+// fluidPolicy maps a service-level resilience policy onto the mean-field
+// retry model. Only the retry-relevant fields translate: an edge with a
+// timeout and retries amplifies background load; a breaker threshold
+// gates the amplification off once the equilibrium timeout probability
+// trips it. Node-level overrides (SetNodePolicy) are a per-edge
+// refinement the aggregate fluid tier cannot express; the service-wide
+// policy is the documented approximation.
+func (s *Sim) fluidPolicy(name string) *hybrid.Policy {
+	pr := s.svcPolicies[name]
+	if pr == nil {
+		return nil
+	}
+	pol := pr.pol
+	if pol.Timeout <= 0 || pol.MaxRetries <= 0 {
+		return nil
+	}
+	hp := &hybrid.Policy{
+		TimeoutS:   pol.Timeout.Seconds(),
+		MaxRetries: pol.MaxRetries,
+	}
+	if pol.Breaker != nil {
+		hp.BreakerThreshold = pol.Breaker.ErrorThreshold
+	}
+	return hp
 }
 
 // fluidTreeWeights resolves the probability each request targets each
@@ -243,6 +396,20 @@ func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
 	if n <= 0 {
 		return 0
 	}
+	// Effective per-visit service times: DVFS degrades stretch E[S] by
+	// 1/speed, shifting both the zero-contention base time and the
+	// bottleneck capacity the fixed point clamps to.
+	es := make([]float64, len(svcs))
+	for i := range svcs {
+		es[i] = svcs[i].MeanServiceS
+		if svcs[i].Speed != nil {
+			sp := svcs[i].Speed()
+			if !(sp > 0) {
+				return 0 // frozen service: closed users pile up behind it
+			}
+			es[i] = svcs[i].MeanServiceS / sp
+		}
+	}
 	capacity := math.Inf(1)
 	base := thinkS
 	for i := range svcs {
@@ -250,7 +417,7 @@ func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
 		if sv.Visits <= 0 {
 			continue
 		}
-		base += sv.Visits * sv.MeanServiceS
+		base += sv.Visits * es[i]
 		k := sv.Servers()
 		if k <= 0 {
 			// Total outage of a required service (every replica down under
@@ -258,7 +425,7 @@ func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
 			// delivers nothing until it recovers.
 			return 0
 		}
-		if c := float64(k) / sv.MeanServiceS / sv.Visits; c < capacity {
+		if c := float64(k) / es[i] / sv.Visits; c < capacity {
 			capacity = c
 		}
 	}
@@ -274,11 +441,11 @@ func closedPopulationRate(n, thinkS float64, svcs []hybrid.Service) float64 {
 		saturated := false
 		for j := range svcs {
 			sv := &svcs[j]
-			r += sv.Visits * sv.MeanServiceS
+			r += sv.Visits * es[j]
 			if sv.Visits <= 0 {
 				continue
 			}
-			w := analytic.MMkMeanWait(lam*sv.Visits, 1/sv.MeanServiceS, sv.Servers())
+			w := analytic.MMkMeanWait(lam*sv.Visits, 1/es[j], sv.Servers())
 			if analytic.IsSaturated(w) {
 				saturated = true
 				break

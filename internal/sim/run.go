@@ -674,7 +674,8 @@ type Report struct {
 	// full-DES run). The Arrivals/Completions/... buckets above cover
 	// only the sampled foreground; the fluid tier's unsimulated traffic
 	// is accounted separately below with its own conservation identity:
-	// BackgroundArrivals == BackgroundCompletions + BackgroundShed.
+	// BackgroundArrivals == BackgroundCompletions + BackgroundShed +
+	// BackgroundUnreachable.
 	SampleRate            float64
 	BackgroundArrivals    uint64
 	BackgroundCompletions uint64
@@ -682,6 +683,17 @@ type Report struct {
 	// capacity during saturated epochs (open-loop only; session
 	// populations self-limit and never shed).
 	BackgroundShed uint64
+	// BackgroundUnreachable counts background flow lost to severed or
+	// lossy machine pairs (partitions, region loss, gray links) — the
+	// fluid tier's analogue of the foreground Unreachable bucket.
+	BackgroundUnreachable uint64
+	// BackgroundShedByCause attributes BackgroundShed +
+	// BackgroundUnreachable to the fault class that caused each loss
+	// (hybrid.CauseOverload, CauseDegradeFreq, CauseCapacity,
+	// CauseRetryStorm, CausePartition, CauseGrayLink). Values sum
+	// exactly to BackgroundShed + BackgroundUnreachable; nil when both
+	// are zero.
+	BackgroundShedByCause map[string]uint64
 	// SaturatedEpochs counts fluid-tier epochs with at least one
 	// saturated service.
 	SaturatedEpochs int
@@ -719,7 +731,14 @@ func (s *Sim) report(horizon des.Time) *Report {
 		r.BackgroundArrivals = uint64(snap.Arrivals)
 		r.BackgroundCompletions = uint64(snap.Completions)
 		r.BackgroundShed = uint64(snap.Shed)
+		r.BackgroundUnreachable = uint64(snap.Unreachable)
 		r.SaturatedEpochs = snap.SaturatedEpochs
+		if by := s.fluid.ByCause(); len(by) > 0 {
+			r.BackgroundShedByCause = make(map[string]uint64, len(by))
+			for cause, n := range by {
+				r.BackgroundShedByCause[cause] = uint64(n)
+			}
+		}
 	}
 	if s.net != nil {
 		r.LinkDrops = s.net.LinkDrops()

@@ -29,9 +29,22 @@ func Conservation(rep *sim.Report) error {
 	}
 	// The hybrid fluid tier keeps its own books: background traffic never
 	// enters the sampled buckets above, and must balance on its own.
-	if rep.BackgroundArrivals != rep.BackgroundCompletions+rep.BackgroundShed {
-		return fmt.Errorf("validate: background conservation violated: arrivals=%d != completions=%d + shed=%d",
-			rep.BackgroundArrivals, rep.BackgroundCompletions, rep.BackgroundShed)
+	if rep.BackgroundArrivals != rep.BackgroundCompletions+rep.BackgroundShed+rep.BackgroundUnreachable {
+		return fmt.Errorf("validate: background conservation violated: arrivals=%d != completions=%d + shed=%d + unreachable=%d",
+			rep.BackgroundArrivals, rep.BackgroundCompletions, rep.BackgroundShed, rep.BackgroundUnreachable)
+	}
+	// Per-fault attribution must partition the background losses exactly:
+	// apportionment uses largest-remainder rounding precisely so no unit
+	// of shed or unreachable flow goes uncredited or double-credited.
+	if len(rep.BackgroundShedByCause) > 0 {
+		var byCause uint64
+		for _, n := range rep.BackgroundShedByCause {
+			byCause += n
+		}
+		if lost := rep.BackgroundShed + rep.BackgroundUnreachable; byCause != lost {
+			return fmt.Errorf("validate: background attribution violated: by-cause sum %d != shed=%d + unreachable=%d",
+				byCause, rep.BackgroundShed, rep.BackgroundUnreachable)
+		}
 	}
 	return nil
 }

@@ -37,9 +37,24 @@ func Fingerprint(rep *sim.Report) string {
 	// Hybrid-fidelity background accounting, appended only when present so
 	// full-DES fingerprints — including every committed chaos corpus
 	// scenario — keep their historical byte format.
-	if rep.BackgroundArrivals+rep.BackgroundShed > 0 {
-		fp += fmt.Sprintf(" bg=%d/%d/%d",
-			rep.BackgroundArrivals, rep.BackgroundCompletions, rep.BackgroundShed)
+	if rep.BackgroundArrivals+rep.BackgroundShed+rep.BackgroundUnreachable > 0 {
+		fp += fmt.Sprintf(" bg=%d/%d/%d/%d",
+			rep.BackgroundArrivals, rep.BackgroundCompletions,
+			rep.BackgroundShed, rep.BackgroundUnreachable)
+	}
+	if len(rep.BackgroundShedByCause) > 0 {
+		causes := make([]string, 0, len(rep.BackgroundShedByCause))
+		for c := range rep.BackgroundShedByCause {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		fp += " bgcause="
+		for i, c := range causes {
+			if i > 0 {
+				fp += ","
+			}
+			fp += fmt.Sprintf("%s:%d", c, rep.BackgroundShedByCause[c])
+		}
 	}
 	return fp
 }
